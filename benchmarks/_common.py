@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness (table printing)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def print_table(title: str, rows: List[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None) -> None:
+    """Print experiment rows in a compact fixed-width table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = " | ".join(f"{name:>18}" for name in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for name in columns:
+            value = row.get(name, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>18.4f}")
+            else:
+                cells.append(f"{str(value):>18}")
+        print(" | ".join(cells))

@@ -1,0 +1,154 @@
+"""A1 — Ablations called out in DESIGN.md.
+
+Three dials that the adaptive model's behaviour depends on are swept here:
+
+* **ASR noise** — how transcript quality affects baseline and adaptive
+  retrieval (the substrate unreliability the paper blames for the semantic
+  gap);
+* **simulated-user error rate** — how noisy judgements erode the value of
+  implicit feedback (the accuracy caveat of Nichols cited in Section 2.1);
+* **ostensive decay constant** — sensitivity of the implicit-only system to
+  the evidence discount.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.collection import AsrNoiseModel, CollectionConfig, generate_corpus
+from repro.core import baseline_policy, implicit_only_policy
+from repro.evaluation import (
+    ExperimentCondition,
+    ExperimentRunner,
+    relative_improvement,
+)
+from repro.simulation import generate_population
+
+SMALL_USERS = 6
+
+
+def ablate_asr_noise():
+    """Ad-hoc (two-term query) retrieval quality as transcripts degrade.
+
+    The comparison is deterministic — topic queries against each collection
+    variant, no simulation — so the trend is not masked by user noise.  BM25
+    turns out to be robust to moderate word error rates (the degradation only
+    bites once most topic-term occurrences are lost), which is itself a
+    finding worth recording in EXPERIMENTS.md.
+    """
+    from repro.evaluation import Run, evaluate_run
+    from repro.retrieval import EngineConfig, VideoRetrievalEngine
+
+    rows = []
+    for label, noise in (
+        ("clean ASR", AsrNoiseModel.clean()),
+        ("default ASR (WER 0.23)", AsrNoiseModel()),
+        ("poor ASR (WER 0.45)", AsrNoiseModel.poor()),
+        ("very poor ASR (WER 0.85)",
+         AsrNoiseModel(deletion_rate=0.3, substitution_rate=0.45, insertion_rate=0.1)),
+    ):
+        corpus = generate_corpus(
+            seed=111,
+            config=CollectionConfig(days=12, stories_per_day=8, topic_count=10,
+                                    asr_noise=noise),
+        )
+        engine = VideoRetrievalEngine(
+            corpus.collection,
+            config=EngineConfig(visual_weight=0.0, concept_weight=0.0),
+        )
+        run = Run(name=label)
+        for topic in corpus.topics:
+            results = engine.search_text(" ".join(topic.query_terms[:2]), limit=100)
+            run.add_topic(topic.topic_id, results.shot_ids())
+        evaluation = evaluate_run(run, corpus.qrels)
+        rows.append(
+            {
+                "asr_condition": label,
+                "word_error_rate": noise.word_error_rate,
+                "adhoc_map": evaluation.map,
+                "precision@10": evaluation.aggregate["precision@10"],
+            }
+        )
+    return rows
+
+
+def ablate_user_error(bench_runner):
+    rows = []
+    for label, error in (("careful users", 0.1), ("typical users", 0.25),
+                         ("careless users", 0.45)):
+        population = generate_population(
+            SMALL_USERS, seed=31, topics=bench_runner.corpus.topics
+        )
+        population = [
+            type(member)(
+                user=member.user.with_overrides(surrogate_error_rate=error,
+                                                post_play_error_rate=error / 2.5),
+                profile=member.profile,
+            )
+            for member in population
+        ]
+        from repro.simulation import assign_topics
+
+        assignment = assign_topics(population, bench_runner.corpus.topics,
+                                   topics_per_user=2, seed=32)
+        results = {}
+        for name, policy in (("baseline", baseline_policy()),
+                             ("implicit", implicit_only_policy())):
+            condition = ExperimentCondition(name=name, policy=policy,
+                                            user_count=SMALL_USERS, topics_per_user=2,
+                                            seed=33)
+            results[name] = bench_runner.run_condition(
+                condition, population=population, assignment=assignment
+            )
+        baseline = results["baseline"].mean_average_precision
+        implicit = results["implicit"].mean_average_precision
+        rows.append(
+            {
+                "user_population": label,
+                "surrogate_error": error,
+                "baseline_map": baseline,
+                "implicit_map": implicit,
+                "rel_gain_%": 100.0 * relative_improvement(baseline, implicit),
+            }
+        )
+    return rows
+
+
+def ablate_ostensive_base(bench_runner):
+    rows = []
+    for base in (1.0, 0.85, 0.7, 0.5, 0.3):
+        policy = implicit_only_policy().with_overrides(
+            ostensive_profile="exponential", ostensive_base=base
+        )
+        condition = ExperimentCondition(
+            name=f"decay_{base}", policy=policy, user_count=SMALL_USERS,
+            topics_per_user=2, seed=41,
+        )
+        result = bench_runner.run_condition(condition)
+        rows.append({"ostensive_base": base, "map": result.mean_average_precision})
+    return rows
+
+
+def run_experiment(bench_runner):
+    return (
+        ablate_asr_noise(),
+        ablate_user_error(bench_runner),
+        ablate_ostensive_base(bench_runner),
+    )
+
+
+def test_a1_ablations(benchmark, bench_runner):
+    asr_rows, error_rows, decay_rows = benchmark.pedantic(
+        run_experiment, args=(bench_runner,), rounds=1, iterations=1
+    )
+    print_table("A1a: ASR noise ablation (ad-hoc retrieval)", asr_rows)
+    print_table("A1b: simulated-user judgement error ablation", error_rows)
+    print_table("A1c: ostensive decay constant ablation", decay_rows)
+    # Expected shapes: severely degraded transcripts lower ad-hoc MAP (moderate
+    # word error rates are absorbed by BM25's redundancy); implicit feedback
+    # keeps a positive margin for careful users and shrinks as judgements get
+    # noisier.
+    assert asr_rows[0]["adhoc_map"] > asr_rows[-1]["adhoc_map"]
+    assert error_rows[0]["rel_gain_%"] > 0
+    assert error_rows[0]["rel_gain_%"] >= error_rows[-1]["rel_gain_%"] - 5.0
+    assert all(0.0 <= row["map"] <= 1.0 for row in decay_rows)

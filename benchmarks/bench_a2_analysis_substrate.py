@@ -1,0 +1,82 @@
+"""A2 — Video analysis substrate quality.
+
+The adaptive experiments assume a working TRECVID-style analysis chain.
+This bench reports the quality of each simulated analysis component against
+the collection's ground truth: shot-boundary detection (precision/recall/F1),
+news-story segmentation, and concept-detector quality (mean average
+precision / AUC) for the three detector-quality presets.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.analysis import (
+    ConceptDetectorBank,
+    ConceptDetectorConfig,
+    all_concepts,
+    evaluate_collection_segmentation,
+)
+from repro.evaluation import mean_metric
+from repro.newsframework import StorySegmenter
+
+
+def run_experiment(bench_corpus):
+    collection = bench_corpus.collection
+
+    shot_results = evaluate_collection_segmentation(collection)
+    shot_rows = [
+        {
+            "task": "shot boundary detection",
+            "precision": mean_metric(r.precision for r in shot_results),
+            "recall": mean_metric(r.recall for r in shot_results),
+            "f1": mean_metric(r.f1 for r in shot_results),
+        }
+    ]
+
+    story_results = StorySegmenter().evaluate_collection(collection)
+    shot_rows.append(
+        {
+            "task": "story segmentation",
+            "precision": mean_metric(r.precision for r in story_results),
+            "recall": mean_metric(r.recall for r in story_results),
+            "f1": mean_metric(r.f1 for r in story_results),
+        }
+    )
+
+    concept_rows = []
+    shots = collection.shots()
+    probe_concepts = [c for c in ("person", "outdoor", "stadium", "charts")
+                      if c in all_concepts()]
+    for label, config in (
+        ("weak detectors", ConceptDetectorConfig.weak()),
+        ("default detectors", ConceptDetectorConfig()),
+        ("strong detectors", ConceptDetectorConfig.strong()),
+    ):
+        bank = ConceptDetectorBank(config=config, seed=71)
+        for shot in shots:
+            shot.concept_scores = {}
+        quality = [bank.detector_quality(shots, concept) for concept in probe_concepts]
+        concept_rows.append(
+            {
+                "detector_bank": label,
+                "mean_average_precision": mean_metric(q["average_precision"] for q in quality),
+                "mean_auc": mean_metric(q["auc"] for q in quality),
+            }
+        )
+    # Restore default concept scores for any later benchmark that needs them.
+    ConceptDetectorBank().annotate_collection(collection)
+    return shot_rows, concept_rows
+
+
+def test_a2_analysis_substrate(benchmark, bench_corpus):
+    segmentation_rows, concept_rows = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("A2a: temporal segmentation quality", segmentation_rows)
+    print_table("A2b: concept detector quality presets", concept_rows)
+    shot_row = segmentation_rows[0]
+    assert shot_row["f1"] > 0.8
+    aucs = [row["mean_auc"] for row in concept_rows]
+    assert aucs[0] < aucs[1] < aucs[2]
+    assert aucs[2] > 0.9

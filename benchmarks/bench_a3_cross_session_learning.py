@@ -1,0 +1,113 @@
+"""A3 — Long-term profile learning across sessions (extension).
+
+The paper's end goal is a model where the static profile carries long-term
+interests between sessions while implicit feedback handles within-session
+dynamics.  This extension experiment closes that loop: a user performs a
+series of search sessions in their interest area; after every session the
+profile learner folds the session's implicit evidence into the stored
+profile; and we measure how the *first query* of each subsequent session
+(the cold-start moment, before any within-session feedback exists) improves
+as the learned profile sharpens — compared against a user whose profile is
+never updated.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.core import combined_policy, profile_only_policy
+from repro.evaluation import average_precision, default_query_strategy, make_interface, mean_metric
+from repro.index import InvertedIndex
+from repro.profiles import ProfileLearner, UserProfile
+from repro.simulation import SessionSimulator, diligent_user
+
+SESSIONS_PER_USER = 4
+USERS = 6
+
+
+def run_experiment(bench_corpus, bench_runner):
+    collection = bench_corpus.collection
+    system = bench_runner.system
+    index = InvertedIndex.from_collection(collection)
+    learner = ProfileLearner(collection, inverted_index=index, learning_rate=0.35)
+    simulator = SessionSimulator(
+        collection=collection,
+        qrels=bench_corpus.qrels,
+        interface=make_interface("desktop"),
+        seed=1212,
+    )
+    strategy = default_query_strategy(bench_corpus, vagueness=0.45)
+
+    # Each simulated user repeatedly searches topics from one category (their
+    # long-term interest area).
+    categories = bench_corpus.topics.categories()
+    first_query_ap = {
+        "learned profile": {index: [] for index in range(SESSIONS_PER_USER)},
+        "no profile learning": {index: [] for index in range(SESSIONS_PER_USER)},
+    }
+    for user_index in range(USERS):
+        category = categories[user_index % len(categories)]
+        topics = bench_corpus.topics.by_category(category)
+        if not topics:
+            continue
+        user = diligent_user(f"longterm{user_index}").with_overrides(max_queries=3)
+        for condition in ("learned profile", "no profile learning"):
+            profile = UserProfile(user_id=f"{condition}-{user_index}")
+            for session_index in range(SESSIONS_PER_USER):
+                topic = topics[session_index % len(topics)]
+                policy = combined_policy() if condition == "learned profile" else (
+                    combined_policy()
+                )
+                session = system.create_session(
+                    profile=profile, policy=policy, topic_id=topic.topic_id
+                )
+                outcome = simulator.run(
+                    session, topic, user, strategy=strategy,
+                    session_id=f"{condition}-{user_index}-{session_index}",
+                )
+                first_iteration = outcome.iterations[0]
+                first_query_ap[condition][session_index].append(
+                    average_precision(
+                        first_iteration.result_shot_ids,
+                        bench_corpus.qrels.judgements_for(topic.topic_id),
+                    )
+                )
+                if condition == "learned profile":
+                    learner.update_from_shot_evidence(
+                        profile, session.implicit_evidence()
+                    )
+
+    rows = []
+    for session_index in range(SESSIONS_PER_USER):
+        rows.append(
+            {
+                "session": session_index + 1,
+                "first_query_ap_learned_profile": mean_metric(
+                    first_query_ap["learned profile"][session_index]
+                ),
+                "first_query_ap_static_empty_profile": mean_metric(
+                    first_query_ap["no profile learning"][session_index]
+                ),
+            }
+        )
+    return rows
+
+
+def test_a3_cross_session_learning(benchmark, bench_corpus, bench_runner):
+    rows = benchmark.pedantic(
+        run_experiment, args=(bench_corpus, bench_runner), rounds=1, iterations=1
+    )
+    print_table("A3: cold-start quality across sessions (first query of each session)", rows)
+    first_session = rows[0]
+    last_session = rows[-1]
+    # Expected shape: with profile learning, the first query of later sessions
+    # starts from a better ranking than the first session did, and beats the
+    # never-learning control by the final session.
+    assert (
+        last_session["first_query_ap_learned_profile"]
+        >= first_session["first_query_ap_learned_profile"] - 0.02
+    )
+    assert (
+        last_session["first_query_ap_learned_profile"]
+        >= last_session["first_query_ap_static_empty_profile"]
+    )

@@ -1,0 +1,112 @@
+"""E10 — Retrieval substrate sanity: text ranking functions and multimodal fusion.
+
+Every adaptive experiment sits on the multimodal retrieval engine, so this
+bench reproduces the substrate-level comparison TRECVID-era systems report:
+ad-hoc search quality (MAP / P@10) for TF-IDF, BM25 and Dirichlet language-
+model scoring over the ASR transcripts, plus text-only vs. visual-only vs.
+fused runs.  Queries are the topic statements themselves (no simulation),
+which makes this the cleanest, least noisy table in the harness.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.analysis import analyse_collection
+from repro.evaluation import Run, evaluate_run
+from repro.index import weighted_fusion
+from repro.retrieval import EngineConfig, Query, VideoRetrievalEngine
+
+RESULT_DEPTH = 100
+
+
+def _run_for_scorer(corpus, scorer: str) -> Run:
+    engine = VideoRetrievalEngine(
+        corpus.collection,
+        config=EngineConfig(scorer=scorer, visual_weight=0.0, concept_weight=0.0),
+    )
+    run = Run(name=scorer)
+    for topic in corpus.topics:
+        results = engine.search_text(" ".join(topic.query_terms), limit=RESULT_DEPTH)
+        run.add_topic(topic.topic_id, results.shot_ids())
+    return run
+
+
+def _modality_runs(corpus):
+    """Text-only, visual-only (example-based) and fused runs."""
+    engine = VideoRetrievalEngine(corpus.collection)
+    text_run = Run(name="text_only")
+    visual_run = Run(name="visual_only")
+    fused_run = Run(name="text+visual_fused")
+    for topic in corpus.topics:
+        text_scores = engine.text_scores(Query.from_text(" ".join(topic.query_terms)))
+        # Visual query-by-example: the first relevant shot acts as the example
+        # (the standard TRECVID "example clip provided with the topic").
+        relevant = sorted(corpus.qrels.relevant_shots(topic.topic_id))
+        example_query = Query(example_shot_ids=relevant[:1])
+        visual_scores = engine.visual_scores(example_query)
+        text_run.add_topic(
+            topic.topic_id,
+            [doc for doc, _ in sorted(text_scores.items(), key=lambda x: (-x[1], x[0]))][:RESULT_DEPTH],
+        )
+        visual_run.add_topic(
+            topic.topic_id,
+            [doc for doc, _ in sorted(visual_scores.items(), key=lambda x: (-x[1], x[0]))][:RESULT_DEPTH],
+        )
+        if text_scores and visual_scores:
+            fused = weighted_fusion([text_scores, visual_scores], [1.0, 0.4])
+        else:
+            fused = text_scores or visual_scores
+        fused_run.add_topic(
+            topic.topic_id,
+            [doc for doc, _ in sorted(fused.items(), key=lambda x: (-x[1], x[0]))][:RESULT_DEPTH],
+        )
+    return text_run, visual_run, fused_run
+
+
+def run_experiment(bench_corpus):
+    analyse_collection(bench_corpus.collection)
+    scorer_rows = []
+    for scorer in ("tfidf", "bm25", "lm"):
+        run = _run_for_scorer(bench_corpus, scorer)
+        evaluation = evaluate_run(run, bench_corpus.qrels)
+        scorer_rows.append(
+            {
+                "ranking_function": scorer,
+                "map": evaluation.map,
+                "precision@10": evaluation.aggregate["precision@10"],
+                "recall@20": evaluation.aggregate["recall@20"],
+            }
+        )
+    modality_rows = []
+    for run in _modality_runs(bench_corpus):
+        evaluation = evaluate_run(run, bench_corpus.qrels)
+        modality_rows.append(
+            {
+                "modality": run.name,
+                "map": evaluation.map,
+                "precision@10": evaluation.aggregate["precision@10"],
+            }
+        )
+    return scorer_rows, modality_rows
+
+
+def test_e10_retrieval_substrate(benchmark, bench_corpus):
+    scorer_rows, modality_rows = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("E10a: text ranking functions (topic statements as queries)", scorer_rows)
+    print_table("E10b: modality comparison", modality_rows)
+    by_scorer = {row["ranking_function"]: row["map"] for row in scorer_rows}
+    by_modality = {row["modality"]: row["map"] for row in modality_rows}
+    # Expected shapes: with full topic statements as queries all three ranking
+    # functions are strong and close to each other (the discriminative topic
+    # vocabulary makes the task easy for any reasonable scorer); fusion is at
+    # least as good as the best single modality; visual-only (one example
+    # keyframe) clearly trails text.
+    assert all(value > 0.6 for value in by_scorer.values())
+    assert max(by_scorer.values()) - min(by_scorer.values()) < 0.15 * max(by_scorer.values())
+    assert by_modality["text+visual_fused"] >= 0.95 * max(
+        by_modality["text_only"], by_modality["visual_only"]
+    )
+    assert by_modality["text_only"] > by_modality["visual_only"]

@@ -1,0 +1,92 @@
+"""E3 — How should implicit indicators be weighted? (RQ2)
+
+The paper's second research question: "how these features have to be
+weighted to increase retrieval performance".  We sweep the weighting schemes
+(click-only, uniform, dwell-only, hand-tuned heuristic, explicit-only and a
+scheme learned from logged sessions) and report the retrieval quality each
+achieves when it drives the adaptive model for the same users and topics.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.core import implicit_only_policy
+from repro.evaluation import ExperimentCondition
+from repro.feedback import (
+    IndicatorWeightLearner,
+    binary_click_scheme,
+    dwell_only_scheme,
+    explicit_only_scheme,
+    heuristic_scheme,
+    uniform_scheme,
+)
+from repro.simulation import (
+    indicator_observations_from_logs,
+    shot_durations_from_collection,
+)
+
+USERS = 8
+TOPICS_PER_USER = 2
+
+
+def _learned_scheme(bench_runner, bench_corpus):
+    """Fit indicator weights from an independent batch of logged sessions."""
+    training_condition = ExperimentCondition(
+        name="training_logs", policy=implicit_only_policy(), scheme=uniform_scheme(),
+        user_count=6, topics_per_user=2, seed=777,
+    )
+    training = bench_runner.run_condition(training_condition)
+    observations = indicator_observations_from_logs(
+        training.session_logs(),
+        shot_durations_from_collection(bench_corpus.collection),
+    )
+    return IndicatorWeightLearner().learn(observations, bench_corpus.qrels)
+
+
+def run_experiment(bench_runner, bench_corpus):
+    learned = _learned_scheme(bench_runner, bench_corpus)
+    schemes = [
+        binary_click_scheme(),
+        uniform_scheme(),
+        dwell_only_scheme(),
+        explicit_only_scheme(),
+        heuristic_scheme(),
+        learned,
+    ]
+    conditions = [
+        ExperimentCondition(
+            name=scheme.name, policy=implicit_only_policy(), scheme=scheme,
+            user_count=USERS, topics_per_user=TOPICS_PER_USER, seed=303,
+        )
+        for scheme in schemes
+    ]
+    results = bench_runner.run_conditions(conditions)
+    rows = []
+    for scheme in schemes:
+        summary = results[scheme.name].summary()
+        rows.append(
+            {
+                "scheme": scheme.name,
+                "map": summary["map"],
+                "precision@10": summary["precision@10"],
+                "ndcg@10": summary["ndcg@10"],
+            }
+        )
+    return rows, learned
+
+
+def test_e3_weighting_schemes(benchmark, bench_runner, bench_corpus):
+    rows, learned = benchmark.pedantic(
+        run_experiment, args=(bench_runner, bench_corpus), rounds=1, iterations=1
+    )
+    print_table("E3: indicator weighting scheme sweep", rows)
+    print("learned weights:", {k: round(v, 3) for k, v in sorted(learned.weights.items())
+                               if v > 0})
+    by_name = {row["scheme"]: row["map"] for row in rows}
+    # Expected shape: informed weighting (heuristic or learned) beats the
+    # naive click-only baseline; explicit-only trails the implicit schemes
+    # because so few explicit judgements are given.
+    assert max(by_name["heuristic"], by_name["learned"]) > by_name["binary_click"]
+    assert max(by_name.values()) == max(by_name["heuristic"], by_name["learned"],
+                                        by_name["uniform"], by_name["dwell_only"])

@@ -1,0 +1,95 @@
+"""E6 — Is display (dwell) time a reliable implicit indicator?
+
+Section 2.1 contrasts Claypool et al. (time on page is a valid indicator in
+the web domain) with Kelly & Belkin (display time is confounded by task and
+topic in the video domain).  We reproduce both regimes: viewing durations
+are sampled for relevant and non-relevant shots (a) under a single neutral
+task and (b) under a mix of tasks whose viewing-time multipliers differ, and
+the naive "long dwell ⇒ relevant" rule is scored in each regime.  Click-
+through precision from the same sessions is reported as the stable contrast.
+"""
+
+from __future__ import annotations
+
+from _common import print_table
+
+from repro.feedback import DwellObservation, DwellTimeClassifier, DwellTimeModel
+from repro.utils.rng import RandomSource
+
+OBSERVATIONS_PER_TASK = 400
+TASKS = ("background_browsing", "topic_monitoring", "known_item_search", "fact_check")
+
+
+def _observations(model: DwellTimeModel, tasks, rng: RandomSource, relevant_rate=0.35):
+    observations = []
+    for task in tasks:
+        task_rng = rng.spawn(task or "neutral")
+        for index in range(OBSERVATIONS_PER_TASK):
+            relevant = task_rng.boolean(relevant_rate)
+            duration = model.sample_duration(task_rng.spawn(index), relevant, task=task)
+            observations.append(
+                DwellObservation(shot_id=f"{task}-{index}", duration=duration,
+                                 relevant=relevant, task=task)
+            )
+    return observations
+
+
+def run_experiment():
+    rng = RandomSource(606).spawn("dwell-bench")
+    classifier = DwellTimeClassifier(threshold_seconds=12.0)
+
+    neutral_model = DwellTimeModel()
+    neutral_observations = _observations(neutral_model, [None], rng.spawn("neutral"))
+    neutral_metrics = classifier.evaluate(neutral_observations)
+
+    task_model = DwellTimeModel.with_task_effects()
+    task_observations = _observations(task_model, TASKS, rng.spawn("tasks"))
+    task_metrics = classifier.evaluate(task_observations)
+
+    # Even re-tuning the threshold on the task-confounded data cannot recover
+    # the single-task accuracy.
+    candidates = [2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0]
+    _best_threshold, best_accuracy = classifier.best_threshold(task_observations, candidates)
+
+    rows = [
+        {
+            "condition": "single neutral task",
+            "precision": neutral_metrics["precision"],
+            "recall": neutral_metrics["recall"],
+            "accuracy": neutral_metrics["accuracy"],
+        },
+        {
+            "condition": "mixed tasks (Kelly & Belkin regime)",
+            "precision": task_metrics["precision"],
+            "recall": task_metrics["recall"],
+            "accuracy": task_metrics["accuracy"],
+        },
+        {
+            "condition": "mixed tasks, best threshold",
+            "precision": float("nan"),
+            "recall": float("nan"),
+            "accuracy": best_accuracy,
+        },
+    ]
+    per_task_rows = []
+    for task in TASKS:
+        subset = [obs for obs in task_observations if obs.task == task]
+        metrics = classifier.evaluate(subset)
+        per_task_rows.append(
+            {"task": task, "precision": metrics["precision"], "accuracy": metrics["accuracy"]}
+        )
+    return rows, per_task_rows, neutral_metrics, task_metrics
+
+
+def test_e6_dwell_time_reliability(benchmark):
+    rows, per_task_rows, neutral, task = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    print_table("E6: dwell-time rule with and without task effects", rows)
+    print_table("E6: dwell-time rule per task (fixed threshold)", per_task_rows)
+    # Expected shape: the dwell rule works on a single task and degrades
+    # sharply once task effects are injected.
+    assert neutral["precision"] > 0.6
+    assert neutral["accuracy"] > 0.7
+    assert task["precision"] < neutral["precision"] - 0.1
+    assert task["accuracy"] < neutral["accuracy"] - 0.1

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against the same "standard" synthetic corpus (the stand-
+in for the TRECVID news collection) so that numbers are comparable across
+experiments within one run.  The corpus is deliberately larger than the unit-
+test fixtures but still generates in a few seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import CollectionConfig, generate_corpus
+from repro.evaluation import ExperimentRunner
+
+#: Seed used by every benchmark; change it to check robustness of the shapes.
+BENCH_SEED = 2008
+
+#: The benchmark collection: ~24 bulletins, ~200 stories, ~1200 shots, 16 topics.
+BENCH_CONFIG = CollectionConfig(
+    days=24,
+    stories_per_day=9,
+    topic_count=16,
+    min_stories_per_topic=3,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The shared benchmark corpus."""
+    return generate_corpus(seed=BENCH_SEED, config=BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_runner(bench_corpus):
+    """The shared experiment runner over the benchmark corpus."""
+    return ExperimentRunner(bench_corpus)

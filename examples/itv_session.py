@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""An interactive-TV session walk-through: limited interaction, cheap ratings.
+
+The paper singles out the television as a challenging interaction
+environment: "It will be more complex to enter query terms ... Hence, users
+will possibly avoid to enter key words. On the other hand, the selection
+keys provide a method to give explicit relevance feedback."
+
+This example runs the *same* simulated user on the desktop interface and on
+the iTV interface for the same topic, prints the interaction logs side by
+side, and shows how the system compensates on iTV by recommending material
+from the little feedback it does get.
+
+Run with:  python examples/itv_session.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import CollectionConfig, generate_corpus
+from repro.core import AdaptiveVideoRetrievalSystem, combined_policy
+from repro.evaluation import make_interface
+from repro.profiles import UserProfile
+from repro.retrieval import VideoRetrievalEngine
+from repro.simulation import SessionSimulator, diligent_user
+
+
+def run_on(interface_name, corpus, system, topic, profile):
+    simulator = SessionSimulator(
+        collection=corpus.collection,
+        qrels=corpus.qrels,
+        interface=make_interface(interface_name),
+        seed=77,
+    )
+    session = system.create_session(profile=profile, policy=combined_policy(),
+                                    topic_id=topic.topic_id)
+    outcome = simulator.run(session, topic, diligent_user("viewer"))
+    return session, outcome
+
+
+def describe(outcome, interface_name):
+    counts = Counter(event.kind.value for event in outcome.session_log.events)
+    implicit = sum(1 for event in outcome.session_log.events if event.is_implicit())
+    explicit = sum(1 for event in outcome.session_log.events if event.is_explicit())
+    print(f"\n--- {interface_name} session ---")
+    print(f"queries issued: {len(outcome.queries_issued)}  "
+          f"({', '.join(repr(q) for q in outcome.queries_issued)})")
+    print(f"events: {outcome.event_count} total, {implicit} implicit, {explicit} explicit")
+    print(f"session time: {outcome.total_time_seconds / 60:.1f} simulated minutes")
+    print(f"relevant shots found by the viewer: {len(outcome.relevant_shots_found)}")
+    print("action mix:")
+    for kind, count in counts.most_common():
+        print(f"  {kind:<22} {count}")
+
+
+def main() -> None:
+    corpus = generate_corpus(
+        seed=31, config=CollectionConfig(days=12, stories_per_day=8, topic_count=10)
+    )
+    engine = VideoRetrievalEngine(corpus.collection)
+    system = AdaptiveVideoRetrievalSystem(engine)
+
+    topic = corpus.topics.topics()[2]
+    profile = UserProfile.single_interest("viewer", topic.category, 0.9)
+    print(f"search task: {topic.description}")
+    print(f"viewer profile: interested in {topic.category}")
+
+    desktop_session, desktop_outcome = run_on("desktop", corpus, system, topic, profile)
+    itv_session, itv_outcome = run_on("itv", corpus, system, topic, profile)
+
+    describe(desktop_outcome, "desktop")
+    describe(itv_outcome, "iTV (remote control)")
+
+    ratio = desktop_outcome.implicit_event_count / max(1, itv_outcome.implicit_event_count)
+    print(f"\nthe desktop session produced {ratio:.1f}x more implicit feedback events "
+          f"than the iTV session, while the iTV session relied on "
+          f"{itv_outcome.explicit_event_count} cheap remote-control ratings.")
+
+    # On iTV, querying is painful — so instead of asking the viewer to type,
+    # the system recommends further material from the evidence it has.
+    recommendations = itv_session.recommendations(limit=5)
+    print("\nbecause querying on iTV is costly, the system recommends follow-up "
+          "shots from the viewer's implicit feedback instead:")
+    for item in recommendations:
+        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, item.shot_id) else " "
+        print(f"  {marker} {item.shot_id}  [{item.category}] {item.headline}")
+    print("(* = actually relevant to the viewer's task)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: reproduction of "Studying Interaction Methodologies in Video Retrieval".
+
+The package implements an adaptive news-video retrieval system with implicit
+relevance feedback, static user profiles and a simulated-user evaluation
+framework, together with every substrate those pieces depend on (synthetic
+TRECVID-like collection, video analysis, text/visual indexing, interface
+models and an evaluation harness).
+
+Typical entry points:
+
+>>> from repro import generate_corpus, VideoRetrievalEngine
+>>> corpus = generate_corpus(seed=7)
+>>> engine = VideoRetrievalEngine(corpus.collection)
+>>> results = engine.search_text(corpus.topics.topics()[0].title)
+"""
+
+from repro.collection import (
+    Collection,
+    CollectionConfig,
+    CollectionGenerator,
+    Qrels,
+    SyntheticCorpus,
+    Topic,
+    TopicSet,
+    generate_corpus,
+)
+from repro.retrieval import Query, ResultList, VideoRetrievalEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Collection",
+    "CollectionConfig",
+    "CollectionGenerator",
+    "Qrels",
+    "SyntheticCorpus",
+    "Topic",
+    "TopicSet",
+    "generate_corpus",
+    "Query",
+    "ResultList",
+    "VideoRetrievalEngine",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Video analysis substrate: shot boundaries, keyframes, features, concepts."""
+
+from repro.analysis.concepts import (
+    ConceptDetectorBank,
+    ConceptDetectorConfig,
+    all_concepts,
+)
+from repro.analysis.features import (
+    FeatureConfig,
+    FeatureExtractor,
+    cosine_similarity,
+    euclidean_distance,
+    histogram_intersection,
+)
+from repro.analysis.keyframes import CandidateFrame, CandidateFrameSampler, KeyframeSelector
+from repro.analysis.pipeline import AnalysisPipeline, AnalysisReport, analyse_collection
+from repro.analysis.shots import (
+    FrameDifferenceSignal,
+    FrameSignalSynthesiser,
+    ShotBoundaryDetector,
+    ShotBoundaryResult,
+    evaluate_collection_segmentation,
+)
+
+__all__ = [
+    "ConceptDetectorBank",
+    "ConceptDetectorConfig",
+    "all_concepts",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "cosine_similarity",
+    "euclidean_distance",
+    "histogram_intersection",
+    "CandidateFrame",
+    "CandidateFrameSampler",
+    "KeyframeSelector",
+    "AnalysisPipeline",
+    "AnalysisReport",
+    "analyse_collection",
+    "FrameDifferenceSignal",
+    "FrameSignalSynthesiser",
+    "ShotBoundaryDetector",
+    "ShotBoundaryResult",
+    "evaluate_collection_segmentation",
+]

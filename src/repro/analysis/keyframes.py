@@ -1,0 +1,113 @@
+"""Keyframe selection within shots.
+
+Retrieval interfaces present one representative still per shot; which frame
+is chosen affects what the user can judge from the result list alone.  The
+collection generator attaches a single keyframe per shot; this module models
+the *selection* step over a set of candidate frames so that the interface
+and simulation layers can reason about keyframe representativeness (a poorly
+chosen keyframe lowers the reliability of click-based implicit feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.collection.documents import Keyframe, Shot
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class CandidateFrame:
+    """A candidate frame within a shot: a latent signal plus its offset."""
+
+    shot_id: str
+    offset_seconds: float
+    latent_signal: Tuple[float, ...]
+
+
+class CandidateFrameSampler:
+    """Samples candidate frames around the shot's latent signal.
+
+    Frames near the temporal middle of a shot are closer to the shot's
+    "true" content; frames near the edges are blurred towards neighbouring
+    content (transition frames), modelled as extra noise.
+    """
+
+    def __init__(self, frames_per_shot: int = 5, edge_noise: float = 0.8, seed: int = 733) -> None:
+        ensure_positive(frames_per_shot, "frames_per_shot")
+        self._frames_per_shot = frames_per_shot
+        self._edge_noise = edge_noise
+        self._seed = int(seed)
+
+    def sample(self, shot: Shot) -> List[CandidateFrame]:
+        """Candidate frames for one shot, evenly spaced in time."""
+        rng = RandomSource(self._seed).spawn("candidates", shot.shot_id)
+        frames: List[CandidateFrame] = []
+        for index in range(self._frames_per_shot):
+            fraction = (index + 0.5) / self._frames_per_shot
+            # Distance from the middle of the shot in [0, 1].
+            edge_distance = abs(fraction - 0.5) * 2.0
+            sigma = 0.1 + self._edge_noise * edge_distance
+            signal = tuple(
+                value + rng.gauss(0.0, sigma) for value in shot.keyframe.latent_signal
+            )
+            frames.append(
+                CandidateFrame(
+                    shot_id=shot.shot_id,
+                    offset_seconds=shot.start_seconds + fraction * shot.duration,
+                    latent_signal=signal,
+                )
+            )
+        return frames
+
+
+class KeyframeSelector:
+    """Selects the most representative candidate frame for a shot.
+
+    The representative frame is the candidate closest (in the latent space)
+    to the centroid of all candidates — the standard "closest to cluster
+    centre" heuristic used by news-video indexing pipelines.
+    """
+
+    def select(self, shot: Shot, candidates: Sequence[CandidateFrame]) -> Keyframe:
+        """Pick the best candidate and return it as a :class:`Keyframe`."""
+        if not candidates:
+            return shot.keyframe
+        dimensions = len(candidates[0].latent_signal)
+        centroid = [0.0] * dimensions
+        for frame in candidates:
+            for index, value in enumerate(frame.latent_signal):
+                centroid[index] += value / len(candidates)
+        best = min(
+            candidates,
+            key=lambda frame: sum(
+                (value - centroid[index]) ** 2
+                for index, value in enumerate(frame.latent_signal)
+            ),
+        )
+        return Keyframe(
+            keyframe_id=f"{shot.shot_id}_KF_selected",
+            shot_id=shot.shot_id,
+            latent_signal=best.latent_signal,
+            timestamp=best.offset_seconds,
+        )
+
+    def representativeness(
+        self, shot: Shot, keyframe: Keyframe
+    ) -> float:
+        """How well a keyframe represents its shot (1 = identical signal).
+
+        Computed as an exponentially decaying function of the distance
+        between the keyframe's signal and the shot's true latent signal.
+        """
+        import math
+
+        distance = math.sqrt(
+            sum(
+                (a - b) ** 2
+                for a, b in zip(keyframe.latent_signal, shot.keyframe.latent_signal)
+            )
+        )
+        return math.exp(-distance)

@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+The CLI covers the workflow a downstream user runs most often without
+writing Python:
+
+``repro generate``
+    Generate a synthetic news collection (with topics and qrels) and save it
+    to a directory.
+``repro search``
+    Run an ad-hoc query against a stored collection and print the ranked
+    shots (with average precision when a topic id is supplied).
+``repro simulate``
+    Run a simulated user study against a stored collection and write the
+    interaction log files.
+``repro experiment``
+    Run the paired policy comparison (baseline / profile / implicit /
+    combined) over a stored collection and print the results table.
+``repro analyse-logs``
+    Analyse a directory of interaction logs against the stored qrels and
+    print per-indicator precision.
+
+Every command takes ``--seed`` so runs are reproducible.  Invoke as
+``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.collection import CollectionConfig, generate_corpus, load_corpus, save_corpus
+from repro.core import (
+    baseline_policy,
+    combined_policy,
+    implicit_only_policy,
+    profile_only_policy,
+)
+from repro.evaluation import (
+    LogAnalyser,
+    average_precision,
+    compare_per_topic,
+)
+from repro.interfaces import InteractionLogger
+from repro.retrieval import VideoRetrievalEngine
+from repro.simulation import shot_durations_from_collection
+
+_POLICIES = {
+    "baseline": baseline_policy,
+    "profile": profile_only_policy,
+    "implicit": implicit_only_policy,
+    "combined": combined_policy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive video retrieval with implicit feedback (VLDB'08 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic collection")
+    generate.add_argument("--output", required=True, help="directory to write the corpus to")
+    generate.add_argument("--seed", type=int, default=13)
+    generate.add_argument("--days", type=int, default=CollectionConfig().days)
+    generate.add_argument("--stories-per-day", type=int,
+                          default=CollectionConfig().stories_per_day)
+    generate.add_argument("--topics", type=int, default=CollectionConfig().topic_count)
+
+    search = subparsers.add_parser("search", help="search a stored collection")
+    search.add_argument("--corpus", required=True, help="directory written by 'generate'")
+    search.add_argument("--query", required=True)
+    search.add_argument("--topic", default=None, help="topic id to score the ranking against")
+    search.add_argument("--limit", type=int, default=10)
+
+    simulate = subparsers.add_parser("simulate", help="run a simulated user study")
+    simulate.add_argument("--corpus", required=True)
+    simulate.add_argument("--logs", required=True, help="directory to write session logs to")
+    simulate.add_argument("--users", type=int, default=6)
+    simulate.add_argument("--topics-per-user", type=int, default=2)
+    simulate.add_argument("--policy", choices=sorted(_POLICIES), default="combined")
+    simulate.add_argument("--interface", choices=("desktop", "itv"), default="desktop")
+    simulate.add_argument("--seed", type=int, default=2024)
+
+    experiment = subparsers.add_parser("experiment", help="run the policy comparison")
+    experiment.add_argument("--corpus", required=True)
+    experiment.add_argument("--users", type=int, default=8)
+    experiment.add_argument("--topics-per-user", type=int, default=2)
+    experiment.add_argument("--interface", choices=("desktop", "itv"), default="desktop")
+    experiment.add_argument("--policies", default="baseline,profile,implicit,combined",
+                            help="comma-separated subset of: " + ",".join(sorted(_POLICIES)))
+    experiment.add_argument("--seed", type=int, default=2024)
+
+    analyse = subparsers.add_parser("analyse-logs", help="analyse interaction log files")
+    analyse.add_argument("--corpus", required=True)
+    analyse.add_argument("--logs", required=True)
+
+    return parser
+
+
+# -- command implementations -----------------------------------------------------
+
+
+def _command_generate(args: argparse.Namespace, out) -> int:
+    config = CollectionConfig(
+        days=args.days,
+        stories_per_day=args.stories_per_day,
+        topic_count=args.topics,
+    )
+    corpus = generate_corpus(seed=args.seed, config=config)
+    save_corpus(corpus, args.output)
+    stats = corpus.summary()
+    print(
+        f"wrote corpus to {args.output}: "
+        f"{stats['videos']:.0f} bulletins, {stats['stories']:.0f} stories, "
+        f"{stats['shots']:.0f} shots, {stats['topics']:.0f} topics, "
+        f"{stats['judged_pairs']:.0f} judged pairs",
+        file=out,
+    )
+    return 0
+
+
+def _command_search(args: argparse.Namespace, out) -> int:
+    stored = load_corpus(args.corpus)
+    engine = VideoRetrievalEngine(stored.collection)
+    results = engine.search_text(args.query, limit=args.limit, topic_id=args.topic)
+    if len(results) == 0:
+        print("no results", file=out)
+        return 0
+    for item in results:
+        marker = ""
+        if args.topic and stored.qrels.is_relevant(args.topic, item.shot_id):
+            marker = " [relevant]"
+        print(
+            f"{item.rank:>3}. {item.shot_id}  score={item.score:.4f} "
+            f"[{item.category}] {item.headline}{marker}",
+            file=out,
+        )
+    if args.topic:
+        ap = average_precision(results.shot_ids(), stored.qrels.judgements_for(args.topic))
+        print(f"average precision vs topic {args.topic}: {ap:.4f}", file=out)
+    return 0
+
+
+def _condition_for(name: str, args: argparse.Namespace):
+    from repro.evaluation import ExperimentCondition
+
+    return ExperimentCondition(
+        name=name,
+        policy=_POLICIES[name](),
+        interface=args.interface,
+        user_count=args.users,
+        topics_per_user=args.topics_per_user,
+        seed=args.seed,
+    )
+
+
+def _runner_for(corpus_directory: str):
+    from repro.collection.generator import SyntheticCorpus
+    from repro.collection.vocabulary import build_vocabulary
+    from repro.evaluation import ExperimentRunner
+    from repro.utils.rng import RandomSource
+
+    stored = load_corpus(corpus_directory)
+    # Rebuild a vocabulary for query-vagueness sampling; the exact background
+    # terms only need to be plausible content words, so regenerating from the
+    # manifest seed is sufficient.
+    vocabulary = build_vocabulary(RandomSource(stored.seed).spawn("cli-vocabulary"))
+    corpus = SyntheticCorpus(
+        collection=stored.collection,
+        topics=stored.topics,
+        qrels=stored.qrels,
+        vocabulary=vocabulary,
+        config=CollectionConfig(),
+        seed=stored.seed,
+    )
+    return corpus, ExperimentRunner(corpus)
+
+
+def _command_simulate(args: argparse.Namespace, out) -> int:
+    _corpus, runner = _runner_for(args.corpus)
+    condition = _condition_for(args.policy, args)
+    result = runner.run_condition(condition)
+    logs = result.session_logs()
+    InteractionLogger().write_sessions(logs, args.logs)
+    summary = result.summary()
+    print(
+        f"ran {len(logs)} simulated sessions on {args.interface} "
+        f"({args.policy} policy): MAP={summary['map']:.4f}, "
+        f"P@10={summary['precision@10']:.4f}; logs written to {args.logs}",
+        file=out,
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace, out) -> int:
+    names = [name.strip() for name in args.policies.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    _corpus, runner = _runner_for(args.corpus)
+    conditions = [_condition_for(name, args) for name in names]
+    results = runner.run_conditions(conditions)
+    print(f"{'system':<12} {'MAP':>8} {'P@10':>8} {'nDCG@10':>9} {'found':>7}", file=out)
+    for name in names:
+        summary = results[name].summary()
+        print(
+            f"{name:<12} {summary['map']:>8.4f} {summary['precision@10']:>8.4f} "
+            f"{summary['ndcg@10']:>9.4f} {summary['relevant_found']:>7.1f}",
+            file=out,
+        )
+    if "baseline" in results and len(names) > 1:
+        best = max((name for name in names if name != "baseline"),
+                   key=lambda name: results[name].mean_average_precision)
+        test = compare_per_topic(
+            results["baseline"].per_session_metric("average_precision"),
+            results[best].per_session_metric("average_precision"),
+        )
+        print(
+            f"{best} vs baseline: mean AP difference {test.mean_difference:+.4f}, "
+            f"p = {test.p_value:.4f}",
+            file=out,
+        )
+    return 0
+
+
+def _command_analyse_logs(args: argparse.Namespace, out) -> int:
+    stored = load_corpus(args.corpus)
+    logs = InteractionLogger().read_sessions(args.logs)
+    if not logs:
+        print(f"no session logs found in {args.logs}", file=sys.stderr)
+        return 1
+    analyser = LogAnalyser(
+        shot_durations=shot_durations_from_collection(stored.collection)
+    )
+    report = analyser.analyse(logs, qrels=stored.qrels)
+    print(
+        f"{report.session_count} sessions, "
+        f"{report.events_per_session:.1f} events/session, "
+        f"{report.queries_per_session:.1f} queries/session",
+        file=out,
+    )
+    print(f"{'indicator':<20} {'precision':>10} {'firings':>9}", file=out)
+    for indicator, precision, firings in report.indicator_precision_table():
+        print(f"{indicator:<20} {precision:>10.3f} {firings:>9}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "generate": _command_generate,
+        "search": _command_search,
+        "simulate": _command_simulate,
+        "experiment": _command_experiment,
+        "analyse-logs": _command_analyse_logs,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

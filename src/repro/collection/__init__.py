@@ -1,0 +1,59 @@
+"""Synthetic TRECVID-like news-video collection: data model, topics, qrels, generator."""
+
+from repro.collection.documents import Collection, Keyframe, NewsStory, Shot, Video
+from repro.collection.generator import (
+    CATEGORY_CONCEPTS,
+    CollectionConfig,
+    CollectionGenerator,
+    SyntheticCorpus,
+    generate_corpus,
+)
+from repro.collection.qrels import Qrels
+from repro.collection.storage import (
+    StoredCorpus,
+    load_collection,
+    load_corpus,
+    load_topics,
+    save_collection,
+    save_corpus,
+    save_topics,
+)
+from repro.collection.topics import Topic, TopicSet
+from repro.collection.transcripts import AsrNoiseModel, TranscriptGenerator
+from repro.collection.vocabulary import (
+    DEFAULT_CATEGORIES,
+    STOPWORDS,
+    CategoryLanguageModel,
+    Vocabulary,
+    build_vocabulary,
+)
+
+__all__ = [
+    "Collection",
+    "Keyframe",
+    "NewsStory",
+    "Shot",
+    "Video",
+    "CATEGORY_CONCEPTS",
+    "CollectionConfig",
+    "CollectionGenerator",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "Qrels",
+    "StoredCorpus",
+    "load_collection",
+    "load_corpus",
+    "load_topics",
+    "save_collection",
+    "save_corpus",
+    "save_topics",
+    "Topic",
+    "TopicSet",
+    "AsrNoiseModel",
+    "TranscriptGenerator",
+    "DEFAULT_CATEGORIES",
+    "STOPWORDS",
+    "CategoryLanguageModel",
+    "Vocabulary",
+    "build_vocabulary",
+]

@@ -1,0 +1,59 @@
+"""The adaptive video retrieval model: the paper's primary contribution."""
+
+from repro.core.adaptive import (
+    AdaptiveSession,
+    AdaptiveVideoRetrievalSystem,
+    QueryIteration,
+)
+from repro.core.combination import (
+    COMBINATION_STRATEGIES,
+    CombinationConfig,
+    EvidenceCombiner,
+)
+from repro.core.feedback_model import ImplicitFeedbackModel
+from repro.core.ostensive import (
+    DISCOUNT_PROFILES,
+    OstensiveAccumulator,
+    compare_profiles,
+    exponential_discount,
+    linear_discount,
+    make_discount,
+    reciprocal_discount,
+    uniform_discount,
+)
+from repro.core.policies import (
+    AdaptationPolicy,
+    baseline_policy,
+    combined_policy,
+    explicit_policy,
+    full_policy,
+    implicit_only_policy,
+    profile_only_policy,
+    standard_policies,
+)
+
+__all__ = [
+    "AdaptiveSession",
+    "AdaptiveVideoRetrievalSystem",
+    "QueryIteration",
+    "COMBINATION_STRATEGIES",
+    "CombinationConfig",
+    "EvidenceCombiner",
+    "ImplicitFeedbackModel",
+    "DISCOUNT_PROFILES",
+    "OstensiveAccumulator",
+    "compare_profiles",
+    "exponential_discount",
+    "linear_discount",
+    "make_discount",
+    "reciprocal_discount",
+    "uniform_discount",
+    "AdaptationPolicy",
+    "baseline_policy",
+    "combined_policy",
+    "explicit_policy",
+    "full_policy",
+    "implicit_only_policy",
+    "profile_only_policy",
+    "standard_policies",
+]

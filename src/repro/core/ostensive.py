@@ -1,0 +1,133 @@
+"""Ostensive evidence weighting (Campbell & van Rijsbergen).
+
+The ostensive model holds that evidence from the user's recent behaviour
+should count for more than older evidence, because "the users' information
+need can change within different retrieval sessions and sometimes even
+within the same session".  This module provides the discount profiles used
+by the adaptive model's evidence accumulation: given how many query
+iterations ago a piece of evidence was observed, return its discount factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+#: Discount profile names accepted by :func:`make_discount`.
+DISCOUNT_PROFILES = ("uniform", "exponential", "reciprocal", "linear")
+
+
+def uniform_discount(age: int) -> float:
+    """No discounting: every iteration counts the same (the static model)."""
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    return 1.0
+
+
+def exponential_discount(age: int, base: float = 0.7) -> float:
+    """Exponential decay with the given base per iteration of age."""
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    ensure_in_range(base, 0.0, 1.0, "base")
+    return base ** age
+
+def reciprocal_discount(age: int) -> float:
+    """Reciprocal decay: 1, 1/2, 1/3, ... (Campbell's original proposal)."""
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    return 1.0 / (age + 1)
+
+
+def linear_discount(age: int, horizon: int = 6) -> float:
+    """Linear decay hitting zero after ``horizon`` iterations."""
+    if age < 0:
+        raise ValueError("age must be non-negative")
+    ensure_positive(horizon, "horizon")
+    return max(0.0, 1.0 - age / horizon)
+
+
+def make_discount(profile: str, **kwargs: float) -> Callable[[int], float]:
+    """Build a discount function by name.
+
+    ``profile`` is one of :data:`DISCOUNT_PROFILES`; keyword arguments are
+    forwarded to the underlying function (``base`` for exponential,
+    ``horizon`` for linear).
+    """
+    if profile == "uniform":
+        return uniform_discount
+    if profile == "exponential":
+        base = float(kwargs.get("base", 0.7))
+        return lambda age: exponential_discount(age, base=base)
+    if profile == "reciprocal":
+        return reciprocal_discount
+    if profile == "linear":
+        horizon = int(kwargs.get("horizon", 6))
+        return lambda age: linear_discount(age, horizon=horizon)
+    raise ValueError(
+        f"unknown discount profile {profile!r}; expected one of {DISCOUNT_PROFILES}"
+    )
+
+
+@dataclass
+class OstensiveAccumulator:
+    """Accumulates per-item evidence with iteration-age discounting.
+
+    Unlike :class:`repro.feedback.accumulator.EvidenceAccumulator`, which
+    decays its running total in place, this accumulator remembers *when*
+    each piece of evidence arrived and re-weights everything on demand.
+    That makes it possible to compare discount profiles on exactly the same
+    observation history, which is what the ostensive ablation (E7) does.
+    """
+
+    discount: Callable[[int], float]
+
+    def __post_init__(self) -> None:
+        self._history: List[Dict[str, float]] = []
+
+    def observe_iteration(self, evidence: Mapping[str, float]) -> None:
+        """Record one query iteration's worth of per-item evidence."""
+        self._history.append(dict(evidence))
+
+    @property
+    def iteration_count(self) -> int:
+        """Number of iterations observed."""
+        return len(self._history)
+
+    def weighted_evidence(self) -> Dict[str, float]:
+        """Combined evidence with the discount applied by iteration age.
+
+        The most recent iteration has age 0, the one before it age 1, etc.
+        """
+        combined: Dict[str, float] = {}
+        latest = len(self._history) - 1
+        for index, iteration_evidence in enumerate(self._history):
+            age = latest - index
+            factor = self.discount(age)
+            if factor <= 0:
+                continue
+            for item_id, mass in iteration_evidence.items():
+                combined[item_id] = combined.get(item_id, 0.0) + factor * mass
+        return combined
+
+    def reset(self) -> None:
+        """Forget all observed iterations."""
+        self._history.clear()
+
+
+def compare_profiles(
+    history: Sequence[Mapping[str, float]], profiles: Sequence[str] = DISCOUNT_PROFILES
+) -> Dict[str, Dict[str, float]]:
+    """Apply several discount profiles to the same observation history.
+
+    Returns ``{profile_name: weighted_evidence}``; used by the ostensive
+    ablation bench to show how the profiles react to an interest shift.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for profile in profiles:
+        accumulator = OstensiveAccumulator(discount=make_discount(profile))
+        for iteration_evidence in history:
+            accumulator.observe_iteration(iteration_evidence)
+        results[profile] = accumulator.weighted_evidence()
+    return results

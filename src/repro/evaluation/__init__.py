@@ -1,0 +1,82 @@
+"""Evaluation harness: metrics, TREC runs, experiments, log analysis, significance."""
+
+from repro.evaluation.experiment import (
+    ConditionResult,
+    ExperimentCondition,
+    ExperimentRunner,
+    SessionRecord,
+    comparison_table,
+    default_query_strategy,
+    make_interface,
+)
+from repro.evaluation.loganalysis import (
+    IndicatorReliability,
+    LogAnalyser,
+    LogAnalysisReport,
+)
+from repro.evaluation.metrics import (
+    average_precision,
+    dcg_at_k,
+    evaluate_ranking,
+    mean_average_precision,
+    mean_metric,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    relative_improvement,
+    success_at_k,
+)
+from repro.evaluation.reporting import (
+    condition_summary_rows,
+    indicator_rows,
+    markdown_table,
+    per_session_rows,
+    write_csv,
+    write_study_report,
+)
+from repro.evaluation.significance import (
+    TestResult,
+    compare_per_topic,
+    paired_t_test,
+    randomisation_test,
+)
+from repro.evaluation.trec import Run, RunEvaluation, compare_runs, evaluate_run
+
+__all__ = [
+    "ConditionResult",
+    "ExperimentCondition",
+    "ExperimentRunner",
+    "SessionRecord",
+    "comparison_table",
+    "default_query_strategy",
+    "make_interface",
+    "IndicatorReliability",
+    "LogAnalyser",
+    "LogAnalysisReport",
+    "average_precision",
+    "dcg_at_k",
+    "evaluate_ranking",
+    "mean_average_precision",
+    "mean_metric",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "reciprocal_rank",
+    "relative_improvement",
+    "success_at_k",
+    "condition_summary_rows",
+    "indicator_rows",
+    "markdown_table",
+    "per_session_rows",
+    "write_csv",
+    "write_study_report",
+    "TestResult",
+    "compare_per_topic",
+    "paired_t_test",
+    "randomisation_test",
+    "Run",
+    "RunEvaluation",
+    "compare_runs",
+    "evaluate_run",
+]

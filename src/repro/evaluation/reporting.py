@@ -1,0 +1,152 @@
+"""Report rendering for experiment results and log analyses.
+
+The experiment runner produces rich in-memory objects; this module turns
+them into the artefacts people actually archive alongside a study: markdown
+summary tables, CSV files for plotting, and a combined study report.  Only
+the standard library is used, so reports can be generated anywhere the
+library runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.evaluation.experiment import ConditionResult
+from repro.evaluation.loganalysis import LogAnalysisReport
+from repro.evaluation.metrics import relative_improvement
+
+PathLike = Union[str, Path]
+
+#: The per-condition metrics included in summary tables, in display order.
+DEFAULT_METRICS = ("map", "precision@10", "ndcg@10", "recall@20", "relevant_found",
+                   "events_per_session")
+
+
+def markdown_table(rows: Sequence[Mapping[str, object]],
+                   columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(column) for column in columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            cells.append(f"{value:.4f}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def condition_summary_rows(
+    results: Mapping[str, ConditionResult],
+    baseline: Optional[str] = None,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> List[Dict[str, object]]:
+    """Summary rows (one per condition), optionally with gains over a baseline."""
+    baseline_map = None
+    if baseline is not None:
+        if baseline not in results:
+            raise KeyError(f"baseline condition {baseline!r} not in results")
+        baseline_map = results[baseline].mean_average_precision
+    rows: List[Dict[str, object]] = []
+    for name, result in results.items():
+        summary = result.summary()
+        row: Dict[str, object] = {"condition": name}
+        for metric in metrics:
+            row[metric] = summary.get(metric, 0.0)
+        if baseline_map is not None:
+            row["map_gain_%"] = 100.0 * relative_improvement(
+                baseline_map, result.mean_average_precision
+            )
+        rows.append(row)
+    return rows
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: PathLike,
+              columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to a CSV file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        target.write_text("", encoding="utf-8")
+        return target
+    if columns is None:
+        columns = list(rows[0].keys())
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return target
+
+
+def per_session_rows(results: Mapping[str, ConditionResult]) -> List[Dict[str, object]]:
+    """One row per (condition, session) for fine-grained analysis/plotting."""
+    rows: List[Dict[str, object]] = []
+    for name, result in results.items():
+        for record in result.sessions:
+            row: Dict[str, object] = {
+                "condition": name,
+                "user_id": record.user_id,
+                "topic_id": record.topic_id,
+                "relevant_found": len(record.outcome.relevant_shots_found),
+                "events": record.outcome.event_count,
+                "queries": len(record.outcome.queries_issued),
+            }
+            row.update(record.metrics)
+            rows.append(row)
+    return rows
+
+
+def indicator_rows(report: LogAnalysisReport) -> List[Dict[str, object]]:
+    """Indicator-precision rows from a log analysis report."""
+    return [
+        {"indicator": indicator, "precision": precision, "firings": firings}
+        for indicator, precision, firings in report.indicator_precision_table()
+    ]
+
+
+def write_study_report(
+    results: Mapping[str, ConditionResult],
+    directory: PathLike,
+    title: str = "Simulated user study",
+    baseline: Optional[str] = None,
+    log_report: Optional[LogAnalysisReport] = None,
+) -> Path:
+    """Write a complete study report to a directory.
+
+    The directory receives ``report.md`` (human-readable summary),
+    ``conditions.csv`` (per-condition metrics) and ``sessions.csv``
+    (per-session metrics), plus ``indicators.csv`` when a log analysis is
+    supplied.  Returns the path of the markdown report.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    summary_rows = condition_summary_rows(results, baseline=baseline)
+    write_csv(summary_rows, directory / "conditions.csv")
+    write_csv(per_session_rows(results), directory / "sessions.csv")
+
+    sections: List[str] = [f"# {title}", ""]
+    sections.append("## Condition summary")
+    sections.append("")
+    sections.append(markdown_table(summary_rows))
+    if log_report is not None:
+        rows = indicator_rows(log_report)
+        write_csv(rows, directory / "indicators.csv")
+        sections.append("## Implicit indicator precision")
+        sections.append("")
+        sections.append(
+            f"{log_report.session_count} sessions, "
+            f"{log_report.events_per_session:.1f} events/session, "
+            f"{log_report.queries_per_session:.1f} queries/session"
+        )
+        sections.append("")
+        sections.append(markdown_table(rows))
+    report_path = directory / "report.md"
+    report_path.write_text("\n".join(sections), encoding="utf-8")
+    return report_path

@@ -1,0 +1,137 @@
+"""Accumulating implicit evidence over a session.
+
+The accumulator is the bridge between raw interaction events and the
+adaptive retrieval model: it applies an :class:`IndicatorExtractor` and a
+:class:`WeightingScheme` to every incoming event and maintains a per-shot
+evidence mass.  Two accumulation policies are supported:
+
+* *static* accumulation — evidence simply adds up over the session; and
+* *ostensive* accumulation — older evidence is discounted relative to newer
+  evidence (Campbell & van Rijsbergen's ostensive model), which is what lets
+  the adaptive model track within-session drift of the information need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.feedback.events import InteractionEvent
+from repro.feedback.indicators import IndicatorExtractor
+from repro.feedback.weighting import WeightingScheme, heuristic_scheme
+from repro.utils.validation import ensure_in_range
+
+
+class EvidenceAccumulator:
+    """Maintains per-shot relevance evidence as events arrive.
+
+    Parameters
+    ----------
+    scheme:
+        The indicator weighting scheme converting indicator strengths into
+        evidence increments.
+    extractor:
+        Turns events into indicator observations.
+    decay:
+        Ostensive discount factor in ``(0, 1]`` applied to *all existing*
+        evidence whenever a new batch of events arrives: 1.0 reproduces
+        static accumulation, smaller values privilege recent evidence.
+    shot_durations:
+        Optional shot durations used to normalise play-progress events.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[WeightingScheme] = None,
+        extractor: Optional[IndicatorExtractor] = None,
+        decay: float = 1.0,
+        shot_durations: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self._scheme = scheme or heuristic_scheme()
+        self._extractor = extractor or IndicatorExtractor()
+        self._decay = ensure_in_range(decay, 0.0, 1.0, "decay")
+        if self._decay == 0.0:
+            raise ValueError("decay must be greater than 0")
+        self._shot_durations = dict(shot_durations or {})
+        self._evidence: Dict[str, float] = {}
+        self._event_count = 0
+        self._batch_index = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    @property
+    def scheme(self) -> WeightingScheme:
+        """The weighting scheme in use."""
+        return self._scheme
+
+    @property
+    def decay(self) -> float:
+        """The ostensive discount factor (1.0 = static accumulation)."""
+        return self._decay
+
+    @property
+    def event_count(self) -> int:
+        """Number of events observed so far."""
+        return self._event_count
+
+    # -- accumulation ---------------------------------------------------------------
+
+    def observe(self, event: InteractionEvent) -> None:
+        """Observe a single event (its own decay step)."""
+        self.observe_batch([event])
+
+    def observe_batch(self, events: Iterable[InteractionEvent]) -> None:
+        """Observe a batch of events, applying one ostensive decay step first.
+
+        A "batch" is typically everything that happened since the previous
+        query iteration; decaying per batch rather than per event makes the
+        discount correspond to *iterations back in time*, which is how the
+        ostensive model is usually formulated.
+        """
+        events = list(events)
+        if not events:
+            return
+        if self._decay < 1.0 and self._evidence:
+            for shot_id in list(self._evidence):
+                self._evidence[shot_id] *= self._decay
+        per_shot = self._extractor.per_shot_indicator_strengths(
+            events, self._shot_durations
+        )
+        increments = self._scheme.evidence_map(per_shot)
+        for shot_id, increment in increments.items():
+            self._evidence[shot_id] = self._evidence.get(shot_id, 0.0) + increment
+        self._event_count += len(events)
+        self._batch_index += 1
+
+    # -- reading the evidence ----------------------------------------------------------
+
+    def evidence(self) -> Dict[str, float]:
+        """A copy of the current per-shot evidence."""
+        return dict(self._evidence)
+
+    def positive_evidence(self) -> Dict[str, float]:
+        """Only the shots with strictly positive evidence."""
+        return {shot_id: mass for shot_id, mass in self._evidence.items() if mass > 0}
+
+    def negative_evidence(self) -> Dict[str, float]:
+        """Only the shots with strictly negative evidence."""
+        return {shot_id: mass for shot_id, mass in self._evidence.items() if mass < 0}
+
+    def top_shots(self, count: int = 10) -> List[Tuple[str, float]]:
+        """The ``count`` shots with the most positive evidence."""
+        ranked = sorted(
+            self.positive_evidence().items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def evidence_for(self, shot_id: str) -> float:
+        """Evidence mass for one shot (0 if never observed)."""
+        return self._evidence.get(shot_id, 0.0)
+
+    def reset(self) -> None:
+        """Forget everything (start of a new session)."""
+        self._evidence.clear()
+        self._event_count = 0
+        self._batch_index = 0
+
+    def __len__(self) -> int:
+        return len(self._evidence)

@@ -1,0 +1,163 @@
+"""Dwell-time (display time) modelling.
+
+Claypool et al. found time-on-page to be a useful implicit indicator in the
+web domain; Kelly & Belkin cast doubt on it because viewing time depends on
+the task and topic, not only on relevance.  This module provides the pieces
+experiment E6 needs to reproduce that tension:
+
+* :class:`DwellTimeModel` — generates viewing durations for simulated users,
+  with separate distributions for relevant and non-relevant shots and an
+  optional *task effect* that shifts both distributions per task; and
+* :class:`DwellTimeClassifier` — the naive "long dwell means relevant" rule
+  whose precision collapses once task effects are switched on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class DwellTimeModel:
+    """Log-normal viewing-time model with an optional per-task multiplier.
+
+    ``relevant_median`` / ``non_relevant_median`` are the median viewing
+    times (seconds) for relevant and non-relevant shots under a neutral
+    task.  ``sigma`` is the log-space spread.  ``task_multipliers`` maps a
+    task label to a factor applied to *both* medians — e.g. a background
+    research task where users watch everything for a while versus a known-
+    item task where everything is skimmed.  It is exactly this task factor
+    that breaks the naive dwell-time rule.
+    """
+
+    relevant_median: float = 20.0
+    non_relevant_median: float = 6.0
+    sigma: float = 0.5
+    task_multipliers: Mapping[str, float] = None
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.relevant_median, "relevant_median")
+        ensure_positive(self.non_relevant_median, "non_relevant_median")
+        ensure_positive(self.sigma, "sigma")
+        if self.task_multipliers is None:
+            object.__setattr__(self, "task_multipliers", {})
+
+    def multiplier_for_task(self, task: Optional[str]) -> float:
+        """The viewing-time multiplier for a task (1.0 if unknown)."""
+        if task is None:
+            return 1.0
+        return float(self.task_multipliers.get(task, 1.0))
+
+    def sample_duration(
+        self,
+        rng: RandomSource,
+        relevant: bool,
+        task: Optional[str] = None,
+        shot_duration: Optional[float] = None,
+    ) -> float:
+        """Sample a viewing duration for one shot.
+
+        The sample is capped at the shot's duration when it is known (one
+        cannot watch more of a shot than exists).
+        """
+        import math
+
+        median = self.relevant_median if relevant else self.non_relevant_median
+        median *= self.multiplier_for_task(task)
+        duration = rng.lognormal(math.log(median), self.sigma)
+        if shot_duration is not None and shot_duration > 0:
+            duration = min(duration, shot_duration)
+        return max(0.1, duration)
+
+    @classmethod
+    def with_task_effects(cls) -> "DwellTimeModel":
+        """The task-dependent variant used by experiment E6.
+
+        The multipliers follow Kelly & Belkin's observation that display
+        time varies more across tasks than across relevance levels: a
+        leisurely background-browsing task trebles viewing times while a
+        deadline-driven fact-check task quarters them.
+        """
+        return cls(
+            task_multipliers={
+                "background_browsing": 3.0,
+                "topic_monitoring": 1.5,
+                "known_item_search": 0.5,
+                "fact_check": 0.25,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class DwellObservation:
+    """One observed viewing duration with its hidden ground truth."""
+
+    shot_id: str
+    duration: float
+    relevant: bool
+    task: Optional[str] = None
+
+
+class DwellTimeClassifier:
+    """The naive rule: a shot is relevant if it was viewed long enough."""
+
+    def __init__(self, threshold_seconds: float = 12.0) -> None:
+        ensure_positive(threshold_seconds, "threshold_seconds")
+        self._threshold = threshold_seconds
+
+    @property
+    def threshold(self) -> float:
+        """The decision threshold in seconds."""
+        return self._threshold
+
+    def predict(self, duration: float) -> bool:
+        """Predict relevance from a single viewing duration."""
+        return duration >= self._threshold
+
+    def evaluate(self, observations: Iterable[DwellObservation]) -> Dict[str, float]:
+        """Precision / recall / accuracy of the rule over observations."""
+        true_positive = false_positive = true_negative = false_negative = 0
+        for observation in observations:
+            predicted = self.predict(observation.duration)
+            if predicted and observation.relevant:
+                true_positive += 1
+            elif predicted and not observation.relevant:
+                false_positive += 1
+            elif not predicted and observation.relevant:
+                false_negative += 1
+            else:
+                true_negative += 1
+        total = true_positive + false_positive + true_negative + false_negative
+        precision = (
+            true_positive / (true_positive + false_positive)
+            if true_positive + false_positive > 0
+            else 0.0
+        )
+        recall = (
+            true_positive / (true_positive + false_negative)
+            if true_positive + false_negative > 0
+            else 0.0
+        )
+        accuracy = (true_positive + true_negative) / total if total else 0.0
+        return {
+            "precision": precision,
+            "recall": recall,
+            "accuracy": accuracy,
+            "observations": float(total),
+        }
+
+    def best_threshold(
+        self, observations: List[DwellObservation], candidates: Iterable[float]
+    ) -> Tuple[float, float]:
+        """The candidate threshold with the best accuracy (and that accuracy)."""
+        best = (self._threshold, 0.0)
+        for candidate in candidates:
+            classifier = DwellTimeClassifier(candidate)
+            accuracy = classifier.evaluate(observations)["accuracy"]
+            if accuracy > best[1]:
+                best = (candidate, accuracy)
+        return best

@@ -1,0 +1,231 @@
+"""Interaction event taxonomy.
+
+Every user action against a retrieval interface — real or simulated — is
+recorded as an :class:`InteractionEvent`.  The event kinds cover the implicit
+indicators Hopfgartner & Jose identified when surveying state-of-the-art
+video retrieval interfaces ("clicking on a keyframe to start playing a
+video, browsing through a result list, sliding through a video, highlighting
+additional metadata and playing a video for a certain amount of time"), the
+explicit judgement actions available on the iTV remote control, and the
+query/navigation actions needed to reconstruct sessions from log files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class EventKind(str, enum.Enum):
+    """The kinds of interaction event a session can contain."""
+
+    # Query lifecycle
+    QUERY_SUBMITTED = "query_submitted"
+    RESULTS_DISPLAYED = "results_displayed"
+    SESSION_STARTED = "session_started"
+    SESSION_ENDED = "session_ended"
+
+    # Implicit indicators (the paper's list)
+    PLAY_CLICK = "play_click"                 # click a keyframe to start playback
+    PLAY_PROGRESS = "play_progress"           # watched a fraction of the shot
+    PLAY_COMPLETE = "play_complete"           # watched the shot to the end
+    BROWSE_RESULTS = "browse_results"         # scrolled / paged through the list
+    HOVER_RESULT = "hover_result"             # lingered over a result surrogate
+    SEEK_VIDEO = "seek_video"                 # slid through the video timeline
+    HIGHLIGHT_METADATA = "highlight_metadata" # expanded transcript / metadata
+    ADD_TO_PLAYLIST = "add_to_playlist"       # queued the shot for later viewing
+    SKIP_RESULT = "skip_result"               # moved past a result without engaging
+
+    # Explicit feedback
+    MARK_RELEVANT = "mark_relevant"
+    MARK_NOT_RELEVANT = "mark_not_relevant"
+
+    # iTV-specific remote-control actions
+    REMOTE_SELECT = "remote_select"           # pressed OK/select on a story
+    REMOTE_CHANNEL_SKIP = "remote_channel_skip"
+    REMOTE_RATE_UP = "remote_rate_up"
+    REMOTE_RATE_DOWN = "remote_rate_down"
+
+
+#: Event kinds that constitute *implicit* evidence about the focused shot.
+IMPLICIT_EVENT_KINDS = frozenset(
+    {
+        EventKind.PLAY_CLICK,
+        EventKind.PLAY_PROGRESS,
+        EventKind.PLAY_COMPLETE,
+        EventKind.BROWSE_RESULTS,
+        EventKind.HOVER_RESULT,
+        EventKind.SEEK_VIDEO,
+        EventKind.HIGHLIGHT_METADATA,
+        EventKind.ADD_TO_PLAYLIST,
+        EventKind.SKIP_RESULT,
+        EventKind.REMOTE_SELECT,
+        EventKind.REMOTE_CHANNEL_SKIP,
+    }
+)
+
+#: Event kinds that constitute *explicit* judgements.
+EXPLICIT_EVENT_KINDS = frozenset(
+    {
+        EventKind.MARK_RELEVANT,
+        EventKind.MARK_NOT_RELEVANT,
+        EventKind.REMOTE_RATE_UP,
+        EventKind.REMOTE_RATE_DOWN,
+    }
+)
+
+#: Event kinds that express a *negative* signal about the focused shot.
+NEGATIVE_EVENT_KINDS = frozenset(
+    {
+        EventKind.SKIP_RESULT,
+        EventKind.MARK_NOT_RELEVANT,
+        EventKind.REMOTE_RATE_DOWN,
+        EventKind.REMOTE_CHANNEL_SKIP,
+    }
+)
+
+
+@dataclass
+class InteractionEvent:
+    """One timestamped user action.
+
+    Attributes
+    ----------
+    kind:
+        What the user did.
+    timestamp:
+        Seconds since the start of the session.
+    user_id / session_id:
+        Who did it and in which session.
+    shot_id:
+        The shot the action refers to, when applicable.
+    query_text:
+        The query in force when the action happened (query events carry the
+        newly submitted query).
+    rank:
+        The 1-based rank at which the shot was displayed, when applicable.
+    duration:
+        For playback / hover events, how long the user engaged (seconds).
+    payload:
+        Free-form extras (interface name, page number, remote key, ...).
+    """
+
+    kind: EventKind
+    timestamp: float
+    user_id: str = ""
+    session_id: str = ""
+    shot_id: Optional[str] = None
+    query_text: Optional[str] = None
+    rank: Optional[int] = None
+    duration: Optional[float] = None
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def is_implicit(self) -> bool:
+        """True if the event is an implicit indicator."""
+        return self.kind in IMPLICIT_EVENT_KINDS
+
+    def is_explicit(self) -> bool:
+        """True if the event is an explicit judgement."""
+        return self.kind in EXPLICIT_EVENT_KINDS
+
+    def is_negative(self) -> bool:
+        """True if the event expresses disinterest."""
+        return self.kind in NEGATIVE_EVENT_KINDS
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for log files."""
+        record: Dict[str, object] = {
+            "kind": self.kind.value,
+            "timestamp": self.timestamp,
+            "user_id": self.user_id,
+            "session_id": self.session_id,
+        }
+        if self.shot_id is not None:
+            record["shot_id"] = self.shot_id
+        if self.query_text is not None:
+            record["query_text"] = self.query_text
+        if self.rank is not None:
+            record["rank"] = self.rank
+        if self.duration is not None:
+            record["duration"] = self.duration
+        if self.payload:
+            record["payload"] = dict(self.payload)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "InteractionEvent":
+        """Rebuild an event from :meth:`as_dict` output."""
+        return cls(
+            kind=EventKind(str(record["kind"])),
+            timestamp=float(record["timestamp"]),
+            user_id=str(record.get("user_id", "")),
+            session_id=str(record.get("session_id", "")),
+            shot_id=record.get("shot_id"),
+            query_text=record.get("query_text"),
+            rank=int(record["rank"]) if record.get("rank") is not None else None,
+            duration=float(record["duration"]) if record.get("duration") is not None else None,
+            payload=dict(record.get("payload", {})),
+        )
+
+
+class EventStream:
+    """An ordered sequence of events with convenience filters."""
+
+    def __init__(self, events: Iterable[InteractionEvent] = ()) -> None:
+        self._events: List[InteractionEvent] = list(events)
+
+    def append(self, event: InteractionEvent) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    def extend(self, events: Iterable[InteractionEvent]) -> None:
+        """Append several events."""
+        self._events.extend(events)
+
+    def events(self) -> List[InteractionEvent]:
+        """All events in arrival order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_kind(self, *kinds: EventKind) -> List[InteractionEvent]:
+        """Events of the given kinds."""
+        wanted = set(kinds)
+        return [event for event in self._events if event.kind in wanted]
+
+    def implicit_events(self) -> List[InteractionEvent]:
+        """All implicit-indicator events."""
+        return [event for event in self._events if event.is_implicit()]
+
+    def explicit_events(self) -> List[InteractionEvent]:
+        """All explicit-judgement events."""
+        return [event for event in self._events if event.is_explicit()]
+
+    def for_shot(self, shot_id: str) -> List[InteractionEvent]:
+        """Events referring to a particular shot."""
+        return [event for event in self._events if event.shot_id == shot_id]
+
+    def shots_touched(self) -> List[str]:
+        """Distinct shot ids referenced by any event, in first-touch order."""
+        seen = []
+        for event in self._events:
+            if event.shot_id is not None and event.shot_id not in seen:
+                seen.append(event.shot_id)
+        return seen
+
+    def queries(self) -> List[str]:
+        """Query texts submitted during the stream, in order."""
+        return [
+            str(event.query_text)
+            for event in self._events
+            if event.kind is EventKind.QUERY_SUBMITTED and event.query_text
+        ]
+
+    def between(self, start: float, end: float) -> List[InteractionEvent]:
+        """Events whose timestamp lies in ``[start, end)``."""
+        return [event for event in self._events if start <= event.timestamp < end]

@@ -1,0 +1,97 @@
+"""Explicit relevance feedback store.
+
+Explicit feedback is "given when a user actively informs a system what it
+has to do on purpose, such as selecting something and marking it as
+relevant".  The store keeps per-session judgements, exposes them in the form
+the Rocchio expander and the adaptive model expect, and records the cost the
+user paid (number of judgements), which the interface-comparison experiment
+uses to contrast desktop and iTV feedback economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.feedback.events import EventKind, InteractionEvent
+
+
+@dataclass
+class ExplicitJudgement:
+    """One explicit judgement of a shot."""
+
+    shot_id: str
+    relevant: bool
+    timestamp: float
+
+
+class ExplicitFeedbackStore:
+    """Collects explicit judgements during a session."""
+
+    def __init__(self) -> None:
+        self._judgements: List[ExplicitJudgement] = []
+
+    # -- recording --------------------------------------------------------------
+
+    def record(self, shot_id: str, relevant: bool, timestamp: float = 0.0) -> None:
+        """Record one judgement."""
+        self._judgements.append(
+            ExplicitJudgement(shot_id=shot_id, relevant=relevant, timestamp=timestamp)
+        )
+
+    def record_event(self, event: InteractionEvent) -> bool:
+        """Record a judgement from an explicit-feedback event.
+
+        Returns True if the event was an explicit judgement and was recorded.
+        """
+        if event.shot_id is None:
+            return False
+        if event.kind in (EventKind.MARK_RELEVANT, EventKind.REMOTE_RATE_UP):
+            self.record(event.shot_id, True, event.timestamp)
+            return True
+        if event.kind in (EventKind.MARK_NOT_RELEVANT, EventKind.REMOTE_RATE_DOWN):
+            self.record(event.shot_id, False, event.timestamp)
+            return True
+        return False
+
+    def record_events(self, events: Iterable[InteractionEvent]) -> int:
+        """Record all explicit judgements in an event stream; returns the count."""
+        return sum(1 for event in events if self.record_event(event))
+
+    # -- queries ------------------------------------------------------------------
+
+    def judgements(self) -> List[ExplicitJudgement]:
+        """All judgements in arrival order."""
+        return list(self._judgements)
+
+    def relevant_shots(self) -> List[str]:
+        """Shots most recently judged relevant (later judgements win)."""
+        return [shot_id for shot_id, relevant in self._latest().items() if relevant]
+
+    def non_relevant_shots(self) -> List[str]:
+        """Shots most recently judged not relevant."""
+        return [shot_id for shot_id, relevant in self._latest().items() if not relevant]
+
+    def judged_shots(self) -> Set[str]:
+        """All shots with at least one judgement."""
+        return {judgement.shot_id for judgement in self._judgements}
+
+    def judgement_count(self) -> int:
+        """Total number of judgements made (the user's explicit-feedback cost)."""
+        return len(self._judgements)
+
+    def evidence_map(self, positive_weight: float = 1.0, negative_weight: float = 1.0) -> Dict[str, float]:
+        """Evidence scores from explicit judgements alone."""
+        evidence: Dict[str, float] = {}
+        for shot_id, relevant in self._latest().items():
+            evidence[shot_id] = positive_weight if relevant else -negative_weight
+        return evidence
+
+    def _latest(self) -> Dict[str, bool]:
+        latest: Dict[str, bool] = {}
+        for judgement in self._judgements:
+            latest[judgement.shot_id] = judgement.relevant
+        return latest
+
+    def __len__(self) -> int:
+        return len(self._judgements)

@@ -1,0 +1,208 @@
+"""Community-based implicit feedback: the implicit graph (Vallet et al.).
+
+The paper's discussion section summarises the ECIR'08 study: "we used
+community based implicit feedback mined from the interactions of previous
+users of our video search system, to aid users in their search tasks";
+performance improved and "users were able to explore the collection to a
+greater extent".
+
+The implicit graph is a weighted, typed graph whose nodes are queries and
+shots.  Edges are created from past sessions:
+
+* ``query → shot`` when a session that issued the query interacted with the
+  shot (weight = accumulated implicit evidence), and
+* ``shot → shot`` when a session interacted with both shots (weight =
+  co-occurrence strength), optionally boosted for temporally adjacent shots.
+
+Recommendations for a new query/session are produced by spreading activation
+from the matching query nodes and the session's own shots across the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.index.tokenizer import Tokenizer
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+def _query_key(query_text: str, tokenizer: Tokenizer) -> str:
+    """Canonical node key for a query: sorted normalised terms."""
+    terms = sorted(set(tokenizer.tokenize(query_text)))
+    return "q:" + " ".join(terms)
+
+
+def _shot_key(shot_id: str) -> str:
+    return "s:" + shot_id
+
+
+@dataclass
+class GraphEdge:
+    """A weighted edge in the implicit graph."""
+
+    source: str
+    target: str
+    weight: float
+
+
+class ImplicitGraph:
+    """Weighted query/shot graph built from past interaction sessions."""
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._adjacency: Dict[str, Dict[str, float]] = {}
+        self._sessions_ingested = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_edge(self, source: str, target: str, weight: float) -> None:
+        if weight <= 0 or source == target:
+            return
+        self._adjacency.setdefault(source, {})
+        self._adjacency[source][target] = self._adjacency[source].get(target, 0.0) + weight
+        self._adjacency.setdefault(target, {})
+        self._adjacency[target][source] = self._adjacency[target].get(source, 0.0) + weight
+
+    def add_session(
+        self,
+        queries: Sequence[str],
+        shot_evidence: Mapping[str, float],
+        co_occurrence_weight: float = 0.5,
+    ) -> None:
+        """Ingest one past session.
+
+        ``queries`` are the query strings the session issued;
+        ``shot_evidence`` is the per-shot implicit evidence the session
+        accumulated (only positive evidence creates edges).
+        """
+        ensure_in_range(co_occurrence_weight, 0.0, 1.0, "co_occurrence_weight")
+        positive = {
+            shot_id: mass for shot_id, mass in shot_evidence.items() if mass > 0
+        }
+        if not positive:
+            self._sessions_ingested += 1
+            return
+        query_keys = [
+            _query_key(query, self._tokenizer) for query in queries if query.strip()
+        ]
+        for query_node in query_keys:
+            for shot_id, mass in positive.items():
+                self._add_edge(query_node, _shot_key(shot_id), mass)
+        shot_ids = sorted(positive)
+        for index, first in enumerate(shot_ids):
+            for second in shot_ids[index + 1 :]:
+                weight = co_occurrence_weight * min(positive[first], positive[second])
+                self._add_edge(_shot_key(first), _shot_key(second), weight)
+        self._sessions_ingested += 1
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def session_count(self) -> int:
+        """Number of sessions ingested."""
+        return self._sessions_ingested
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (queries + shots) in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges in the graph."""
+        return sum(len(neighbours) for neighbours in self._adjacency.values()) // 2
+
+    def neighbours(self, node: str) -> Dict[str, float]:
+        """Adjacent nodes and edge weights for a node key."""
+        return dict(self._adjacency.get(node, {}))
+
+    def has_query(self, query_text: str) -> bool:
+        """True if an equivalent query has been seen before."""
+        return _query_key(query_text, self._tokenizer) in self._adjacency
+
+    # -- recommendation ----------------------------------------------------------------
+
+    def _spread(
+        self,
+        seeds: Mapping[str, float],
+        steps: int,
+        damping: float,
+    ) -> Dict[str, float]:
+        """Spreading activation from seed nodes."""
+        activation = dict(seeds)
+        frontier = dict(seeds)
+        for _ in range(steps):
+            next_frontier: Dict[str, float] = {}
+            for node, energy in frontier.items():
+                neighbours = self._adjacency.get(node, {})
+                if not neighbours:
+                    continue
+                total_weight = sum(neighbours.values())
+                for neighbour, weight in neighbours.items():
+                    passed = damping * energy * (weight / total_weight)
+                    if passed <= 1e-9:
+                        continue
+                    next_frontier[neighbour] = next_frontier.get(neighbour, 0.0) + passed
+                    activation[neighbour] = activation.get(neighbour, 0.0) + passed
+            frontier = next_frontier
+            if not frontier:
+                break
+        return activation
+
+    def recommend(
+        self,
+        query_text: str = "",
+        session_shot_evidence: Optional[Mapping[str, float]] = None,
+        limit: int = 20,
+        steps: int = 2,
+        damping: float = 0.6,
+        exclude_shot_ids: Iterable[str] = (),
+    ) -> List[Tuple[str, float]]:
+        """Recommend shots for the current query/session.
+
+        Activation is seeded from the query node (if the community has seen
+        an equivalent query) and from the session's own positively-judged
+        shots, then spread across the graph.  Returns ``(shot_id, score)``
+        pairs, best first, excluding the seeds and any explicitly excluded
+        shots.
+        """
+        ensure_positive(limit, "limit")
+        ensure_in_range(damping, 0.0, 1.0, "damping")
+        seeds: Dict[str, float] = {}
+        if query_text.strip():
+            key = _query_key(query_text, self._tokenizer)
+            if key in self._adjacency:
+                seeds[key] = 1.0
+        for shot_id, mass in (session_shot_evidence or {}).items():
+            if mass > 0:
+                seeds[_shot_key(shot_id)] = seeds.get(_shot_key(shot_id), 0.0) + mass
+        if not seeds:
+            return []
+        activation = self._spread(seeds, steps=steps, damping=damping)
+        excluded = {_shot_key(shot_id) for shot_id in exclude_shot_ids}
+        excluded.update(seeds)
+        recommendations = [
+            (node[2:], score)
+            for node, score in activation.items()
+            if node.startswith("s:") and node not in excluded
+        ]
+        recommendations.sort(key=lambda item: (-item[1], item[0]))
+        return recommendations[:limit]
+
+    def recommendation_scores(
+        self,
+        query_text: str = "",
+        session_shot_evidence: Optional[Mapping[str, float]] = None,
+        steps: int = 2,
+        damping: float = 0.6,
+    ) -> Dict[str, float]:
+        """Recommendation scores as a ``{shot_id: score}`` map (for fusion)."""
+        pairs = self.recommend(
+            query_text=query_text,
+            session_shot_evidence=session_shot_evidence,
+            limit=10_000,
+            steps=steps,
+            damping=damping,
+        )
+        return {shot_id: score for shot_id, score in pairs}

@@ -1,0 +1,157 @@
+"""In-memory inverted index over shot transcripts.
+
+The index is the text-retrieval substrate every experiment sits on: postings
+lists with term frequencies, document lengths, and collection statistics.
+Scoring functions (:mod:`repro.index.scoring`,
+:mod:`repro.index.language_model`) operate on this structure; persistence
+lives in :mod:`repro.index.storage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.collection.documents import Collection
+from repro.index.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry in a postings list: a document and a term frequency."""
+
+    document_id: str
+    term_frequency: int
+
+
+class InvertedIndex:
+    """A positional-free inverted index with collection statistics."""
+
+    def __init__(self, tokenizer: Optional[Tokenizer] = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._postings: Dict[str, List[Posting]] = {}
+        self._document_lengths: Dict[str, int] = {}
+        self._document_vectors: Dict[str, Dict[str, int]] = {}
+        self._total_terms = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The tokenizer used at both index and query time."""
+        return self._tokenizer
+
+    def add_document(self, document_id: str, text: str) -> None:
+        """Index one document; re-adding an id raises ``ValueError``."""
+        if document_id in self._document_lengths:
+            raise ValueError(f"document {document_id!r} already indexed")
+        frequencies = self._tokenizer.term_frequencies(text)
+        length = sum(frequencies.values())
+        self._document_lengths[document_id] = length
+        self._document_vectors[document_id] = frequencies
+        self._total_terms += length
+        for term, frequency in frequencies.items():
+            self._postings.setdefault(term, []).append(
+                Posting(document_id=document_id, term_frequency=frequency)
+            )
+
+    def add_documents(self, documents: Mapping[str, str]) -> None:
+        """Index a mapping of ``document_id -> text``."""
+        for document_id, text in documents.items():
+            self.add_document(document_id, text)
+
+    @classmethod
+    def from_collection(
+        cls, collection: Collection, tokenizer: Optional[Tokenizer] = None
+    ) -> "InvertedIndex":
+        """Build an index over every shot transcript in a collection."""
+        index = cls(tokenizer=tokenizer)
+        for shot in collection.iter_shots():
+            index.add_document(shot.shot_id, shot.transcript)
+        return index
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        """Number of indexed documents."""
+        return len(self._document_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct index terms."""
+        return len(self._postings)
+
+    @property
+    def total_terms(self) -> int:
+        """Total number of term occurrences in the collection."""
+        return self._total_terms
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean document length in terms."""
+        if not self._document_lengths:
+            return 0.0
+        return self._total_terms / len(self._document_lengths)
+
+    def document_length(self, document_id: str) -> int:
+        """Length (term count) of one document."""
+        return self._document_lengths[document_id]
+
+    def has_document(self, document_id: str) -> bool:
+        """True if the document is indexed."""
+        return document_id in self._document_lengths
+
+    def document_ids(self) -> List[str]:
+        """All indexed document ids."""
+        return list(self._document_lengths)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing the term."""
+        return len(self._postings.get(term, ()))
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of the term across the collection."""
+        return sum(posting.term_frequency for posting in self._postings.get(term, ()))
+
+    def postings(self, term: str) -> List[Posting]:
+        """The postings list for a term (empty if unseen)."""
+        return list(self._postings.get(term, ()))
+
+    def terms(self) -> List[str]:
+        """All index terms."""
+        return list(self._postings)
+
+    def document_vector(self, document_id: str) -> Dict[str, int]:
+        """Term-frequency vector of one document (a copy)."""
+        return dict(self._document_vectors.get(document_id, {}))
+
+    def term_frequency(self, term: str, document_id: str) -> int:
+        """Frequency of ``term`` in ``document_id`` (0 if absent)."""
+        return self._document_vectors.get(document_id, {}).get(term, 0)
+
+    # -- export -----------------------------------------------------------------
+
+    def iter_postings(self) -> Iterable[Tuple[str, Posting]]:
+        """Iterate ``(term, posting)`` pairs, mainly for persistence."""
+        for term in self._postings:
+            for posting in self._postings[term]:
+                yield term, posting
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics for reports."""
+        return {
+            "documents": float(self.document_count),
+            "vocabulary": float(self.vocabulary_size),
+            "total_terms": float(self.total_terms),
+            "average_document_length": self.average_document_length,
+        }
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InvertedIndex(documents={self.document_count}, "
+            f"vocabulary={self.vocabulary_size})"
+        )

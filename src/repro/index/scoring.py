@@ -1,0 +1,126 @@
+"""Classic bag-of-words scoring functions: TF-IDF and Okapi BM25.
+
+Scorers share a tiny interface — ``score(query_terms) -> {doc_id: score}`` —
+so the retrieval engine, fusion layer and adaptive model can swap them
+freely.  Query terms may carry weights (a ``{term: weight}`` mapping), which
+is how relevance feedback and profile expansion inject evidence into the
+ranking function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.index.inverted_index import InvertedIndex
+
+QueryTerms = Union[Sequence[str], Mapping[str, float]]
+
+
+def normalise_query(query_terms: QueryTerms) -> Dict[str, float]:
+    """Normalise a query into a ``{term: weight}`` mapping.
+
+    A plain sequence of terms becomes weights equal to the term's repetition
+    count, which matches the behaviour of classic keyword queries.
+    """
+    if isinstance(query_terms, Mapping):
+        return {term: float(weight) for term, weight in query_terms.items() if weight != 0}
+    weights: Dict[str, float] = {}
+    for term in query_terms:
+        weights[term] = weights.get(term, 0.0) + 1.0
+    return weights
+
+
+class TextScorer:
+    """Interface shared by all text scorers."""
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """Score all documents that match at least one query term."""
+        raise NotImplementedError
+
+    def score_document(self, query_terms: QueryTerms, document_id: str) -> float:
+        """Score one document (0.0 if it matches no query term)."""
+        return self.score(query_terms).get(document_id, 0.0)
+
+
+class TfIdfScorer(TextScorer):
+    """Cosine-normalised TF-IDF scoring."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self._index = index
+
+    def _idf(self, term: str) -> float:
+        document_frequency = self._index.document_frequency(term)
+        if document_frequency == 0:
+            return 0.0
+        return math.log((self._index.document_count + 1) / (document_frequency + 0.5))
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """TF-IDF scores with document-length normalisation."""
+        weights = normalise_query(query_terms)
+        scores: Dict[str, float] = {}
+        for term, query_weight in weights.items():
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                term_score = (
+                    query_weight
+                    * (1.0 + math.log(posting.term_frequency))
+                    * idf
+                )
+                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
+        for document_id in list(scores):
+            length = self._index.document_length(document_id)
+            scores[document_id] /= math.sqrt(max(1.0, float(length)))
+        return scores
+
+
+class Bm25Scorer(TextScorer):
+    """Okapi BM25 with the standard ``k1``/``b`` parameterisation."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self._index = index
+        self._k1 = k1
+        self._b = b
+
+    @property
+    def k1(self) -> float:
+        """Term-frequency saturation parameter."""
+        return self._k1
+
+    @property
+    def b(self) -> float:
+        """Length-normalisation parameter."""
+        return self._b
+
+    def _idf(self, term: str) -> float:
+        document_frequency = self._index.document_frequency(term)
+        if document_frequency == 0:
+            return 0.0
+        numerator = self._index.document_count - document_frequency + 0.5
+        denominator = document_frequency + 0.5
+        return math.log(1.0 + numerator / denominator)
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """BM25 scores for all matching documents."""
+        weights = normalise_query(query_terms)
+        scores: Dict[str, float] = {}
+        average_length = max(1.0, self._index.average_document_length)
+        for term, query_weight in weights.items():
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                length = self._index.document_length(posting.document_id)
+                frequency = posting.term_frequency
+                denominator = frequency + self._k1 * (
+                    1.0 - self._b + self._b * length / average_length
+                )
+                term_score = query_weight * idf * (frequency * (self._k1 + 1.0)) / denominator
+                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
+        return scores

@@ -1,0 +1,91 @@
+"""On-disk persistence for the inverted index and visual index.
+
+Indexes are saved as JSON documents.  This is not a high-performance format,
+but it makes snapshots human-inspectable and keeps the library free of
+binary-format dependencies; the round-trip property (save → load → identical
+retrieval behaviour) is what the tests assert.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.index.inverted_index import InvertedIndex
+from repro.index.tokenizer import Tokenizer
+from repro.index.visual import VisualIndex
+from repro.utils.serialization import read_json, write_json
+
+PathLike = Union[str, Path]
+
+_INVERTED_FORMAT_VERSION = 1
+_VISUAL_FORMAT_VERSION = 1
+
+
+def save_inverted_index(index: InvertedIndex, path: PathLike) -> None:
+    """Persist an inverted index to a JSON file."""
+    documents = {
+        document_id: index.document_vector(document_id)
+        for document_id in index.document_ids()
+    }
+    payload = {
+        "format_version": _INVERTED_FORMAT_VERSION,
+        "kind": "inverted_index",
+        "documents": documents,
+    }
+    write_json(path, payload)
+
+
+def load_inverted_index(path: PathLike, tokenizer: Tokenizer = None) -> InvertedIndex:
+    """Load an inverted index from a JSON file.
+
+    The index is rebuilt from the stored per-document term-frequency vectors,
+    so collection statistics are identical to the original.
+    """
+    payload = read_json(path)
+    if payload.get("kind") != "inverted_index":
+        raise ValueError(f"{path} does not contain an inverted index snapshot")
+    if payload.get("format_version") != _INVERTED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported inverted index format version {payload.get('format_version')}"
+        )
+    index = InvertedIndex(tokenizer=tokenizer)
+    for document_id, term_frequencies in payload["documents"].items():
+        # Reconstruct a synthetic text with the right term frequencies; the
+        # tokenizer will pass these already-normalised terms through.
+        words = []
+        for term, frequency in term_frequencies.items():
+            words.extend([term] * int(frequency))
+        index.add_document(document_id, " ".join(words))
+    return index
+
+
+def save_visual_index(index: VisualIndex, path: PathLike) -> None:
+    """Persist a visual index to a JSON file."""
+    payload = {
+        "format_version": _VISUAL_FORMAT_VERSION,
+        "kind": "visual_index",
+        "shots": {
+            shot_id: {
+                "features": list(index.features_of(shot_id)),
+                "concept_scores": index.concept_scores_of(shot_id),
+            }
+            for shot_id in index.shot_ids()
+        },
+    }
+    write_json(path, payload)
+
+
+def load_visual_index(path: PathLike) -> VisualIndex:
+    """Load a visual index from a JSON file."""
+    payload = read_json(path)
+    if payload.get("kind") != "visual_index":
+        raise ValueError(f"{path} does not contain a visual index snapshot")
+    if payload.get("format_version") != _VISUAL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported visual index format version {payload.get('format_version')}"
+        )
+    index = VisualIndex()
+    for shot_id, record in payload["shots"].items():
+        index.add_shot(shot_id, record["features"], record.get("concept_scores", {}))
+    return index

@@ -1,0 +1,72 @@
+"""Tokenisation and light normalisation for transcripts and queries.
+
+The same tokenizer must be used at indexing and query time, so it is a small
+standalone object that both the inverted index and the retrieval engine hold
+a reference to.  Stemming is a light suffix-stripping pass (an "s-stemmer"),
+which is all the synthetic vocabulary needs; the interface mirrors what a
+Porter stemmer would provide so a real one can be slotted in.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.collection.vocabulary import STOPWORDS
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+class Tokenizer:
+    """Lower-cases, splits, removes stopwords and applies light stemming."""
+
+    def __init__(
+        self,
+        stopwords: Iterable[str] = STOPWORDS,
+        remove_stopwords: bool = True,
+        stem: bool = True,
+        min_token_length: int = 2,
+    ) -> None:
+        self._stopwords: FrozenSet[str] = frozenset(word.lower() for word in stopwords)
+        self._remove_stopwords = remove_stopwords
+        self._stem = stem
+        self._min_length = max(1, int(min_token_length))
+
+    @property
+    def stopwords(self) -> FrozenSet[str]:
+        """The stopword set in use."""
+        return self._stopwords
+
+    def stem_token(self, token: str) -> str:
+        """Light suffix stripping: plural and gerund endings."""
+        if not self._stem:
+            return token
+        for suffix in ("ings", "ing", "ies", "es", "s"):
+            if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+                return token[: -len(suffix)]
+        return token
+
+    def tokenize(self, text: str) -> List[str]:
+        """Tokenise a text into normalised index terms."""
+        if not text:
+            return []
+        tokens: List[str] = []
+        for match in _TOKEN_PATTERN.finditer(text.lower()):
+            token = match.group(0)
+            if len(token) < self._min_length:
+                continue
+            if self._remove_stopwords and token in self._stopwords:
+                continue
+            tokens.append(self.stem_token(token))
+        return tokens
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Bag-of-words term frequencies for a text."""
+        frequencies: Dict[str, int] = {}
+        for token in self.tokenize(text):
+            frequencies[token] = frequencies.get(token, 0) + 1
+        return frequencies
+
+    def tokenize_many(self, texts: Sequence[str]) -> List[List[str]]:
+        """Tokenise a batch of texts."""
+        return [self.tokenize(text) for text in texts]

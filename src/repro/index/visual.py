@@ -1,0 +1,125 @@
+"""Visual index: similarity search over keyframe feature vectors and concepts.
+
+Two visual evidence sources are supported, mirroring TRECVID-era systems:
+
+* **feature-space similarity** — "find shots that look like this one",
+  used for query-by-example and for propagating implicit feedback from a
+  watched shot to visually similar shots; and
+* **concept scoring** — "find shots likely to contain *crowd* and *flag*",
+  used when a query or profile is mapped onto the concept vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.features import FeatureExtractor, cosine_similarity
+from repro.collection.documents import Collection
+from repro.utils.validation import ensure_positive
+
+
+class VisualIndex:
+    """Stores one feature vector and one concept-score map per shot."""
+
+    def __init__(self) -> None:
+        self._features: Dict[str, Tuple[float, ...]] = {}
+        self._concept_scores: Dict[str, Dict[str, float]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_shot(
+        self,
+        shot_id: str,
+        features: Sequence[float],
+        concept_scores: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Add one shot's visual evidence; duplicates raise ``ValueError``."""
+        if shot_id in self._features:
+            raise ValueError(f"shot {shot_id!r} already in visual index")
+        self._features[shot_id] = tuple(features)
+        self._concept_scores[shot_id] = dict(concept_scores or {})
+
+    @classmethod
+    def from_collection(
+        cls,
+        collection: Collection,
+        feature_extractor: Optional[FeatureExtractor] = None,
+    ) -> "VisualIndex":
+        """Build a visual index from a collection.
+
+        Shots that have already been analysed (``shot.features`` filled by
+        :class:`repro.analysis.pipeline.AnalysisPipeline`) are used as-is;
+        otherwise features are extracted on the fly.
+        """
+        extractor = feature_extractor or FeatureExtractor()
+        index = cls()
+        for shot in collection.iter_shots():
+            features = shot.features or extractor.extract(shot.keyframe)
+            index.add_shot(shot.shot_id, features, shot.concept_scores)
+        return index
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def shot_count(self) -> int:
+        """Number of shots indexed."""
+        return len(self._features)
+
+    def has_shot(self, shot_id: str) -> bool:
+        """True if the shot has visual evidence."""
+        return shot_id in self._features
+
+    def shot_ids(self) -> List[str]:
+        """All indexed shot ids."""
+        return list(self._features)
+
+    def features_of(self, shot_id: str) -> Tuple[float, ...]:
+        """Feature vector of one shot."""
+        return self._features[shot_id]
+
+    def concept_scores_of(self, shot_id: str) -> Dict[str, float]:
+        """Concept confidence scores of one shot (a copy)."""
+        return dict(self._concept_scores.get(shot_id, {}))
+
+    # -- search -----------------------------------------------------------------
+
+    def similar_to_vector(
+        self, vector: Sequence[float], limit: int = 20, exclude: Sequence[str] = ()
+    ) -> List[Tuple[str, float]]:
+        """Shots most similar to an arbitrary feature vector."""
+        ensure_positive(limit, "limit")
+        excluded = set(exclude)
+        scored = [
+            (shot_id, cosine_similarity(vector, features))
+            for shot_id, features in self._features.items()
+            if shot_id not in excluded
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:limit]
+
+    def similar_to_shot(self, shot_id: str, limit: int = 20) -> List[Tuple[str, float]]:
+        """Shots most similar to a given shot (the query shot is excluded)."""
+        if shot_id not in self._features:
+            raise KeyError(f"shot {shot_id!r} not in visual index")
+        return self.similar_to_vector(
+            self._features[shot_id], limit=limit, exclude=(shot_id,)
+        )
+
+    def score_by_concepts(
+        self, concept_weights: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """Score every shot by a weighted sum of its concept confidences."""
+        scores: Dict[str, float] = {}
+        for shot_id, shot_scores in self._concept_scores.items():
+            total = 0.0
+            for concept, weight in concept_weights.items():
+                total += weight * shot_scores.get(concept, 0.0)
+            if total != 0.0:
+                scores[shot_id] = total
+        return scores
+
+    def similarity(self, first_shot_id: str, second_shot_id: str) -> float:
+        """Cosine similarity between two indexed shots."""
+        return cosine_similarity(
+            self._features[first_shot_id], self._features[second_shot_id]
+        )

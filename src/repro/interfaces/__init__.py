@@ -1,0 +1,15 @@
+"""Interface capability models (desktop, iTV) and interaction logging."""
+
+from repro.interfaces.base import ActionCost, InterfaceModel
+from repro.interfaces.desktop import DesktopInterface
+from repro.interfaces.itv import ItvInterface
+from repro.interfaces.logging import InteractionLogger, SessionLog
+
+__all__ = [
+    "ActionCost",
+    "InterfaceModel",
+    "DesktopInterface",
+    "ItvInterface",
+    "InteractionLogger",
+    "SessionLog",
+]

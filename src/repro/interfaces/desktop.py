@@ -1,0 +1,66 @@
+"""The desktop video-retrieval interface model.
+
+"The most familiar environment for the user to do video retrieval is
+probably a standard desktop computer. [...] users can easily interact with
+the system in using the keyboard or mouse. One can assume that users will
+take advantage of this interaction and hence give a high quantity of
+implicit feedback."  The desktop model therefore supports the full action
+vocabulary at low cost: typing queries, clicking keyframes, hovering,
+seeking, expanding metadata, building playlists and making explicit
+relevance judgements.
+"""
+
+from __future__ import annotations
+
+from repro.feedback.events import EventKind
+from repro.interfaces.base import ActionCost, InterfaceModel
+
+
+class DesktopInterface(InterfaceModel):
+    """Keyboard-and-mouse desktop search interface."""
+
+    name = "desktop"
+
+    def __init__(self, results_per_page: int = 10) -> None:
+        supported = frozenset(
+            {
+                EventKind.QUERY_SUBMITTED,
+                EventKind.RESULTS_DISPLAYED,
+                EventKind.PLAY_CLICK,
+                EventKind.PLAY_PROGRESS,
+                EventKind.PLAY_COMPLETE,
+                EventKind.BROWSE_RESULTS,
+                EventKind.HOVER_RESULT,
+                EventKind.SEEK_VIDEO,
+                EventKind.HIGHLIGHT_METADATA,
+                EventKind.ADD_TO_PLAYLIST,
+                EventKind.SKIP_RESULT,
+                EventKind.MARK_RELEVANT,
+                EventKind.MARK_NOT_RELEVANT,
+            }
+        )
+        costs = {
+            EventKind.QUERY_SUBMITTED: ActionCost(time_seconds=8.0, effort=0.2),
+            EventKind.RESULTS_DISPLAYED: ActionCost(time_seconds=0.5, effort=0.0),
+            EventKind.PLAY_CLICK: ActionCost(time_seconds=1.0, effort=0.05),
+            EventKind.PLAY_PROGRESS: ActionCost(time_seconds=0.0, effort=0.0),
+            EventKind.PLAY_COMPLETE: ActionCost(time_seconds=0.0, effort=0.0),
+            EventKind.BROWSE_RESULTS: ActionCost(time_seconds=2.0, effort=0.05),
+            EventKind.HOVER_RESULT: ActionCost(time_seconds=1.5, effort=0.02),
+            EventKind.SEEK_VIDEO: ActionCost(time_seconds=2.0, effort=0.1),
+            EventKind.HIGHLIGHT_METADATA: ActionCost(time_seconds=2.5, effort=0.15),
+            EventKind.ADD_TO_PLAYLIST: ActionCost(time_seconds=1.5, effort=0.2),
+            EventKind.SKIP_RESULT: ActionCost(time_seconds=0.5, effort=0.0),
+            EventKind.MARK_RELEVANT: ActionCost(time_seconds=1.5, effort=0.35),
+            EventKind.MARK_NOT_RELEVANT: ActionCost(time_seconds=1.5, effort=0.4),
+        }
+        super().__init__(
+            results_per_page=results_per_page,
+            supported_actions=supported,
+            action_costs=costs,
+            query_entry_supported=True,
+            description=(
+                "Keyboard/mouse desktop search interface with keyframe grid, "
+                "player, metadata panel, playlist and explicit judgement buttons."
+            ),
+        )

@@ -1,0 +1,63 @@
+"""The interactive-TV (iTV) interface model.
+
+"Using a remote control, viewers can interact directly when watching
+television [...] It will be more complex to enter query terms, e.g. in using
+the channel selection buttons. Hence, users will possibly avoid to enter key
+words. On the other hand, the selection keys provide a method to give
+explicit relevance feedback."
+
+The iTV model therefore: shows fewer results at once, makes query entry very
+expensive (so simulated users rarely reformulate), removes fine-grained
+mouse-style actions (hover, metadata expansion, playlists), but makes
+explicit rate-up/rate-down judgements cheap single key presses.
+"""
+
+from __future__ import annotations
+
+from repro.feedback.events import EventKind
+from repro.interfaces.base import ActionCost, InterfaceModel
+
+
+class ItvInterface(InterfaceModel):
+    """Remote-control interactive-TV interface."""
+
+    name = "itv"
+
+    def __init__(self, results_per_page: int = 4) -> None:
+        supported = frozenset(
+            {
+                EventKind.QUERY_SUBMITTED,
+                EventKind.RESULTS_DISPLAYED,
+                EventKind.REMOTE_SELECT,
+                EventKind.PLAY_PROGRESS,
+                EventKind.PLAY_COMPLETE,
+                EventKind.BROWSE_RESULTS,
+                EventKind.REMOTE_CHANNEL_SKIP,
+                EventKind.REMOTE_RATE_UP,
+                EventKind.REMOTE_RATE_DOWN,
+            }
+        )
+        costs = {
+            # Entering a query with channel-selection buttons is painful.
+            EventKind.QUERY_SUBMITTED: ActionCost(time_seconds=45.0, effort=0.9),
+            EventKind.RESULTS_DISPLAYED: ActionCost(time_seconds=1.0, effort=0.0),
+            EventKind.REMOTE_SELECT: ActionCost(time_seconds=2.0, effort=0.1),
+            EventKind.PLAY_PROGRESS: ActionCost(time_seconds=0.0, effort=0.0),
+            EventKind.PLAY_COMPLETE: ActionCost(time_seconds=0.0, effort=0.0),
+            EventKind.BROWSE_RESULTS: ActionCost(time_seconds=3.0, effort=0.15),
+            EventKind.REMOTE_CHANNEL_SKIP: ActionCost(time_seconds=1.0, effort=0.05),
+            # Single-button ratings are cheap on the remote control.
+            EventKind.REMOTE_RATE_UP: ActionCost(time_seconds=1.0, effort=0.1),
+            EventKind.REMOTE_RATE_DOWN: ActionCost(time_seconds=1.0, effort=0.1),
+        }
+        super().__init__(
+            results_per_page=results_per_page,
+            supported_actions=supported,
+            action_costs=costs,
+            query_entry_supported=False,
+            description=(
+                "Remote-control interactive TV interface: story carousel, "
+                "select/skip keys and single-button relevance ratings; query "
+                "entry is possible but costly."
+            ),
+        )

@@ -1,0 +1,22 @@
+"""News video framework: broadcast capture, story segmentation, recommendation."""
+
+from repro.newsframework.broadcast import BroadcastRecorder, RecordedBulletin
+from repro.newsframework.pipeline import IngestReport, NewsVideoFramework
+from repro.newsframework.recommender import (
+    NewsRecommender,
+    RecommendationWeights,
+    StoryRecommendation,
+)
+from repro.newsframework.segmentation import SegmentationResult, StorySegmenter
+
+__all__ = [
+    "BroadcastRecorder",
+    "RecordedBulletin",
+    "IngestReport",
+    "NewsVideoFramework",
+    "NewsRecommender",
+    "RecommendationWeights",
+    "StoryRecommendation",
+    "SegmentationResult",
+    "StorySegmenter",
+]

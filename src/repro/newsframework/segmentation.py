@@ -1,0 +1,126 @@
+"""News story segmentation.
+
+Bulletins arrive as a stream of shots; the retrieval and recommendation
+layers work on *stories*.  The generator knows the true story boundaries, so
+— as with shot-boundary detection — we implement the detection step a real
+system would run and evaluate it against that ground truth: a story boundary
+is declared between consecutive shots whose transcripts are sufficiently
+dissimilar (classic lexical-cohesion / TextTiling-style segmentation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.collection.documents import Collection, Shot
+from repro.index.tokenizer import Tokenizer
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+def _cosine(left: Dict[str, int], right: Dict[str, int]) -> float:
+    if not left or not right:
+        return 0.0
+    dot = sum(count * right.get(term, 0) for term, count in left.items())
+    norm_left = math.sqrt(sum(count * count for count in left.values()))
+    norm_right = math.sqrt(sum(count * count for count in right.values()))
+    if norm_left == 0 or norm_right == 0:
+        return 0.0
+    return dot / (norm_left * norm_right)
+
+
+@dataclass(frozen=True)
+class SegmentationResult:
+    """Detected story boundaries for one bulletin plus evaluation."""
+
+    video_id: str
+    detected_boundaries: Tuple[int, ...]
+    true_boundaries: Tuple[int, ...]
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of boundary precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+class StorySegmenter:
+    """Lexical-cohesion story segmentation over a bulletin's shot sequence.
+
+    A boundary is hypothesised before shot *i* when the cosine similarity of
+    the transcript windows on either side falls below ``threshold``.
+    ``window`` controls how many shots on each side form the comparison
+    windows.
+    """
+
+    def __init__(self, threshold: float = 0.12, window: int = 2,
+                 tokenizer: Tokenizer = None) -> None:
+        ensure_in_range(threshold, 0.0, 1.0, "threshold")
+        ensure_positive(window, "window")
+        self._threshold = threshold
+        self._window = window
+        self._tokenizer = tokenizer or Tokenizer()
+
+    def _window_vector(self, shots: Sequence[Shot], start: int, end: int) -> Dict[str, int]:
+        vector: Dict[str, int] = {}
+        for shot in shots[max(0, start) : max(0, end)]:
+            for term in self._tokenizer.tokenize(shot.transcript):
+                vector[term] = vector.get(term, 0) + 1
+        return vector
+
+    def detect_boundaries(self, shots: Sequence[Shot]) -> List[int]:
+        """Indices ``i`` such that a new story starts at ``shots[i]``."""
+        boundaries: List[int] = []
+        for index in range(1, len(shots)):
+            before = self._window_vector(shots, index - self._window, index)
+            after = self._window_vector(shots, index, index + self._window)
+            similarity = _cosine(before, after)
+            if similarity < self._threshold:
+                boundaries.append(index)
+        return boundaries
+
+    def evaluate_video(
+        self, collection: Collection, video_id: str, tolerance: int = 1
+    ) -> SegmentationResult:
+        """Detect and score story boundaries for one bulletin."""
+        shots = collection.shots_of_video(video_id)
+        true_boundaries: List[int] = []
+        previous_story = None
+        for index, shot in enumerate(shots):
+            if previous_story is not None and shot.story_id != previous_story:
+                true_boundaries.append(index)
+            previous_story = shot.story_id
+        detected = self.detect_boundaries(shots)
+        unmatched = list(true_boundaries)
+        true_positive = 0
+        for boundary in detected:
+            match = None
+            for truth in unmatched:
+                if abs(truth - boundary) <= tolerance:
+                    match = truth
+                    break
+            if match is not None:
+                unmatched.remove(match)
+                true_positive += 1
+        precision = true_positive / len(detected) if detected else 0.0
+        recall = true_positive / len(true_boundaries) if true_boundaries else 1.0
+        return SegmentationResult(
+            video_id=video_id,
+            detected_boundaries=tuple(detected),
+            true_boundaries=tuple(true_boundaries),
+            precision=precision,
+            recall=recall,
+        )
+
+    def evaluate_collection(
+        self, collection: Collection, tolerance: int = 1
+    ) -> List[SegmentationResult]:
+        """Evaluate segmentation over every bulletin in a collection."""
+        return [
+            self.evaluate_video(collection, video.video_id, tolerance=tolerance)
+            for video in collection.videos()
+        ]

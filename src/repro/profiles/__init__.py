@@ -1,0 +1,18 @@
+"""Static user profiles: ontology, profile model, learning and re-ranking."""
+
+from repro.profiles.learning import ProfileLearner, build_profile_for_topics
+from repro.profiles.ontology import InterestOntology, OntologyNode
+from repro.profiles.profile import Demographics, UserProfile
+from repro.profiles.reranker import ProfileReranker
+from repro.profiles.store import ProfileStore
+
+__all__ = [
+    "ProfileLearner",
+    "build_profile_for_topics",
+    "InterestOntology",
+    "OntologyNode",
+    "Demographics",
+    "UserProfile",
+    "ProfileReranker",
+    "ProfileStore",
+]

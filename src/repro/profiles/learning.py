@@ -1,0 +1,126 @@
+"""Learning and updating user profiles from interaction history.
+
+The paper treats static profiles and implicit feedback as complementary: the
+profile captures long-term interests, implicit feedback the short-term ones.
+The :class:`ProfileLearner` closes the loop the paper's Section 3 sketches —
+after each session, the evidence accumulated from implicit feedback is
+folded back into the long-term profile (with a learning rate and a
+forgetting factor), so that the next session starts from a better prior.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.collection.documents import Collection
+from repro.index.inverted_index import InvertedIndex
+from repro.profiles.profile import UserProfile
+from repro.retrieval.expansion import extract_key_terms
+from repro.utils.validation import ensure_in_range
+
+
+class ProfileLearner:
+    """Updates a static profile from observed relevance evidence."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        inverted_index: Optional[InvertedIndex] = None,
+        learning_rate: float = 0.2,
+        forgetting_factor: float = 0.98,
+        key_terms_per_update: int = 8,
+    ) -> None:
+        self._collection = collection
+        self._index = inverted_index
+        self._learning_rate = ensure_in_range(learning_rate, 0.0, 1.0, "learning_rate")
+        self._forgetting = ensure_in_range(forgetting_factor, 0.0, 1.0, "forgetting_factor")
+        self._key_terms = key_terms_per_update
+
+    @property
+    def learning_rate(self) -> float:
+        """How strongly one session's evidence moves the profile."""
+        return self._learning_rate
+
+    def update_from_shot_evidence(
+        self, profile: UserProfile, shot_evidence: Mapping[str, float]
+    ) -> UserProfile:
+        """Fold per-shot relevance evidence into the profile (in place).
+
+        ``shot_evidence`` maps shot ids to non-negative evidence mass (as
+        produced by the implicit feedback accumulator).  Category interests
+        move towards the normalised category distribution of the evidence;
+        concept interests are boosted for concepts present in well-supported
+        shots; term interests are boosted with key terms extracted from the
+        supporting transcripts when an index is available.
+        """
+        positive = {
+            shot_id: mass
+            for shot_id, mass in shot_evidence.items()
+            if mass > 0 and self._collection.has_shot(shot_id)
+        }
+        if not positive:
+            return profile
+
+        profile.decay(self._forgetting)
+
+        total_mass = sum(positive.values())
+        category_mass: Dict[str, float] = {}
+        concept_mass: Dict[str, float] = {}
+        for shot_id, mass in positive.items():
+            shot = self._collection.shot(shot_id)
+            category_mass[shot.category] = category_mass.get(shot.category, 0.0) + mass
+            for concept in shot.concepts:
+                concept_mass[concept] = concept_mass.get(concept, 0.0) + mass
+
+        for category, mass in category_mass.items():
+            target = mass / total_mass
+            current = profile.interest_in_category(category)
+            updated = current + self._learning_rate * (target - current)
+            profile.set_category_interest(category, min(1.0, max(0.0, updated)))
+
+        for concept, mass in concept_mass.items():
+            profile.boost_concept_interest(
+                concept, self._learning_rate * (mass / total_mass)
+            )
+
+        if self._index is not None:
+            key_terms = extract_key_terms(
+                self._index,
+                list(positive),
+                limit=self._key_terms,
+                document_weights=positive,
+            )
+            for term, weight in key_terms.items():
+                profile.boost_term_interest(term, self._learning_rate * weight)
+        return profile
+
+    def update_from_watched_shots(
+        self, profile: UserProfile, shot_ids: Iterable[str]
+    ) -> UserProfile:
+        """Convenience wrapper: uniform evidence for a set of watched shots."""
+        return self.update_from_shot_evidence(
+            profile, {shot_id: 1.0 for shot_id in shot_ids}
+        )
+
+
+def build_profile_for_topics(
+    user_id: str,
+    preferred_categories: Mapping[str, float],
+    expertise: str = "novice",
+) -> UserProfile:
+    """Construct a registration-time profile from declared category interests.
+
+    This mirrors what a user would enter when signing up for the news
+    service the paper proposes ("I am interested in football and politics").
+    """
+    from repro.profiles.profile import Demographics
+
+    profile = UserProfile(
+        user_id=user_id,
+        category_interests={
+            category: ensure_in_range(weight, 0.0, 1.0, f"interest in {category!r}")
+            for category, weight in preferred_categories.items()
+        },
+        demographics=Demographics(expertise=expertise),
+    )
+    return profile

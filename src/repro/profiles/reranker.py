@@ -1,0 +1,127 @@
+"""Profile-based personalisation of queries and result lists.
+
+Two personalisation operators are provided, matching the two uses the paper
+describes for static profiles:
+
+* :meth:`ProfileReranker.personalise_query` sets the query "into the user's
+  interest context" by adding weighted terms drawn from the profile's
+  preferred categories (the "java course" example from Arezki et al.); and
+* :meth:`ProfileReranker.rerank` re-ranks a result list so that shots from
+  the user's preferred categories and concepts are promoted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.collection.documents import Collection
+from repro.profiles.ontology import InterestOntology
+from repro.profiles.profile import UserProfile
+from repro.retrieval.query import Query
+from repro.retrieval.reranking import rerank_with_scores
+from repro.retrieval.results import ResultList
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+class ProfileReranker:
+    """Applies a static user profile to queries and rankings."""
+
+    def __init__(
+        self,
+        ontology: InterestOntology,
+        collection: Optional[Collection] = None,
+        expansion_terms_per_category: int = 5,
+        expansion_weight: float = 0.4,
+        rerank_weight: float = 0.3,
+    ) -> None:
+        self._ontology = ontology
+        self._collection = collection
+        self._expansion_terms = ensure_positive(
+            expansion_terms_per_category, "expansion_terms_per_category"
+        )
+        self._expansion_weight = ensure_in_range(
+            expansion_weight, 0.0, 1.0, "expansion_weight"
+        )
+        self._rerank_weight = ensure_in_range(rerank_weight, 0.0, 1.0, "rerank_weight")
+
+    @property
+    def rerank_weight(self) -> float:
+        """Interpolation weight of profile evidence during re-ranking."""
+        return self._rerank_weight
+
+    # -- query personalisation -----------------------------------------------
+
+    def personalise_query(self, query: Query, profile: UserProfile) -> Query:
+        """Expand a query with terms and concepts from the user's interests.
+
+        Expansion terms from a category are weighted by the product of the
+        profile's interest in that category and the global expansion weight,
+        so a mild interest nudges the ranking while a strong interest
+        dominates ambiguous queries.
+        """
+        if profile.is_empty():
+            return query
+        term_weights: Dict[str, float] = dict(query.term_weights)
+        for category, interest in profile.category_interests.items():
+            if interest <= 0 or not self._ontology.has_node(category):
+                continue
+            for term in self._ontology.terms_for_category(category)[: self._expansion_terms]:
+                addition = self._expansion_weight * interest
+                term_weights[term] = term_weights.get(term, 0.0) + addition
+        for term, interest in profile.term_interests.items():
+            if interest > 0:
+                term_weights[term] = term_weights.get(term, 0.0) + (
+                    self._expansion_weight * interest
+                )
+        concept_weights: Dict[str, float] = dict(query.concept_weights)
+        for concept, interest in profile.concept_interests.items():
+            if interest > 0:
+                concept_weights[concept] = concept_weights.get(concept, 0.0) + interest
+        personalised = query.with_term_weights(term_weights)
+        personalised.concept_weights = concept_weights
+        return personalised
+
+    # -- result re-ranking --------------------------------------------------------
+
+    def profile_scores(
+        self, profile: UserProfile, results: ResultList, collection: Collection
+    ) -> Dict[str, float]:
+        """Score the shots of a result list by profile affinity.
+
+        The affinity of a shot is the profile's interest in the shot's
+        category plus a smaller contribution from matching concepts.
+        """
+        scores: Dict[str, float] = {}
+        for item in results:
+            if not collection.has_shot(item.shot_id):
+                continue
+            shot = collection.shot(item.shot_id)
+            affinity = profile.interest_in_category(shot.category)
+            for concept in shot.concepts:
+                affinity += 0.25 * profile.interest_in_concept(concept)
+            if affinity > 0:
+                scores[item.shot_id] = affinity
+        return scores
+
+    def rerank(
+        self,
+        results: ResultList,
+        profile: UserProfile,
+        collection: Optional[Collection] = None,
+        weight: Optional[float] = None,
+    ) -> ResultList:
+        """Re-rank a result list towards the user's static interests."""
+        target_collection = collection or self._collection
+        if target_collection is None:
+            raise ValueError("a collection is required to rerank by profile")
+        if profile.is_empty() or len(results) == 0:
+            return results
+        scores = self.profile_scores(profile, results, target_collection)
+        if not scores:
+            return results
+        return rerank_with_scores(
+            results,
+            scores,
+            weight if weight is not None else self._rerank_weight,
+            collection=target_collection,
+        )

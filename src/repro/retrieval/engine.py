@@ -1,0 +1,231 @@
+"""The video retrieval engine: multimodal search over a news collection.
+
+The engine is the non-adaptive core every experiment builds on.  It fuses
+three evidence sources per query:
+
+* text scores from the inverted index over ASR transcripts (BM25 by default,
+  swappable for TF-IDF or language-model scoring),
+* visual similarity to any example shots attached to the query, and
+* concept-detector scores for any concept weights attached to the query.
+
+Adaptation (profiles, implicit feedback) is deliberately *not* handled here;
+the :mod:`repro.core` layer wraps the engine and injects that evidence, so
+that baseline and adaptive systems share exactly the same substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.collection.documents import Collection
+from repro.index.fusion import weighted_fusion
+from repro.index.inverted_index import InvertedIndex
+from repro.index.language_model import DirichletLanguageModelScorer
+from repro.index.scoring import Bm25Scorer, TextScorer, TfIdfScorer
+from repro.index.tokenizer import Tokenizer
+from repro.index.visual import VisualIndex
+from repro.retrieval.expansion import RocchioExpander, extract_key_terms
+from repro.retrieval.query import Query
+from repro.retrieval.results import ResultList
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the retrieval engine.
+
+    ``text_weight``, ``visual_weight`` and ``concept_weight`` control the
+    multimodal fusion; ``scorer`` selects the text ranking function
+    (``"bm25"``, ``"tfidf"`` or ``"lm"``).
+    """
+
+    scorer: str = "bm25"
+    text_weight: float = 1.0
+    visual_weight: float = 0.4
+    concept_weight: float = 0.3
+    result_limit: int = 100
+    bm25_k1: float = 1.2
+    bm25_b: float = 0.75
+    lm_mu: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.scorer not in ("bm25", "tfidf", "lm"):
+            raise ValueError(f"unknown scorer {self.scorer!r}")
+        if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
+            raise ValueError("fusion weights must be non-negative")
+        ensure_positive(self.result_limit, "result_limit")
+
+
+class VideoRetrievalEngine:
+    """Multimodal search over a news-video collection."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        inverted_index: Optional[InvertedIndex] = None,
+        visual_index: Optional[VisualIndex] = None,
+        config: EngineConfig = EngineConfig(),
+        tokenizer: Optional[Tokenizer] = None,
+    ) -> None:
+        self._collection = collection
+        self._tokenizer = tokenizer or Tokenizer()
+        self._config = config
+        self._inverted_index = inverted_index or InvertedIndex.from_collection(
+            collection, tokenizer=self._tokenizer
+        )
+        self._visual_index = visual_index or VisualIndex.from_collection(collection)
+        self._text_scorer = self._build_scorer(config)
+
+    def _build_scorer(self, config: EngineConfig) -> TextScorer:
+        if config.scorer == "bm25":
+            return Bm25Scorer(self._inverted_index, k1=config.bm25_k1, b=config.bm25_b)
+        if config.scorer == "tfidf":
+            return TfIdfScorer(self._inverted_index)
+        return DirichletLanguageModelScorer(self._inverted_index, mu=config.lm_mu)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def collection(self) -> Collection:
+        """The collection being searched."""
+        return self._collection
+
+    @property
+    def inverted_index(self) -> InvertedIndex:
+        """The text index."""
+        return self._inverted_index
+
+    @property
+    def visual_index(self) -> VisualIndex:
+        """The visual index."""
+        return self._visual_index
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The query/document tokenizer."""
+        return self._tokenizer
+
+    # -- scoring -----------------------------------------------------------------
+
+    def text_scores(self, query: Query) -> Dict[str, float]:
+        """Text-evidence scores for a query (terms from text plus weights)."""
+        term_weights: Dict[str, float] = {}
+        for token in self._tokenizer.tokenize(query.text):
+            term_weights[token] = term_weights.get(token, 0.0) + 1.0
+        for term, weight in query.term_weights.items():
+            normalised = self._tokenizer.stem_token(term.lower())
+            term_weights[normalised] = term_weights.get(normalised, 0.0) + weight
+        if not term_weights:
+            return {}
+        return self._text_scorer.score(term_weights)
+
+    def visual_scores(self, query: Query) -> Dict[str, float]:
+        """Visual-similarity scores for a query's example shots."""
+        if not query.example_shot_ids:
+            return {}
+        combined: Dict[str, float] = {}
+        for shot_id in query.example_shot_ids:
+            if not self._visual_index.has_shot(shot_id):
+                continue
+            for candidate_id, similarity in self._visual_index.similar_to_shot(
+                shot_id, limit=self._config.result_limit
+            ):
+                combined[candidate_id] = max(combined.get(candidate_id, 0.0), similarity)
+        return combined
+
+    def concept_scores(self, query: Query) -> Dict[str, float]:
+        """Concept-detector scores for a query's concept weights."""
+        if not query.concept_weights:
+            return {}
+        return self._visual_index.score_by_concepts(query.concept_weights)
+
+    # -- search ---------------------------------------------------------------------
+
+    def search(self, query: Query, limit: Optional[int] = None) -> ResultList:
+        """Run a multimodal search and return a ranked result list."""
+        if query.is_empty():
+            return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
+        score_maps: List[Dict[str, float]] = []
+        weights: List[float] = []
+        text = self.text_scores(query)
+        if text:
+            score_maps.append(text)
+            weights.append(self._config.text_weight)
+        visual = self.visual_scores(query)
+        if visual:
+            score_maps.append(visual)
+            weights.append(self._config.visual_weight)
+        concepts = self.concept_scores(query)
+        if concepts:
+            score_maps.append(concepts)
+            weights.append(self._config.concept_weight)
+        if not score_maps:
+            return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
+        fused = weighted_fusion(score_maps, weights)
+        return ResultList.from_scores(
+            query_text=query.text,
+            scores=fused,
+            collection=self._collection,
+            limit=limit or self._config.result_limit,
+            topic_id=query.topic_id,
+        )
+
+    def search_text(self, text: str, limit: Optional[int] = None,
+                    topic_id: Optional[str] = None) -> ResultList:
+        """Convenience wrapper for a plain keyword search."""
+        return self.search(Query.from_text(text, topic_id=topic_id), limit=limit)
+
+    def more_like_this(self, shot_id: str, limit: int = 20) -> ResultList:
+        """Query-by-example: shots similar to a given shot.
+
+        Combines visual similarity with key terms extracted from the shot's
+        transcript, which is how "find more like this keyframe" behaves in
+        interactive news-video systems.
+        """
+        ensure_positive(limit, "limit")
+        shot = self._collection.shot(shot_id)
+        key_terms = extract_key_terms(self._inverted_index, [shot_id], limit=8)
+        query = Query(term_weights=key_terms, example_shot_ids=[shot_id])
+        results = self.search(query, limit=limit + 1)
+        items = [item for item in results if item.shot_id != shot_id][:limit]
+        reranked = ResultList(query_text=f"more-like:{shot_id}", items=[])
+        for rank, item in enumerate(items, start=1):
+            reranked.items.append(
+                type(item)(
+                    shot_id=item.shot_id,
+                    score=item.score,
+                    rank=rank,
+                    story_id=item.story_id,
+                    video_id=item.video_id,
+                    headline=item.headline,
+                    category=item.category,
+                    duration_seconds=item.duration_seconds,
+                )
+            )
+        return reranked
+
+    def expand_query(
+        self,
+        query: Query,
+        relevant_shot_ids,
+        non_relevant_shot_ids=(),
+        expansion_terms: int = 20,
+    ) -> Query:
+        """Apply Rocchio feedback to a query using judged shots."""
+        expander = RocchioExpander(
+            self._inverted_index, expansion_terms=expansion_terms
+        )
+        base_terms: Dict[str, float] = {}
+        for token in self._tokenizer.tokenize(query.text):
+            base_terms[token] = base_terms.get(token, 0.0) + 1.0
+        for term, weight in query.term_weights.items():
+            normalised = self._tokenizer.stem_token(term.lower())
+            base_terms[normalised] = base_terms.get(normalised, 0.0) + weight
+        expanded = expander.expand(base_terms, list(relevant_shot_ids), list(non_relevant_shot_ids))
+        return query.with_term_weights(expanded)

@@ -1,0 +1,67 @@
+"""Query model for the video retrieval engine.
+
+A query bundles the three kinds of evidence a multimodal video search can
+carry: free text, weighted terms (how relevance feedback and profile
+expansion are expressed), example shots ("more like this") and concept
+constraints.  Most callers only set ``text``; the adaptive layers enrich the
+other fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Query:
+    """A multimodal video search query."""
+
+    text: str = ""
+    term_weights: Dict[str, float] = field(default_factory=dict)
+    example_shot_ids: List[str] = field(default_factory=list)
+    concept_weights: Dict[str, float] = field(default_factory=dict)
+    topic_id: Optional[str] = None
+    user_id: Optional[str] = None
+
+    def is_empty(self) -> bool:
+        """True if the query carries no evidence at all."""
+        return (
+            not self.text.strip()
+            and not self.term_weights
+            and not self.example_shot_ids
+            and not self.concept_weights
+        )
+
+    def with_text(self, text: str) -> "Query":
+        """A copy of this query with different text."""
+        return Query(
+            text=text,
+            term_weights=dict(self.term_weights),
+            example_shot_ids=list(self.example_shot_ids),
+            concept_weights=dict(self.concept_weights),
+            topic_id=self.topic_id,
+            user_id=self.user_id,
+        )
+
+    def with_term_weights(self, term_weights: Dict[str, float]) -> "Query":
+        """A copy of this query with the given expanded term weights."""
+        return Query(
+            text=self.text,
+            term_weights=dict(term_weights),
+            example_shot_ids=list(self.example_shot_ids),
+            concept_weights=dict(self.concept_weights),
+            topic_id=self.topic_id,
+            user_id=self.user_id,
+        )
+
+    def add_example(self, shot_id: str) -> None:
+        """Add an example shot for query-by-example evidence."""
+        if shot_id not in self.example_shot_ids:
+            self.example_shot_ids.append(shot_id)
+
+    @classmethod
+    def from_text(cls, text: str, topic_id: Optional[str] = None,
+                  user_id: Optional[str] = None) -> "Query":
+        """Construct a plain keyword query."""
+        return cls(text=text, topic_id=topic_id, user_id=user_id)

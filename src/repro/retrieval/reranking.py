@@ -1,0 +1,106 @@
+"""Re-ranking utilities: interpolating extra evidence into a result list.
+
+Both personalisation (static profiles) and implicit feedback ultimately act
+by *re-ranking*: producing a score map over shots and folding it into the
+engine's original ranking.  The helpers here perform that fold and the
+story-level aggregation used by the news recommender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.collection.documents import Collection
+from repro.index.fusion import interpolate
+from repro.retrieval.results import ResultList
+
+
+def rerank_with_scores(
+    results: ResultList,
+    evidence_scores: Mapping[str, float],
+    weight: float,
+    collection: Optional[Collection] = None,
+    limit: Optional[int] = None,
+) -> ResultList:
+    """Interpolate evidence scores into a result list and re-sort.
+
+    ``weight`` is the interpolation weight on the evidence (0 keeps the
+    original ranking, 1 ranks purely by the evidence).  Only shots already
+    in the result list are retained unless the evidence introduces new ones
+    and ``limit`` allows them.
+    """
+    original_scores = results.scores()
+    combined = interpolate(original_scores, dict(evidence_scores), weight)
+    effective_limit = limit if limit is not None else len(results)
+    return ResultList.from_scores(
+        query_text=results.query_text,
+        scores=combined,
+        collection=collection,
+        limit=max(effective_limit, len(results)),
+        topic_id=results.topic_id,
+    )
+
+
+def story_scores_from_shots(
+    shot_scores: Mapping[str, float],
+    collection: Collection,
+    aggregation: str = "max",
+) -> Dict[str, float]:
+    """Aggregate shot-level scores to story-level scores.
+
+    ``aggregation`` is ``"max"`` (a story is as interesting as its best shot),
+    ``"sum"`` or ``"mean"``.
+    """
+    if aggregation not in ("max", "sum", "mean"):
+        raise ValueError(f"unknown aggregation {aggregation!r}")
+    grouped: Dict[str, list] = {}
+    for shot_id, score in shot_scores.items():
+        if not collection.has_shot(shot_id):
+            continue
+        story_id = collection.shot(shot_id).story_id
+        grouped.setdefault(story_id, []).append(score)
+    aggregated: Dict[str, float] = {}
+    for story_id, values in grouped.items():
+        if aggregation == "max":
+            aggregated[story_id] = max(values)
+        elif aggregation == "sum":
+            aggregated[story_id] = sum(values)
+        else:
+            aggregated[story_id] = sum(values) / len(values)
+    return aggregated
+
+
+def demote_seen_shots(
+    results: ResultList,
+    seen_shot_ids,
+    penalty: float = 0.5,
+    collection: Optional[Collection] = None,
+) -> ResultList:
+    """Demote shots the user has already seen in this session.
+
+    Interactive systems avoid re-presenting material the user has just
+    inspected; the penalty multiplies the (min-max normalised) score of seen
+    shots by ``1 - penalty``.
+    """
+    if not 0.0 <= penalty <= 1.0:
+        raise ValueError(f"penalty must be in [0, 1], got {penalty}")
+    seen = set(seen_shot_ids)
+    scores = results.scores()
+    if not scores:
+        return results
+    low = min(scores.values())
+    high = max(scores.values())
+    span = (high - low) or 1.0
+    adjusted = {}
+    for shot_id, score in scores.items():
+        normalised = (score - low) / span
+        if shot_id in seen:
+            normalised *= 1.0 - penalty
+        adjusted[shot_id] = normalised
+    return ResultList.from_scores(
+        query_text=results.query_text,
+        scores=adjusted,
+        collection=collection,
+        limit=len(results),
+        topic_id=results.topic_id,
+    )

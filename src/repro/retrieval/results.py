@@ -1,0 +1,145 @@
+"""Ranked result lists returned by the retrieval engine.
+
+A :class:`ResultList` is what the interface layer renders and what the
+evaluation metrics score.  Each :class:`ResultItem` carries enough metadata
+(keyframe, story headline, duration) for a simulated user to decide whether
+to interact with it without dereferencing the collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.collection.documents import Collection
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One entry in a ranked result list."""
+
+    shot_id: str
+    score: float
+    rank: int
+    story_id: str = ""
+    video_id: str = ""
+    headline: str = ""
+    category: str = ""
+    duration_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for logging."""
+        return {
+            "shot_id": self.shot_id,
+            "score": self.score,
+            "rank": self.rank,
+            "story_id": self.story_id,
+            "video_id": self.video_id,
+            "headline": self.headline,
+            "category": self.category,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass
+class ResultList:
+    """A ranked list of shots for one query."""
+
+    query_text: str
+    items: List[ResultItem] = field(default_factory=list)
+    topic_id: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[ResultItem]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> ResultItem:
+        return self.items[index]
+
+    def shot_ids(self) -> List[str]:
+        """The ranked shot ids."""
+        return [item.shot_id for item in self.items]
+
+    def scores(self) -> Dict[str, float]:
+        """A ``{shot_id: score}`` view of the list."""
+        return {item.shot_id: item.score for item in self.items}
+
+    def top(self, count: int) -> List[ResultItem]:
+        """The first ``count`` items."""
+        return self.items[:count]
+
+    def rank_of(self, shot_id: str) -> Optional[int]:
+        """1-based rank of a shot, or ``None`` if absent."""
+        for item in self.items:
+            if item.shot_id == shot_id:
+                return item.rank
+        return None
+
+    def contains(self, shot_id: str) -> bool:
+        """True if the shot appears anywhere in the list."""
+        return any(item.shot_id == shot_id for item in self.items)
+
+    @classmethod
+    def from_scores(
+        cls,
+        query_text: str,
+        scores: Dict[str, float],
+        collection: Optional[Collection] = None,
+        limit: int = 100,
+        topic_id: Optional[str] = None,
+    ) -> "ResultList":
+        """Build a ranked list from a score map.
+
+        Ties are broken by shot id so rankings are deterministic.  When a
+        collection is supplied, presentation metadata is filled in.
+        """
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:limit]
+        items: List[ResultItem] = []
+        for rank, (shot_id, score) in enumerate(ranked, start=1):
+            if collection is not None and collection.has_shot(shot_id):
+                shot = collection.shot(shot_id)
+                story = collection.story(shot.story_id)
+                items.append(
+                    ResultItem(
+                        shot_id=shot_id,
+                        score=score,
+                        rank=rank,
+                        story_id=shot.story_id,
+                        video_id=shot.video_id,
+                        headline=story.headline,
+                        category=shot.category,
+                        duration_seconds=shot.duration,
+                    )
+                )
+            else:
+                items.append(ResultItem(shot_id=shot_id, score=score, rank=rank))
+        return cls(query_text=query_text, items=items, topic_id=topic_id)
+
+
+def merge_result_lists(
+    lists: Sequence[ResultList], limit: int = 100, query_text: str = ""
+) -> ResultList:
+    """Merge several result lists by best score per shot (used by recommenders)."""
+    best: Dict[str, ResultItem] = {}
+    for result_list in lists:
+        for item in result_list:
+            current = best.get(item.shot_id)
+            if current is None or item.score > current.score:
+                best[item.shot_id] = item
+    ranked = sorted(best.values(), key=lambda item: (-item.score, item.shot_id))[:limit]
+    items = [
+        ResultItem(
+            shot_id=item.shot_id,
+            score=item.score,
+            rank=rank,
+            story_id=item.story_id,
+            video_id=item.video_id,
+            headline=item.headline,
+            category=item.category,
+            duration_seconds=item.duration_seconds,
+        )
+        for rank, item in enumerate(ranked, start=1)
+    ]
+    return ResultList(query_text=query_text, items=items)

@@ -1,0 +1,49 @@
+"""Simulated-user evaluation framework: users, strategies, sessions, populations, replay."""
+
+from repro.simulation.noise import JudgementModel
+from repro.simulation.population import (
+    PopulationMember,
+    assign_topics,
+    generate_population,
+)
+from repro.simulation.replay import (
+    build_graph_from_logs,
+    indicator_observations_from_logs,
+    replay_evidence,
+    shot_durations_from_collection,
+)
+from repro.simulation.session import IterationOutcome, SessionOutcome, SessionSimulator
+from repro.simulation.strategies import (
+    DriftingQueryStrategy,
+    QueryStrategy,
+    TitleQueryStrategy,
+)
+from repro.simulation.user import (
+    SimulatedUser,
+    casual_user,
+    diligent_user,
+    lazy_user,
+    standard_personas,
+)
+
+__all__ = [
+    "JudgementModel",
+    "PopulationMember",
+    "assign_topics",
+    "generate_population",
+    "build_graph_from_logs",
+    "indicator_observations_from_logs",
+    "replay_evidence",
+    "shot_durations_from_collection",
+    "IterationOutcome",
+    "SessionOutcome",
+    "SessionSimulator",
+    "DriftingQueryStrategy",
+    "QueryStrategy",
+    "TitleQueryStrategy",
+    "SimulatedUser",
+    "casual_user",
+    "diligent_user",
+    "lazy_user",
+    "standard_personas",
+]

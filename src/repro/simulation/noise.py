@@ -1,0 +1,55 @@
+"""Perception and judgement noise for simulated users.
+
+Real users do not read qrels: they guess relevance from what the interface
+shows them, and they are sometimes wrong.  The :class:`JudgementModel`
+centralises those guesses so every part of the simulator (and the tests)
+draws misjudgements from a single, seedable place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ensure_probability
+
+
+@dataclass(frozen=True)
+class JudgementModel:
+    """Noisy relevance perception.
+
+    ``surrogate_error_rate`` applies when judging from the result-list
+    surrogate (keyframe and headline); ``post_play_error_rate`` applies
+    after actually playing the shot.  ``representativeness`` optionally
+    scales the surrogate error: a poorly chosen keyframe makes surrogate
+    judgements worse.
+    """
+
+    surrogate_error_rate: float = 0.25
+    post_play_error_rate: float = 0.08
+
+    def __post_init__(self) -> None:
+        ensure_probability(self.surrogate_error_rate, "surrogate_error_rate")
+        ensure_probability(self.post_play_error_rate, "post_play_error_rate")
+
+    def judge_from_surrogate(
+        self,
+        rng: RandomSource,
+        truly_relevant: bool,
+        representativeness: Optional[float] = None,
+    ) -> bool:
+        """The user's belief about relevance after seeing only the surrogate."""
+        error = self.surrogate_error_rate
+        if representativeness is not None:
+            # A perfectly representative keyframe keeps the base error; an
+            # unrepresentative one pushes the error towards chance (0.5).
+            representativeness = min(1.0, max(0.0, representativeness))
+            error = error + (0.5 - error) * (1.0 - representativeness)
+        return truly_relevant if not rng.boolean(error) else not truly_relevant
+
+    def judge_after_playing(self, rng: RandomSource, truly_relevant: bool) -> bool:
+        """The user's belief about relevance after watching the shot."""
+        if rng.boolean(self.post_play_error_rate):
+            return not truly_relevant
+        return truly_relevant

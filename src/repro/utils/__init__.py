@@ -1,0 +1,33 @@
+"""Shared utilities: deterministic RNG management, validation and serialization."""
+
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+from repro.utils.serialization import (
+    read_json,
+    read_jsonl,
+    read_jsonl_list,
+    write_json,
+    write_jsonl,
+)
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_non_empty,
+    ensure_positive,
+    ensure_probability,
+    ensure_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "spawn_rng",
+    "read_json",
+    "read_jsonl",
+    "read_jsonl_list",
+    "write_json",
+    "write_jsonl",
+    "ensure_in_range",
+    "ensure_non_empty",
+    "ensure_positive",
+    "ensure_probability",
+    "ensure_type",
+]

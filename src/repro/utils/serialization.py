@@ -1,0 +1,68 @@
+"""JSON-lines serialization helpers for logs, runs and collection snapshots.
+
+The library persists three kinds of artefacts:
+
+* interaction log files (one JSON object per event line),
+* TREC-style run and qrel files (whitespace-separated text), and
+* collection snapshots (JSON).
+
+Only the generic JSON-lines plumbing lives here; format-specific code lives
+next to the objects it serialises (``repro.interfaces.logging``,
+``repro.evaluation.trec``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(path: PathLike, records: Iterable[Dict[str, Any]]) -> int:
+    """Write an iterable of dictionaries to ``path`` as JSON lines.
+
+    Returns the number of records written.  Parent directories are created
+    on demand so callers can write straight into experiment output trees.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Yield dictionaries from a JSON-lines file, skipping blank lines."""
+    target = Path(path)
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield json.loads(line)
+
+
+def read_jsonl_list(path: PathLike) -> List[Dict[str, Any]]:
+    """Read an entire JSON-lines file into a list."""
+    return list(read_jsonl(path))
+
+
+def write_json(path: PathLike, payload: Any, indent: int = 2) -> None:
+    """Write a JSON document, creating parent directories as needed."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+
+
+def read_json(path: PathLike) -> Any:
+    """Read a JSON document."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

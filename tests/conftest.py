@@ -1,0 +1,56 @@
+"""Shared fixtures: a small synthetic corpus and the engines built on it.
+
+The corpus fixtures are session-scoped because generation and indexing are
+the slowest steps; tests must treat them as read-only (mutating tests build
+their own corpus).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyse_collection
+from repro.collection import CollectionConfig, SyntheticCorpus, generate_corpus
+from repro.core import AdaptiveVideoRetrievalSystem
+from repro.retrieval import VideoRetrievalEngine
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> SyntheticCorpus:
+    """A small, fully generated corpus shared by read-only tests."""
+    return generate_corpus(seed=41, config=CollectionConfig.small())
+
+
+@pytest.fixture(scope="session")
+def medium_corpus() -> SyntheticCorpus:
+    """A medium corpus for simulation and experiment tests."""
+    return generate_corpus(
+        seed=17,
+        config=CollectionConfig(days=8, stories_per_day=7, topic_count=8),
+    )
+
+
+@pytest.fixture(scope="session")
+def analysed_corpus() -> SyntheticCorpus:
+    """A small corpus with features and concept scores filled in."""
+    corpus = generate_corpus(seed=43, config=CollectionConfig.small())
+    analyse_collection(corpus.collection)
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def engine(small_corpus: SyntheticCorpus) -> VideoRetrievalEngine:
+    """A retrieval engine over the small corpus."""
+    return VideoRetrievalEngine(small_corpus.collection)
+
+
+@pytest.fixture(scope="session")
+def medium_engine(medium_corpus: SyntheticCorpus) -> VideoRetrievalEngine:
+    """A retrieval engine over the medium corpus."""
+    return VideoRetrievalEngine(medium_corpus.collection)
+
+
+@pytest.fixture(scope="session")
+def adaptive_system(medium_engine: VideoRetrievalEngine) -> AdaptiveVideoRetrievalSystem:
+    """An adaptive system over the medium corpus."""
+    return AdaptiveVideoRetrievalSystem(medium_engine)

@@ -1,0 +1,224 @@
+"""Tests for the video analysis substrate: features, shots, concepts, keyframes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisPipeline,
+    CandidateFrameSampler,
+    ConceptDetectorBank,
+    ConceptDetectorConfig,
+    FeatureConfig,
+    FeatureExtractor,
+    FrameSignalSynthesiser,
+    KeyframeSelector,
+    ShotBoundaryDetector,
+    all_concepts,
+    analyse_collection,
+    cosine_similarity,
+    euclidean_distance,
+    evaluate_collection_segmentation,
+    histogram_intersection,
+)
+from repro.collection import CollectionConfig, generate_corpus
+
+
+class TestSimilarityFunctions:
+    def test_cosine_identical(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_cosine_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1], [1, 2])
+
+    def test_euclidean(self):
+        assert euclidean_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_histogram_intersection(self):
+        assert histogram_intersection([0.5, 0.5], [0.25, 0.75]) == pytest.approx(0.75)
+
+
+class TestFeatureExtractor:
+    def test_dimensions(self, small_corpus):
+        config = FeatureConfig(colour_bins=8, edge_bins=4, texture_bins=4)
+        extractor = FeatureExtractor(config)
+        shot = small_corpus.collection.shots()[0]
+        vector = extractor.extract(shot.keyframe)
+        assert len(vector) == config.dimensions == 16
+
+    def test_deterministic(self, small_corpus):
+        shot = small_corpus.collection.shots()[0]
+        first = FeatureExtractor(seed=7).extract(shot.keyframe)
+        second = FeatureExtractor(seed=7).extract(shot.keyframe)
+        assert first == second
+
+    def test_histogram_families_normalised(self, small_corpus):
+        config = FeatureConfig(colour_bins=8, edge_bins=4, texture_bins=4)
+        extractor = FeatureExtractor(config)
+        shot = small_corpus.collection.shots()[0]
+        vector = extractor.extract(shot.keyframe)
+        assert sum(vector[:8]) == pytest.approx(1.0, abs=1e-6)
+        assert sum(vector[8:12]) == pytest.approx(1.0, abs=1e-6)
+        assert sum(vector[12:]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_same_topic_shots_more_similar_than_cross_category(self, small_corpus):
+        extractor = FeatureExtractor()
+        topic = small_corpus.topics.topics()[0]
+        relevant_ids = sorted(small_corpus.qrels.relevant_shots(topic.topic_id))[:4]
+        relevant = [small_corpus.collection.shot(s) for s in relevant_ids]
+        other = [
+            shot for shot in small_corpus.collection.shots()
+            if shot.category != topic.category
+        ][:4]
+        if len(relevant) < 2 or not other:
+            pytest.skip("corpus too small for this comparison")
+        rel_vectors = [extractor.extract(s.keyframe) for s in relevant]
+        other_vectors = [extractor.extract(s.keyframe) for s in other]
+        within = cosine_similarity(rel_vectors[0], rel_vectors[1])
+        across = cosine_similarity(rel_vectors[0], other_vectors[0])
+        assert within > across
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(colour_bins=0)
+        with pytest.raises(ValueError):
+            FeatureConfig(noise_sigma=-1)
+
+
+class TestShotBoundaryDetection:
+    def test_synthesised_signal_consistent(self, small_corpus):
+        synthesiser = FrameSignalSynthesiser()
+        video = small_corpus.collection.videos()[0]
+        signal = synthesiser.synthesise(small_corpus.collection, video.video_id)
+        shots = small_corpus.collection.shots_of_video(video.video_id)
+        assert len(signal.true_boundaries) == len(shots) - 1
+        assert signal.frame_count > len(shots)
+
+    def test_detector_quality_on_clean_signal(self, small_corpus):
+        results = evaluate_collection_segmentation(small_corpus.collection)
+        mean_f1 = sum(r.f1 for r in results) / len(results)
+        assert mean_f1 > 0.8
+
+    def test_perfect_result_properties(self):
+        from repro.analysis.shots import FrameDifferenceSignal
+
+        signal = FrameDifferenceSignal(
+            video_id="V1",
+            frame_rate=5.0,
+            differences=(0.1, 0.1, 0.9, 0.1, 0.1),
+            true_boundaries=(2,),
+        )
+        result = ShotBoundaryDetector().evaluate(signal)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_empty_detection_zero_precision(self):
+        from repro.analysis.shots import FrameDifferenceSignal
+
+        signal = FrameDifferenceSignal(
+            video_id="V1",
+            frame_rate=5.0,
+            differences=(0.1,) * 20,
+            true_boundaries=(5, 10),
+        )
+        result = ShotBoundaryDetector().evaluate(signal)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+
+class TestConceptDetectors:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ConceptDetectorConfig(positive_mean=0.2, negative_mean=0.6)
+        with pytest.raises(ValueError):
+            ConceptDetectorConfig(score_sigma=-0.1)
+
+    def test_scores_bounded(self, small_corpus):
+        bank = ConceptDetectorBank()
+        shot = small_corpus.collection.shots()[0]
+        scores = bank.score_shot(shot)
+        assert set(scores) == set(all_concepts())
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_scores_deterministic(self, small_corpus):
+        shot = small_corpus.collection.shots()[0]
+        assert ConceptDetectorBank(seed=3).score_shot(shot) == ConceptDetectorBank(
+            seed=3
+        ).score_shot(shot)
+
+    def test_present_concepts_score_higher_on_average(self, small_corpus):
+        bank = ConceptDetectorBank()
+        present_scores, absent_scores = [], []
+        for shot in small_corpus.collection.shots()[:60]:
+            scores = bank.score_shot(shot)
+            for concept, value in scores.items():
+                (present_scores if concept in shot.concepts else absent_scores).append(value)
+        assert sum(present_scores) / len(present_scores) > sum(absent_scores) / len(
+            absent_scores
+        )
+
+    def test_strong_config_better_auc_than_weak(self, small_corpus):
+        shots = small_corpus.collection.shots()[:80]
+        concept = "person"
+        strong = ConceptDetectorBank(config=ConceptDetectorConfig.strong(), seed=5)
+        weak = ConceptDetectorBank(config=ConceptDetectorConfig.weak(), seed=5)
+        for shot in shots:
+            shot.concept_scores = {}
+        strong_quality = strong.detector_quality(shots, concept)
+        for shot in shots:
+            shot.concept_scores = {}
+        weak_quality = weak.detector_quality(shots, concept)
+        assert strong_quality["auc"] > weak_quality["auc"]
+
+    def test_annotate_collection(self, small_corpus):
+        corpus = generate_corpus(seed=101, config=CollectionConfig.small())
+        ConceptDetectorBank().annotate_collection(corpus.collection)
+        assert all(shot.concept_scores for shot in corpus.collection.iter_shots())
+
+
+class TestKeyframes:
+    def test_candidate_count(self, small_corpus):
+        sampler = CandidateFrameSampler(frames_per_shot=5)
+        shot = small_corpus.collection.shots()[0]
+        assert len(sampler.sample(shot)) == 5
+
+    def test_selected_keyframe_refers_to_shot(self, small_corpus):
+        sampler = CandidateFrameSampler()
+        selector = KeyframeSelector()
+        shot = small_corpus.collection.shots()[0]
+        keyframe = selector.select(shot, sampler.sample(shot))
+        assert keyframe.shot_id == shot.shot_id
+
+    def test_empty_candidates_fall_back_to_original(self, small_corpus):
+        shot = small_corpus.collection.shots()[0]
+        assert KeyframeSelector().select(shot, []) is shot.keyframe
+
+    def test_representativeness_bounds(self, small_corpus):
+        selector = KeyframeSelector()
+        shot = small_corpus.collection.shots()[0]
+        value = selector.representativeness(shot, shot.keyframe)
+        assert value == pytest.approx(1.0)
+
+
+class TestAnalysisPipeline:
+    def test_pipeline_fills_shot_fields(self):
+        corpus = generate_corpus(seed=107, config=CollectionConfig.small())
+        report = AnalysisPipeline().run(corpus.collection)
+        assert report.shots_processed == corpus.collection.shot_count
+        for shot in corpus.collection.iter_shots():
+            assert shot.features is not None
+            assert shot.concept_scores
+
+    def test_analyse_collection_wrapper(self):
+        corpus = generate_corpus(seed=109, config=CollectionConfig.small())
+        report = analyse_collection(corpus.collection)
+        assert report.as_dict()["shots_processed"] == corpus.collection.shot_count

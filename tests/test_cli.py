@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    """A small corpus generated through the CLI itself."""
+    directory = tmp_path_factory.mktemp("cli-corpus")
+    out = io.StringIO()
+    code = main(
+        [
+            "generate",
+            "--output", str(directory),
+            "--seed", "5",
+            "--days", "4",
+            "--stories-per-day", "5",
+            "--topics", "6",
+        ],
+        out=out,
+    )
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "/tmp/x"])
+        assert args.command == "generate"
+        assert args.seed == 13
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_corpus_files(self, corpus_dir):
+        assert (corpus_dir / "collection.json").exists()
+        assert (corpus_dir / "topics.json").exists()
+        assert (corpus_dir / "qrels.txt").exists()
+        assert (corpus_dir / "manifest.json").exists()
+
+    def test_output_mentions_sizes(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["generate", "--output", str(tmp_path / "c"), "--seed", "9",
+             "--days", "3", "--stories-per-day", "4", "--topics", "4"],
+            out=out,
+        )
+        assert code == 0
+        assert "bulletins" in out.getvalue()
+
+
+class TestSearch:
+    def test_search_prints_ranked_results(self, corpus_dir):
+        from repro.collection import load_corpus
+
+        stored = load_corpus(corpus_dir)
+        topic = stored.topics.topics()[0]
+        out = io.StringIO()
+        code = main(
+            [
+                "search",
+                "--corpus", str(corpus_dir),
+                "--query", " ".join(topic.query_terms[:3]),
+                "--topic", topic.topic_id,
+                "--limit", "5",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "average precision" in text
+        assert "1." in text
+
+    def test_search_no_results(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            ["search", "--corpus", str(corpus_dir), "--query", "zzzzunknownterm"],
+            out=out,
+        )
+        assert code == 0
+        assert "no results" in out.getvalue()
+
+
+class TestSimulateAndAnalyse:
+    def test_simulate_writes_logs_then_analyse(self, corpus_dir, tmp_path):
+        logs_dir = tmp_path / "logs"
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--corpus", str(corpus_dir),
+                "--logs", str(logs_dir),
+                "--users", "2",
+                "--topics-per-user", "1",
+                "--policy", "implicit",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert list(logs_dir.glob("*.jsonl"))
+        assert "MAP=" in out.getvalue()
+
+        analyse_out = io.StringIO()
+        code = main(
+            ["analyse-logs", "--corpus", str(corpus_dir), "--logs", str(logs_dir)],
+            out=analyse_out,
+        )
+        assert code == 0
+        assert "indicator" in analyse_out.getvalue()
+
+    def test_analyse_missing_logs_fails(self, corpus_dir, tmp_path):
+        empty = tmp_path / "empty-logs"
+        empty.mkdir()
+        assert main(
+            ["analyse-logs", "--corpus", str(corpus_dir), "--logs", str(empty)],
+            out=io.StringIO(),
+        ) == 1
+
+
+class TestExperiment:
+    def test_experiment_prints_table(self, corpus_dir):
+        out = io.StringIO()
+        code = main(
+            [
+                "experiment",
+                "--corpus", str(corpus_dir),
+                "--users", "2",
+                "--topics-per-user", "1",
+                "--policies", "baseline,implicit",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "baseline" in text and "implicit" in text
+        assert "vs baseline" in text
+
+    def test_unknown_policy_rejected(self, corpus_dir):
+        assert main(
+            ["experiment", "--corpus", str(corpus_dir), "--policies", "telepathy"],
+            out=io.StringIO(),
+        ) == 2

@@ -1,0 +1,247 @@
+"""Tests for the collection data model, topics, qrels and transcripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import (
+    AsrNoiseModel,
+    Collection,
+    Keyframe,
+    NewsStory,
+    Qrels,
+    Shot,
+    Topic,
+    TopicSet,
+    TranscriptGenerator,
+    Video,
+    build_vocabulary,
+)
+from repro.utils.rng import RandomSource
+
+
+def _make_shot(shot_id: str, story_id: str = "S1", video_id: str = "V1",
+               category: str = "sports", relevance=None) -> Shot:
+    return Shot(
+        shot_id=shot_id,
+        video_id=video_id,
+        story_id=story_id,
+        start_seconds=0.0,
+        end_seconds=10.0,
+        transcript="some words here",
+        keyframe=Keyframe(keyframe_id=f"{shot_id}_KF", shot_id=shot_id,
+                          latent_signal=(0.0, 1.0)),
+        category=category,
+        topic_relevance=relevance or {},
+    )
+
+
+@pytest.fixture()
+def tiny_collection() -> Collection:
+    shots = [_make_shot(f"SH{i}", story_id="S1" if i < 3 else "S2") for i in range(5)]
+    stories = [
+        NewsStory(story_id="S1", video_id="V1", category="sports", headline="h1",
+                  shot_ids=["SH0", "SH1", "SH2"]),
+        NewsStory(story_id="S2", video_id="V1", category="politics", headline="h2",
+                  shot_ids=["SH3", "SH4"]),
+    ]
+    videos = [Video(video_id="V1", broadcast_date="2008-01-01",
+                    story_ids=["S1", "S2"])]
+    return Collection(videos, stories, shots)
+
+
+class TestCollectionModel:
+    def test_counts(self, tiny_collection):
+        assert tiny_collection.video_count == 1
+        assert tiny_collection.story_count == 2
+        assert tiny_collection.shot_count == 5
+        assert len(tiny_collection) == 5
+
+    def test_lookup(self, tiny_collection):
+        assert tiny_collection.shot("SH0").shot_id == "SH0"
+        assert tiny_collection.story("S1").headline == "h1"
+        assert tiny_collection.video("V1").broadcast_date == "2008-01-01"
+
+    def test_shots_of_story_order(self, tiny_collection):
+        assert [s.shot_id for s in tiny_collection.shots_of_story("S1")] == [
+            "SH0", "SH1", "SH2"
+        ]
+
+    def test_shots_of_video(self, tiny_collection):
+        assert len(tiny_collection.shots_of_video("V1")) == 5
+
+    def test_story_of_shot(self, tiny_collection):
+        assert tiny_collection.story_of_shot("SH4").story_id == "S2"
+
+    def test_neighbours_of_shot(self, tiny_collection):
+        neighbours = tiny_collection.neighbours_of_shot("SH1", window=1)
+        assert sorted(s.shot_id for s in neighbours) == ["SH0", "SH2"]
+
+    def test_neighbours_at_story_edge(self, tiny_collection):
+        neighbours = tiny_collection.neighbours_of_shot("SH0", window=1)
+        assert [s.shot_id for s in neighbours] == ["SH1"]
+
+    def test_dangling_story_reference_rejected(self):
+        shots = [_make_shot("SH0")]
+        stories = [NewsStory(story_id="S1", video_id="V_MISSING", category="sports",
+                             headline="h", shot_ids=["SH0"])]
+        videos = [Video(video_id="V1", broadcast_date="2008-01-01", story_ids=["S1"])]
+        with pytest.raises(ValueError):
+            Collection(videos, stories, shots)
+
+    def test_dangling_shot_reference_rejected(self):
+        shots = [_make_shot("SH0")]
+        stories = [NewsStory(story_id="S1", video_id="V1", category="sports",
+                             headline="h", shot_ids=["SH0", "SH_MISSING"])]
+        videos = [Video(video_id="V1", broadcast_date="2008-01-01", story_ids=["S1"])]
+        with pytest.raises(ValueError):
+            Collection(videos, stories, shots)
+
+    def test_statistics(self, tiny_collection):
+        stats = tiny_collection.statistics()
+        assert stats["shots"] == 5.0
+        assert stats["mean_shot_duration_seconds"] == pytest.approx(10.0)
+
+    def test_categories_and_filter(self, tiny_collection):
+        assert tiny_collection.categories() == ["sports"]
+        assert len(tiny_collection.shots_in_category("sports")) == 5
+
+    def test_relevant_shots(self):
+        shots = [
+            _make_shot("SH0", relevance={"T1": 1}),
+            _make_shot("SH1"),
+        ]
+        stories = [NewsStory(story_id="S1", video_id="V1", category="sports",
+                             headline="h", shot_ids=["SH0", "SH1"])]
+        videos = [Video(video_id="V1", broadcast_date="2008-01-01", story_ids=["S1"])]
+        collection = Collection(videos, stories, shots)
+        assert [s.shot_id for s in collection.relevant_shots("T1")] == ["SH0"]
+
+    def test_shot_grades(self):
+        shot = _make_shot("SH0", relevance={"T1": 2})
+        assert shot.is_relevant_to("T1")
+        assert shot.relevance_grade("T1") == 2
+        assert shot.relevance_grade("T2") == 0
+        assert not shot.is_relevant_to("T2")
+
+
+class TestTopics:
+    def test_topic_set_lookup_and_order(self):
+        topics = TopicSet([
+            Topic("T1", "a b", "desc", "sports", ["a", "b"]),
+            Topic("T2", "c d", "desc", "politics", ["c", "d"]),
+        ])
+        assert topics.topic_ids() == ["T1", "T2"]
+        assert topics.topic("T2").category == "politics"
+        assert "T1" in topics
+        assert len(topics) == 2
+
+    def test_duplicate_topic_rejected(self):
+        with pytest.raises(ValueError):
+            TopicSet([
+                Topic("T1", "a", "d", "sports", ["a"]),
+                Topic("T1", "b", "d", "sports", ["b"]),
+            ])
+
+    def test_unknown_topic_raises(self):
+        topics = TopicSet([Topic("T1", "a", "d", "sports", ["a"])])
+        with pytest.raises(KeyError):
+            topics.topic("T9")
+
+    def test_by_category_and_categories(self):
+        topics = TopicSet([
+            Topic("T1", "a", "d", "sports", ["a"]),
+            Topic("T2", "b", "d", "sports", ["b"]),
+            Topic("T3", "c", "d", "world", ["c"]),
+        ])
+        assert [t.topic_id for t in topics.by_category("sports")] == ["T1", "T2"]
+        assert topics.categories() == ["sports", "world"]
+
+    def test_initial_query(self):
+        topic = Topic("T1", "a b c", "d", "sports", ["a", "b", "c", "d"])
+        assert topic.initial_query(2) == "a b"
+        assert topic.initial_query(99) == "a b c d"
+
+
+class TestQrels:
+    def test_add_and_grade(self):
+        qrels = Qrels()
+        qrels.add("T1", "SH1", 1)
+        qrels.add("T1", "SH2", 2)
+        assert qrels.grade("T1", "SH2") == 2
+        assert qrels.grade("T1", "SH_UNKNOWN") == 0
+        assert qrels.is_relevant("T1", "SH1")
+        assert not qrels.is_relevant("T2", "SH1")
+
+    def test_higher_grade_wins(self):
+        qrels = Qrels()
+        qrels.add("T1", "SH1", 2)
+        qrels.add("T1", "SH1", 1)
+        assert qrels.grade("T1", "SH1") == 2
+
+    def test_negative_grade_rejected(self):
+        with pytest.raises(ValueError):
+            Qrels().add("T1", "SH1", -1)
+
+    def test_relevant_shots_and_count(self):
+        qrels = Qrels({"T1": {"SH1": 1, "SH2": 0, "SH3": 2}})
+        assert qrels.relevant_shots("T1") == {"SH1", "SH3"}
+        assert qrels.relevant_count("T1") == 2
+        assert len(qrels) == 3
+
+    def test_trec_round_trip(self, tmp_path):
+        qrels = Qrels({"T1": {"SH1": 1, "SH2": 0}, "T2": {"SH3": 2}})
+        path = tmp_path / "qrels.txt"
+        qrels.save(path)
+        loaded = Qrels.load(path)
+        assert list(loaded.items()) == list(qrels.items())
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("T1 SH1 1\n")
+        with pytest.raises(ValueError):
+            Qrels.load(path)
+
+    def test_from_triples(self):
+        qrels = Qrels.from_triples([("T1", "SH1", 1), ("T1", "SH2", 2)])
+        assert qrels.relevant_count("T1") == 2
+
+
+class TestTranscripts:
+    def test_noise_model_validation(self):
+        with pytest.raises(ValueError):
+            AsrNoiseModel(deletion_rate=0.7, substitution_rate=0.5)
+        with pytest.raises(ValueError):
+            AsrNoiseModel(deletion_rate=-0.1)
+
+    def test_word_error_rate(self):
+        model = AsrNoiseModel(deletion_rate=0.1, substitution_rate=0.2, insertion_rate=0.05)
+        assert model.word_error_rate == pytest.approx(0.35)
+
+    def test_clean_model_is_lossless(self):
+        vocabulary = build_vocabulary(RandomSource(2).spawn("v"), terms_per_category=10,
+                                      background_terms=20)
+        generator = TranscriptGenerator(vocabulary, AsrNoiseModel.clean())
+        rng = RandomSource(4).spawn("t")
+        words = generator.spoken_words(rng, "sports", 30)
+        assert generator.corrupt(rng, words) == list(words)
+
+    def test_poor_model_corrupts(self):
+        vocabulary = build_vocabulary(RandomSource(2).spawn("v"), terms_per_category=10,
+                                      background_terms=20)
+        generator = TranscriptGenerator(vocabulary, AsrNoiseModel.poor())
+        rng = RandomSource(4).spawn("t")
+        words = generator.spoken_words(rng, "sports", 200)
+        corrupted = generator.corrupt(rng.spawn("c"), words)
+        assert corrupted != list(words)
+
+    def test_transcript_topic_terms_present(self):
+        vocabulary = build_vocabulary(RandomSource(2).spawn("v"), terms_per_category=10,
+                                      background_terms=20)
+        generator = TranscriptGenerator(vocabulary, AsrNoiseModel.clean(),
+                                        category_weight=0.3, topic_weight=0.6)
+        rng = RandomSource(4).spawn("t")
+        transcript = generator.transcript_for_shot(
+            rng, "sports", 200, topic_terms=["uniquetopicterm"]
+        )
+        assert "uniquetopicterm" in transcript.split()

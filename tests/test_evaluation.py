@@ -1,0 +1,231 @@
+"""Tests for metrics, TREC runs, significance tests and log analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import Qrels
+from repro.evaluation import (
+    LogAnalyser,
+    Run,
+    average_precision,
+    compare_per_topic,
+    compare_runs,
+    dcg_at_k,
+    evaluate_ranking,
+    evaluate_run,
+    mean_average_precision,
+    mean_metric,
+    ndcg_at_k,
+    paired_t_test,
+    precision_at_k,
+    randomisation_test,
+    recall_at_k,
+    reciprocal_rank,
+    relative_improvement,
+    success_at_k,
+)
+from repro.feedback import EventKind, InteractionEvent
+from repro.interfaces import SessionLog
+
+
+class TestMetrics:
+    def test_precision_at_k(self):
+        ranking = ["a", "b", "c", "d"]
+        assert precision_at_k(ranking, {"a", "c"}, 2) == 0.5
+        assert precision_at_k(ranking, {"a", "c"}, 4) == 0.5
+        assert precision_at_k([], {"a"}, 5) == 0.0
+        with pytest.raises(ValueError):
+            precision_at_k(ranking, {"a"}, 0)
+
+    def test_recall_at_k(self):
+        ranking = ["a", "b", "c"]
+        assert recall_at_k(ranking, {"a", "z"}, 3) == 0.5
+        assert recall_at_k(ranking, set(), 3) == 0.0
+
+    def test_average_precision_perfect_and_worst(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+        assert average_precision(["x", "y"], {"a"}) == 0.0
+
+    def test_average_precision_known_value(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision(["a", "x", "b"], {"a", "b"}) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_average_precision_counts_unretrieved_relevant(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_graded_metrics_accept_mappings(self):
+        ranking = ["a", "b", "c"]
+        grades = {"a": 2, "c": 1}
+        assert precision_at_k(ranking, grades, 3) == pytest.approx(2 / 3)
+        assert dcg_at_k(ranking, grades, 3) > 0
+        assert 0 < ndcg_at_k(ranking, grades, 3) <= 1.0
+
+    def test_ndcg_perfect_ordering_is_one(self):
+        grades = {"a": 2, "b": 1}
+        assert ndcg_at_k(["a", "b"], grades, 2) == pytest.approx(1.0)
+        assert ndcg_at_k(["b", "a"], grades, 2) < 1.0
+
+    def test_ndcg_no_relevant_is_zero(self):
+        assert ndcg_at_k(["a"], {}, 5) == 0.0
+
+    def test_success_at_k(self):
+        assert success_at_k(["x", "a"], {"a"}, 2) == 1.0
+        assert success_at_k(["x", "a"], {"a"}, 1) == 0.0
+
+    def test_mean_metric_and_map(self):
+        assert mean_metric([]) == 0.0
+        assert mean_metric([0.2, 0.4]) == pytest.approx(0.3)
+        rankings = {"T1": ["a"], "T2": ["x"]}
+        judgements = {"T1": {"a"}, "T2": {"b"}}
+        assert mean_average_precision(rankings, judgements) == pytest.approx(0.5)
+
+    def test_evaluate_ranking_bundle(self):
+        metrics = evaluate_ranking(["a", "x", "b"], {"a", "b"}, cutoffs=(2,))
+        assert "average_precision" in metrics
+        assert "precision@2" in metrics
+        assert "ndcg@2" in metrics
+
+    def test_relative_improvement(self):
+        assert relative_improvement(0.4, 0.5) == pytest.approx(0.25)
+        assert relative_improvement(0.0, 0.5) == 0.0
+
+
+class TestRuns:
+    def test_run_round_trip(self, tmp_path):
+        run = Run(name="test-run")
+        run.add_topic("T1", ["a", "b", "c"])
+        run.add_topic("T2", ["x"])
+        path = tmp_path / "run.txt"
+        run.save(path)
+        loaded = Run.load(path)
+        assert loaded.name == "test-run"
+        assert loaded.ranking_for("T1") == ["a", "b", "c"]
+        assert len(loaded) == 2
+
+    def test_malformed_run_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("T1 Q0 doc1 1\n")
+        with pytest.raises(ValueError):
+            Run.load(path)
+
+    def test_evaluate_run_per_topic_and_aggregate(self):
+        qrels = Qrels({"T1": {"a": 1, "b": 1}, "T2": {"x": 1}})
+        run = Run(name="r")
+        run.add_topic("T1", ["a", "z", "b"])
+        run.add_topic("T2", ["q", "x"])
+        evaluation = evaluate_run(run, qrels)
+        assert set(evaluation.per_topic) == {"T1", "T2"}
+        assert 0 < evaluation.map < 1
+        assert evaluation.metric("average_precision") == evaluation.map
+
+    def test_evaluate_run_missing_topic_scores_zero(self):
+        qrels = Qrels({"T1": {"a": 1}, "T2": {"b": 1}})
+        run = Run(name="partial")
+        run.add_topic("T1", ["a"])
+        evaluation = evaluate_run(run, qrels)
+        assert evaluation.per_topic["T2"]["average_precision"] == 0.0
+        assert evaluation.map == pytest.approx(0.5)
+
+    def test_compare_runs_sorted(self):
+        qrels = Qrels({"T1": {"a": 1}})
+        good = Run(name="good"); good.add_topic("T1", ["a"])
+        bad = Run(name="bad"); bad.add_topic("T1", ["x", "a"])
+        rows = compare_runs([evaluate_run(bad, qrels), evaluate_run(good, qrels)])
+        assert rows[0]["run"] == "good"
+
+
+class TestSignificance:
+    def test_paired_t_test_detects_consistent_improvement(self):
+        baseline = [0.2, 0.3, 0.25, 0.4, 0.35, 0.3, 0.28, 0.33]
+        treatment = [value + 0.1 for value in baseline]
+        result = paired_t_test(baseline, treatment)
+        assert result.mean_difference == pytest.approx(0.1)
+        assert result.p_value < 0.01
+        assert result.significant()
+
+    def test_paired_t_test_no_difference(self):
+        values = [0.2, 0.3, 0.4, 0.5]
+        result = paired_t_test(values, list(values))
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_randomisation_test_direction(self):
+        baseline = [0.1, 0.2, 0.15, 0.22, 0.18, 0.2, 0.16, 0.25]
+        treatment = [value + 0.2 for value in baseline]
+        improved = randomisation_test(baseline, treatment, iterations=500)
+        assert improved.p_value < 0.05
+        noise = randomisation_test(baseline, baseline, iterations=200)
+        assert noise.p_value > 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([0.1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            paired_t_test([0.1], [0.2])
+
+    def test_compare_per_topic(self):
+        baseline = {"T1": 0.1, "T2": 0.2, "T3": 0.3}
+        treatment = {"T1": 0.3, "T2": 0.4, "T3": 0.5}
+        result = compare_per_topic(baseline, treatment, method="t-test")
+        assert result.mean_difference == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            compare_per_topic({"T1": 0.1}, {"T1": 0.2})
+        with pytest.raises(ValueError):
+            compare_per_topic(baseline, treatment, method="anova")
+
+
+class TestLogAnalysis:
+    def _log(self, interface="desktop", topic_id="T1", shots=("s1", "s2")):
+        events = [
+            InteractionEvent(kind=EventKind.QUERY_SUBMITTED, timestamp=0.0,
+                             query_text="goal"),
+        ]
+        for index, shot_id in enumerate(shots):
+            events.append(
+                InteractionEvent(kind=EventKind.PLAY_CLICK, timestamp=float(index + 1),
+                                 shot_id=shot_id, rank=index + 1)
+            )
+        events.append(
+            InteractionEvent(kind=EventKind.MARK_RELEVANT, timestamp=10.0, shot_id=shots[0])
+        )
+        return SessionLog(session_id=f"{interface}-{topic_id}", user_id="u1",
+                          interface=interface, topic_id=topic_id, events=events)
+
+    def test_empty_analysis(self):
+        report = LogAnalyser().analyse([])
+        assert report.session_count == 0
+        assert report.events_per_session == 0.0
+
+    def test_event_counts_and_rates(self):
+        report = LogAnalyser().analyse([self._log(), self._log(topic_id="T2")])
+        assert report.session_count == 2
+        assert report.event_counts["play_click"] == 4
+        assert report.queries_per_session == 1.0
+        assert report.implicit_events_per_session == 2.0
+        assert report.explicit_events_per_session == 1.0
+
+    def test_indicator_reliability_with_qrels(self):
+        qrels = Qrels({"T1": {"s1": 1}})
+        report = LogAnalyser().analyse([self._log()], qrels=qrels)
+        reliability = report.indicator_reliability["play_click"]
+        assert reliability.firings == 2
+        assert reliability.relevant_firings == 1
+        assert reliability.precision == 0.5
+        table = report.indicator_precision_table()
+        assert table
+        assert all(len(row) == 3 for row in table)
+
+    def test_compare_interfaces_groups(self):
+        analyser = LogAnalyser()
+        grouped = analyser.compare_interfaces(
+            [self._log("desktop"), self._log("itv", topic_id="T2")]
+        )
+        assert set(grouped) == {"desktop", "itv"}
+        assert grouped["desktop"].session_count == 1

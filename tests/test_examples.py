@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+Each example is executed in-process (via ``runpy``) and its stdout checked
+for the landmarks a reader is supposed to see.  The slow full user-study
+example is exercised with a temporary output directory.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, argv=None) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example script {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + list(argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart_shows_adaptation(self, capsys):
+        output = _run_example("quickstart.py", capsys)
+        assert "initial ranking" in output
+        assert "adapted ranking" in output
+        assert "AP = " in output
+
+    def test_itv_session_compares_interfaces(self, capsys):
+        output = _run_example("itv_session.py", capsys)
+        assert "--- desktop session ---" in output
+        assert "--- iTV (remote control) session ---" in output
+        assert "more implicit feedback" in output
+
+    def test_news_recommendation_prints_rundowns(self, capsys):
+        output = _run_example("news_recommendation.py", capsys)
+        assert "personalised rundown for sports_fan" in output
+        assert "story segmentation F1" in output
+
+    @pytest.mark.slow
+    def test_simulated_user_study(self, capsys, tmp_path):
+        output = _run_example("simulated_user_study.py", capsys, argv=[str(tmp_path)])
+        assert "system comparison" in output
+        assert "indicator" in output
+        assert "combined" in output

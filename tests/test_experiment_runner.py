@@ -1,0 +1,115 @@
+"""Tests for the experiment runner (simulated user studies end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import baseline_policy, combined_policy, implicit_only_policy
+from repro.evaluation import (
+    ExperimentCondition,
+    ExperimentRunner,
+    comparison_table,
+    default_query_strategy,
+    make_interface,
+)
+from repro.feedback import heuristic_scheme
+
+
+class TestInterfacesFactory:
+    def test_make_interface(self):
+        assert make_interface("desktop").name == "desktop"
+        assert make_interface("itv").name == "itv"
+        with pytest.raises(ValueError):
+            make_interface("hologram")
+
+
+class TestExperimentCondition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentCondition(name="x", user_count=0)
+        with pytest.raises(ValueError):
+            ExperimentCondition(name="x", query_vagueness=2.0)
+
+
+class TestDefaultStrategy:
+    def test_vague_terms_are_background_content_words(self, medium_corpus):
+        strategy = default_query_strategy(medium_corpus, vagueness=0.5)
+        assert strategy.vague_terms
+        from repro.collection.vocabulary import STOPWORDS
+
+        assert not set(strategy.vague_terms) & set(STOPWORDS)
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def runner(self, medium_corpus):
+        return ExperimentRunner(medium_corpus)
+
+    @pytest.fixture(scope="class")
+    def small_conditions(self):
+        return [
+            ExperimentCondition(name="baseline", policy=baseline_policy(),
+                                user_count=3, topics_per_user=1, seed=7),
+            ExperimentCondition(name="implicit", policy=implicit_only_policy(),
+                                user_count=3, topics_per_user=1, seed=7),
+        ]
+
+    @pytest.fixture(scope="class")
+    def results(self, runner, small_conditions):
+        return runner.run_conditions(small_conditions)
+
+    def test_session_counts(self, results):
+        assert len(results["baseline"].sessions) == 3
+        assert len(results["implicit"].sessions) == 3
+
+    def test_shared_population_pairs_sessions(self, results):
+        baseline_pairs = {(r.user_id, r.topic_id) for r in results["baseline"].sessions}
+        implicit_pairs = {(r.user_id, r.topic_id) for r in results["implicit"].sessions}
+        assert baseline_pairs == implicit_pairs
+
+    def test_metrics_in_range(self, results):
+        for result in results.values():
+            summary = result.summary()
+            assert 0.0 <= summary["map"] <= 1.0
+            assert 0.0 <= summary["precision@10"] <= 1.0
+            assert summary["events_per_session"] > 0
+
+    def test_per_session_metric_keys(self, results):
+        per_session = results["baseline"].per_session_metric("average_precision")
+        assert len(per_session) == 3
+        assert all(":" in key for key in per_session)
+
+    def test_session_logs_collected(self, results):
+        logs = results["baseline"].session_logs()
+        assert len(logs) == 3
+        assert all(log.topic_id for log in logs)
+
+    def test_comparison_table(self, results):
+        rows = comparison_table(results, metrics=("map",))
+        assert {row["condition"] for row in rows} == {"baseline", "implicit"}
+
+    def test_runner_deterministic(self, medium_corpus, small_conditions):
+        first = ExperimentRunner(medium_corpus).run_condition(small_conditions[0])
+        second = ExperimentRunner(medium_corpus).run_condition(small_conditions[0])
+        assert first.mean_average_precision == pytest.approx(
+            second.mean_average_precision
+        )
+
+    def test_custom_scheme_accepted(self, runner):
+        condition = ExperimentCondition(
+            name="heuristic", policy=implicit_only_policy(), scheme=heuristic_scheme(),
+            user_count=2, topics_per_user=1, seed=9,
+        )
+        result = runner.run_condition(condition)
+        assert len(result.sessions) == 2
+
+    def test_itv_condition_runs(self, runner):
+        condition = ExperimentCondition(
+            name="itv", policy=combined_policy(), interface="itv",
+            user_count=2, topics_per_user=1, seed=9,
+        )
+        result = runner.run_condition(condition)
+        assert len(result.sessions) == 2
+        assert all(
+            record.outcome.session_log.interface == "itv" for record in result.sessions
+        )

@@ -1,0 +1,156 @@
+"""Tests for the evidence accumulator and the community implicit graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback import (
+    EvidenceAccumulator,
+    EventKind,
+    ImplicitGraph,
+    InteractionEvent,
+    heuristic_scheme,
+    uniform_scheme,
+)
+
+
+def _event(kind: EventKind, shot_id="s1", duration=None):
+    return InteractionEvent(kind=kind, timestamp=0.0, shot_id=shot_id, duration=duration)
+
+
+class TestEvidenceAccumulator:
+    def test_static_accumulation_adds_up(self):
+        accumulator = EvidenceAccumulator(scheme=uniform_scheme(), decay=1.0)
+        accumulator.observe_batch([_event(EventKind.PLAY_CLICK)])
+        accumulator.observe_batch([_event(EventKind.PLAY_CLICK)])
+        assert accumulator.evidence_for("s1") == pytest.approx(2.0)
+        assert accumulator.event_count == 2
+
+    def test_ostensive_decay_discounts_older_batches(self):
+        accumulator = EvidenceAccumulator(scheme=uniform_scheme(), decay=0.5)
+        accumulator.observe_batch([_event(EventKind.PLAY_CLICK, shot_id="old")])
+        accumulator.observe_batch([_event(EventKind.PLAY_CLICK, shot_id="new")])
+        assert accumulator.evidence_for("old") == pytest.approx(0.5)
+        assert accumulator.evidence_for("new") == pytest.approx(1.0)
+
+    def test_zero_decay_rejected(self):
+        with pytest.raises(ValueError):
+            EvidenceAccumulator(decay=0.0)
+
+    def test_negative_evidence_from_skip(self):
+        accumulator = EvidenceAccumulator(scheme=uniform_scheme())
+        accumulator.observe(_event(EventKind.SKIP_RESULT))
+        assert accumulator.evidence_for("s1") < 0
+        assert "s1" in accumulator.negative_evidence()
+        assert "s1" not in accumulator.positive_evidence()
+
+    def test_top_shots_sorted(self):
+        accumulator = EvidenceAccumulator(scheme=uniform_scheme())
+        accumulator.observe_batch(
+            [
+                _event(EventKind.PLAY_CLICK, shot_id="a"),
+                _event(EventKind.PLAY_CLICK, shot_id="b"),
+                _event(EventKind.ADD_TO_PLAYLIST, shot_id="b"),
+            ]
+        )
+        top = accumulator.top_shots(2)
+        assert top[0][0] == "b"
+
+    def test_empty_batch_is_noop(self):
+        accumulator = EvidenceAccumulator(decay=0.5)
+        accumulator.observe_batch([_event(EventKind.PLAY_CLICK)])
+        before = accumulator.evidence()
+        accumulator.observe_batch([])
+        assert accumulator.evidence() == before
+
+    def test_reset(self):
+        accumulator = EvidenceAccumulator()
+        accumulator.observe(_event(EventKind.PLAY_CLICK))
+        accumulator.reset()
+        assert len(accumulator) == 0
+        assert accumulator.event_count == 0
+
+    def test_play_progress_uses_shot_durations(self):
+        accumulator = EvidenceAccumulator(
+            scheme=heuristic_scheme(), shot_durations={"s1": 20.0}
+        )
+        accumulator.observe(_event(EventKind.PLAY_PROGRESS, duration=20.0))
+        full = accumulator.evidence_for("s1")
+        accumulator2 = EvidenceAccumulator(
+            scheme=heuristic_scheme(), shot_durations={"s1": 20.0}
+        )
+        accumulator2.observe(_event(EventKind.PLAY_PROGRESS, duration=2.0))
+        assert full > accumulator2.evidence_for("s1")
+
+
+class TestImplicitGraph:
+    def test_add_session_creates_query_and_shot_edges(self):
+        graph = ImplicitGraph()
+        graph.add_session(["football goal"], {"s1": 1.0, "s2": 0.5})
+        assert graph.session_count == 1
+        assert graph.has_query("football goal")
+        assert graph.node_count >= 3
+        assert graph.edge_count >= 3
+
+    def test_query_normalisation_matches_equivalent_queries(self):
+        graph = ImplicitGraph()
+        graph.add_session(["Football GOAL"], {"s1": 1.0})
+        assert graph.has_query("goal football")
+
+    def test_negative_evidence_creates_no_edges(self):
+        graph = ImplicitGraph()
+        graph.add_session(["query terms"], {"s1": -1.0})
+        assert graph.edge_count == 0
+        assert graph.session_count == 1
+
+    def test_recommend_from_query(self):
+        graph = ImplicitGraph()
+        graph.add_session(["football goal"], {"s1": 2.0, "s2": 1.0})
+        graph.add_session(["football goal"], {"s2": 2.0, "s3": 1.5})
+        recommendations = graph.recommend(query_text="football goal", limit=5)
+        recommended_ids = [shot_id for shot_id, _ in recommendations]
+        assert set(recommended_ids) <= {"s1", "s2", "s3"}
+        assert len(recommended_ids) >= 2
+
+    def test_recommend_from_session_evidence_excludes_seeds(self):
+        graph = ImplicitGraph()
+        graph.add_session(["q one"], {"s1": 1.0, "s2": 1.0})
+        recommendations = graph.recommend(session_shot_evidence={"s1": 1.0}, limit=5)
+        recommended_ids = [shot_id for shot_id, _ in recommendations]
+        assert "s1" not in recommended_ids
+        assert "s2" in recommended_ids
+
+    def test_recommend_unknown_query_no_session_returns_empty(self):
+        graph = ImplicitGraph()
+        graph.add_session(["known query"], {"s1": 1.0})
+        assert graph.recommend(query_text="completely different") == []
+
+    def test_exclusions_respected(self):
+        graph = ImplicitGraph()
+        graph.add_session(["q"], {"s1": 1.0, "s2": 1.0, "s3": 1.0})
+        recommendations = graph.recommend(query_text="q", exclude_shot_ids=["s2"])
+        assert "s2" not in [shot_id for shot_id, _ in recommendations]
+
+    def test_recommendation_scores_map(self):
+        graph = ImplicitGraph()
+        graph.add_session(["q"], {"s1": 1.0, "s2": 2.0})
+        scores = graph.recommendation_scores(query_text="q")
+        assert set(scores) <= {"s1", "s2"}
+        assert all(value > 0 for value in scores.values())
+
+    def test_parameter_validation(self):
+        graph = ImplicitGraph()
+        graph.add_session(["q"], {"s1": 1.0})
+        with pytest.raises(ValueError):
+            graph.recommend(query_text="q", limit=0)
+        with pytest.raises(ValueError):
+            graph.recommend(query_text="q", damping=1.5)
+        with pytest.raises(ValueError):
+            graph.add_session(["q"], {"s1": 1.0}, co_occurrence_weight=2.0)
+
+    def test_more_sessions_strengthen_popular_shots(self):
+        graph = ImplicitGraph()
+        for _ in range(5):
+            graph.add_session(["popular query"], {"hub": 1.0, "rare": 0.2})
+        scores = graph.recommendation_scores(query_text="popular query")
+        assert scores["hub"] > scores["rare"]

@@ -1,0 +1,152 @@
+"""Tests for the synthetic collection generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collection import (
+    CollectionConfig,
+    CollectionGenerator,
+    generate_corpus,
+)
+
+
+class TestCollectionConfig:
+    def test_defaults_valid(self):
+        CollectionConfig()
+
+    def test_invalid_shot_range(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(shots_per_story_min=5, shots_per_story_max=3)
+
+    def test_invalid_word_range(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(words_per_shot_min=50, words_per_shot_max=10)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(topic_story_probability=1.5)
+
+    def test_invalid_transcript_weights(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(transcript_category_weight=0.8, transcript_topic_weight=0.4)
+
+    def test_empty_categories(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(categories=())
+
+    def test_presets(self):
+        assert CollectionConfig.small().days < CollectionConfig.standard().days
+
+
+class TestGeneratedCorpus:
+    def test_sizes_match_config(self, small_corpus):
+        config = small_corpus.config
+        collection = small_corpus.collection
+        assert collection.video_count == config.days
+        assert collection.story_count == config.days * config.stories_per_day
+        assert len(small_corpus.topics) == config.topic_count
+
+    def test_shot_counts_within_bounds(self, small_corpus):
+        config = small_corpus.config
+        for story in small_corpus.collection.stories():
+            assert config.shots_per_story_min <= story.shot_count <= config.shots_per_story_max
+
+    def test_every_topic_has_relevant_shots(self, small_corpus):
+        for topic in small_corpus.topics:
+            assert small_corpus.qrels.relevant_count(topic.topic_id) > 0
+
+    def test_qrels_match_shot_annotations(self, small_corpus):
+        for topic_id, shot_id, grade in small_corpus.qrels.items():
+            shot = small_corpus.collection.shot(shot_id)
+            assert shot.relevance_grade(topic_id) == grade
+
+    def test_relevant_shots_belong_to_topic_category(self, small_corpus):
+        for topic in small_corpus.topics:
+            for shot_id in small_corpus.qrels.relevant_shots(topic.topic_id):
+                assert small_corpus.collection.shot(shot_id).category == topic.category
+
+    def test_shot_times_are_contiguous_per_video(self, small_corpus):
+        for video in small_corpus.collection.videos():
+            shots = small_corpus.collection.shots_of_video(video.video_id)
+            for previous, current in zip(shots, shots[1:]):
+                assert current.start_seconds == pytest.approx(previous.end_seconds)
+
+    def test_video_duration_matches_shots(self, small_corpus):
+        for video in small_corpus.collection.videos():
+            shots = small_corpus.collection.shots_of_video(video.video_id)
+            assert video.duration_seconds == pytest.approx(shots[-1].end_seconds)
+
+    def test_every_shot_has_transcript_and_keyframe(self, small_corpus):
+        for shot in small_corpus.collection.iter_shots():
+            assert shot.transcript.strip()
+            assert len(shot.keyframe.latent_signal) > 0
+            assert shot.concepts
+
+    def test_topic_ids_and_terms(self, small_corpus):
+        for topic in small_corpus.topics:
+            assert topic.topic_id.startswith("T")
+            assert len(topic.query_terms) > 0
+            assert topic.title
+
+    def test_determinism(self):
+        config = CollectionConfig.small()
+        first = generate_corpus(seed=99, config=config)
+        second = generate_corpus(seed=99, config=config)
+        assert first.collection.shot_ids() == second.collection.shot_ids()
+        first_shot = first.collection.shots()[10]
+        second_shot = second.collection.shot(first_shot.shot_id)
+        assert first_shot.transcript == second_shot.transcript
+        assert first_shot.keyframe.latent_signal == second_shot.keyframe.latent_signal
+        assert list(first.qrels.items()) == list(second.qrels.items())
+
+    def test_different_seeds_differ(self):
+        config = CollectionConfig.small()
+        first = generate_corpus(seed=1, config=config)
+        second = generate_corpus(seed=2, config=config)
+        first_transcripts = [s.transcript for s in first.collection.shots()[:10]]
+        second_transcripts = [s.transcript for s in second.collection.shots()[:10]]
+        assert first_transcripts != second_transcripts
+
+    def test_summary_keys(self, small_corpus):
+        summary = small_corpus.summary()
+        assert summary["topics"] == float(len(small_corpus.topics))
+        assert summary["judged_pairs"] == float(len(small_corpus.qrels))
+        assert summary["mean_relevant_per_topic"] > 0
+
+    def test_generator_properties(self):
+        generator = CollectionGenerator(seed=5)
+        assert generator.seed == 5
+        assert generator.config.days == CollectionConfig().days
+
+    def test_centroids_exist_for_all_categories_and_topics(self, small_corpus):
+        for category in small_corpus.config.categories:
+            assert category in small_corpus.category_centroids
+        for topic in small_corpus.topics:
+            assert topic.topic_id in small_corpus.topic_centroids
+
+    def test_on_topic_shots_cluster_near_topic_centroid(self, small_corpus):
+        """Relevant shots' latent signals should be closer to their topic
+        centroid than unrelated shots are (the property visual search relies on)."""
+        import math
+
+        def distance(a, b):
+            return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+        topic = small_corpus.topics.topics()[0]
+        centroid = small_corpus.topic_centroids[topic.topic_id]
+        relevant = small_corpus.qrels.relevant_shots(topic.topic_id)
+        relevant_distances = [
+            distance(small_corpus.collection.shot(shot_id).keyframe.latent_signal, centroid)
+            for shot_id in relevant
+        ]
+        other_category = [
+            shot for shot in small_corpus.collection.shots()
+            if shot.category != topic.category
+        ][: len(relevant_distances) or 1]
+        other_distances = [
+            distance(shot.keyframe.latent_signal, centroid) for shot in other_category
+        ]
+        assert sum(relevant_distances) / len(relevant_distances) < sum(other_distances) / len(
+            other_distances
+        )

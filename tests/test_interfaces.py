@@ -1,0 +1,141 @@
+"""Tests for the interface capability models and interaction logging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback import EventKind, InteractionEvent
+from repro.interfaces import (
+    ActionCost,
+    DesktopInterface,
+    InteractionLogger,
+    ItvInterface,
+    SessionLog,
+)
+from repro.interfaces.base import InterfaceModel
+
+
+class TestActionCost:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionCost(time_seconds=-1.0, effort=0.0)
+        with pytest.raises(ValueError):
+            ActionCost(time_seconds=1.0, effort=1.5)
+
+
+class TestInterfaceModels:
+    def test_desktop_supports_rich_actions(self):
+        desktop = DesktopInterface()
+        assert desktop.supports(EventKind.PLAY_CLICK)
+        assert desktop.supports(EventKind.HIGHLIGHT_METADATA)
+        assert desktop.supports(EventKind.ADD_TO_PLAYLIST)
+        assert desktop.query_entry_supported
+
+    def test_itv_lacks_fine_grained_actions(self):
+        itv = ItvInterface()
+        assert not itv.supports(EventKind.PLAY_CLICK)
+        assert not itv.supports(EventKind.HIGHLIGHT_METADATA)
+        assert itv.supports(EventKind.REMOTE_SELECT)
+        assert itv.supports(EventKind.REMOTE_RATE_UP)
+        assert not itv.query_entry_supported
+
+    def test_itv_query_entry_costly(self):
+        desktop = DesktopInterface()
+        itv = ItvInterface()
+        assert (
+            itv.cost_of(EventKind.QUERY_SUBMITTED).effort
+            > desktop.cost_of(EventKind.QUERY_SUBMITTED).effort
+        )
+
+    def test_itv_explicit_feedback_cheaper_than_desktop(self):
+        desktop = DesktopInterface()
+        itv = ItvInterface()
+        assert (
+            itv.cost_of(EventKind.REMOTE_RATE_UP).effort
+            < desktop.cost_of(EventKind.MARK_RELEVANT).effort
+        )
+
+    def test_desktop_has_more_implicit_actions_than_itv(self):
+        assert len(DesktopInterface().implicit_action_kinds()) > len(
+            ItvInterface().implicit_action_kinds()
+        )
+
+    def test_itv_shows_fewer_results(self):
+        assert ItvInterface().results_per_page < DesktopInterface().results_per_page
+
+    def test_unsupported_action_cost_raises(self):
+        with pytest.raises(KeyError):
+            ItvInterface().cost_of(EventKind.ADD_TO_PLAYLIST)
+
+    def test_capability_summary(self):
+        summary = DesktopInterface().capability_summary()
+        assert summary["interface"] == "desktop"
+        assert "play_click" in summary["implicit_actions"]
+
+    def test_missing_cost_definition_rejected(self):
+        with pytest.raises(ValueError):
+            InterfaceModel(
+                results_per_page=5,
+                supported_actions=frozenset({EventKind.PLAY_CLICK}),
+                action_costs={},
+            )
+
+
+class TestInteractionLogging:
+    def _sample_log(self) -> SessionLog:
+        events = [
+            InteractionEvent(kind=EventKind.SESSION_STARTED, timestamp=0.0,
+                             user_id="u1", session_id="sess1"),
+            InteractionEvent(kind=EventKind.QUERY_SUBMITTED, timestamp=2.0,
+                             user_id="u1", session_id="sess1", query_text="goal"),
+            InteractionEvent(kind=EventKind.PLAY_CLICK, timestamp=5.0, user_id="u1",
+                             session_id="sess1", shot_id="s1", rank=1),
+            InteractionEvent(kind=EventKind.PLAY_PROGRESS, timestamp=20.0, user_id="u1",
+                             session_id="sess1", shot_id="s1", duration=15.0),
+        ]
+        return SessionLog(
+            session_id="sess1", user_id="u1", interface="desktop",
+            topic_id="T1", task="search", metadata={"policy": "baseline"},
+            events=events,
+        )
+
+    def test_round_trip(self, tmp_path):
+        log = self._sample_log()
+        logger = InteractionLogger()
+        path = tmp_path / "sess1.jsonl"
+        count = logger.write_session(log, path)
+        assert count == 5  # header + 4 events
+        restored = logger.read_session(path)
+        assert restored.session_id == "sess1"
+        assert restored.topic_id == "T1"
+        assert restored.metadata == {"policy": "baseline"}
+        assert restored.event_count == 4
+        assert restored.events[2].kind is EventKind.PLAY_CLICK
+        assert restored.events[3].duration == 15.0
+
+    def test_duration_and_stream(self):
+        log = self._sample_log()
+        assert log.duration_seconds() == pytest.approx(20.0)
+        assert log.event_stream().queries() == ["goal"]
+
+    def test_write_and_read_directory(self, tmp_path):
+        logger = InteractionLogger()
+        logs = [self._sample_log()]
+        logs[0].session_id = "a-session"
+        paths = logger.write_sessions(logs, tmp_path / "logs")
+        assert len(paths) == 1
+        restored = logger.read_sessions(tmp_path / "logs")
+        assert len(restored) == 1
+        assert restored[0].session_id == "a-session"
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "play_click", "timestamp": 0.0}\n')
+        with pytest.raises(ValueError):
+            InteractionLogger().read_session(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            InteractionLogger().read_session(path)

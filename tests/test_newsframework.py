@@ -1,0 +1,200 @@
+"""Tests for the news framework: broadcast capture, segmentation, recommendation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.newsframework import (
+    BroadcastRecorder,
+    NewsRecommender,
+    NewsVideoFramework,
+    RecommendationWeights,
+    StorySegmenter,
+)
+from repro.profiles import UserProfile
+
+
+class TestBroadcastRecorder:
+    def test_records_in_broadcast_order(self, small_corpus):
+        recorder = BroadcastRecorder(small_corpus.collection)
+        bulletins = recorder.record_all()
+        assert len(bulletins) == small_corpus.collection.video_count
+        dates = [bulletin.broadcast_date for bulletin in bulletins]
+        assert dates == sorted(dates)
+        assert not recorder.has_pending()
+
+    def test_record_next_one_at_a_time(self, small_corpus):
+        recorder = BroadcastRecorder(small_corpus.collection)
+        first = recorder.record_next()
+        assert first is not None
+        assert recorder.recorded_count == 1
+        assert first.shot_count > 0
+        assert first.story_count > 0
+
+    def test_exhausted_returns_none(self, small_corpus):
+        recorder = BroadcastRecorder(small_corpus.collection)
+        recorder.record_all()
+        assert recorder.record_next() is None
+
+    def test_iteration_protocol(self, small_corpus):
+        recorder = BroadcastRecorder(small_corpus.collection)
+        assert len(list(recorder)) == small_corpus.collection.video_count
+
+    def test_bulletins_by_date(self, small_corpus):
+        recorder = BroadcastRecorder(small_corpus.collection)
+        grouped = recorder.bulletins_by_date()
+        assert sum(len(videos) for videos in grouped.values()) == (
+            small_corpus.collection.video_count
+        )
+
+
+class TestStorySegmentation:
+    def test_detects_most_story_boundaries(self, small_corpus):
+        segmenter = StorySegmenter()
+        results = segmenter.evaluate_collection(small_corpus.collection)
+        mean_recall = sum(r.recall for r in results) / len(results)
+        assert mean_recall > 0.5
+
+    def test_boundaries_sorted_and_in_range(self, small_corpus):
+        segmenter = StorySegmenter()
+        video = small_corpus.collection.videos()[0]
+        shots = small_corpus.collection.shots_of_video(video.video_id)
+        boundaries = segmenter.detect_boundaries(shots)
+        assert boundaries == sorted(boundaries)
+        assert all(0 < b < len(shots) for b in boundaries)
+
+    def test_true_boundaries_count(self, small_corpus):
+        segmenter = StorySegmenter()
+        video = small_corpus.collection.videos()[0]
+        result = segmenter.evaluate_video(small_corpus.collection, video.video_id)
+        assert len(result.true_boundaries) == video.story_count - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StorySegmenter(threshold=1.5)
+        with pytest.raises(ValueError):
+            StorySegmenter(window=0)
+
+    def test_f1_zero_when_nothing_detected(self, small_corpus):
+        # An absurdly low threshold detects no boundaries at all.
+        segmenter = StorySegmenter(threshold=0.0)
+        video = small_corpus.collection.videos()[0]
+        result = segmenter.evaluate_video(small_corpus.collection, video.video_id)
+        assert result.detected_boundaries == ()
+        assert result.precision == 0.0
+
+
+class TestNewsRecommender:
+    def test_profile_only_recommendation_prefers_category(self, small_corpus):
+        recommender = NewsRecommender(small_corpus.collection)
+        category = small_corpus.collection.stories()[0].category
+        profile = UserProfile.single_interest("u", category, 1.0)
+        recommendations = recommender.recommend(profile, limit=5)
+        assert recommendations
+        assert all(rec.category == category for rec in recommendations)
+        assert [rec.rank for rec in recommendations] == list(range(1, len(recommendations) + 1))
+
+    def test_personal_evidence_contributes(self, small_corpus):
+        recommender = NewsRecommender(
+            small_corpus.collection,
+            weights=RecommendationWeights(profile=0.0, personal_implicit=1.0, community=0.0),
+        )
+        story = small_corpus.collection.stories()[0]
+        shot_id = story.shot_ids[0]
+        profile = UserProfile(user_id="u")
+        recommendations = recommender.recommend(profile, shot_evidence={shot_id: 2.0}, limit=3)
+        assert recommendations
+        assert recommendations[0].story_id == story.story_id
+
+    def test_empty_profile_and_no_evidence_yields_nothing(self, small_corpus):
+        recommender = NewsRecommender(small_corpus.collection)
+        assert recommender.recommend(UserProfile(user_id="u"), limit=5) == []
+
+    def test_exclusions_respected(self, small_corpus):
+        recommender = NewsRecommender(small_corpus.collection)
+        category = small_corpus.collection.stories()[0].category
+        profile = UserProfile.single_interest("u", category, 1.0)
+        full = recommender.recommend(profile, limit=3)
+        excluded = recommender.recommend(
+            profile, limit=3, exclude_story_ids=[full[0].story_id]
+        )
+        assert full[0].story_id not in [rec.story_id for rec in excluded]
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            RecommendationWeights(profile=-1.0)
+        with pytest.raises(ValueError):
+            RecommendationWeights(profile=0.0, personal_implicit=0.0, community=0.0)
+
+    def test_recommend_for_date_restricts_to_bulletin(self, small_corpus):
+        recommender = NewsRecommender(small_corpus.collection)
+        video = small_corpus.collection.videos()[0]
+        categories_on_day = {
+            story.category
+            for story in small_corpus.collection.stories_of_video(video.video_id)
+        }
+        profile = UserProfile(
+            user_id="u",
+            category_interests={category: 1.0 for category in categories_on_day},
+        )
+        recommendations = recommender.recommend_for_date(profile, video.broadcast_date)
+        assert recommendations
+        assert all(rec.video_id == video.video_id for rec in recommendations)
+
+
+class TestNewsVideoFramework:
+    @pytest.fixture(scope="class")
+    def framework(self, request):
+        from repro.collection import CollectionConfig, generate_corpus
+
+        corpus = generate_corpus(seed=301, config=CollectionConfig.small())
+        framework = NewsVideoFramework(corpus.collection)
+        framework.ingest()
+        request.cls.corpus = corpus
+        return framework
+
+    def test_requires_ingest(self, small_corpus):
+        framework = NewsVideoFramework(small_corpus.collection)
+        with pytest.raises(RuntimeError):
+            _ = framework.engine
+
+    def test_ingest_report(self, framework):
+        report = NewsVideoFramework(framework.collection).ingest()
+        assert report.bulletin_count == framework.collection.video_count
+        assert report.shots_analysed == framework.collection.shot_count
+        assert 0.0 <= report.mean_segmentation_f1() <= 1.0
+
+    def test_search_after_ingest(self, framework):
+        results = framework.engine.search_text("news report")
+        assert results is not None
+
+    def test_daily_rundown_personalised(self, framework):
+        video = framework.collection.videos()[0]
+        category = framework.collection.stories_of_video(video.video_id)[0].category
+        profile = UserProfile.single_interest("u", category, 1.0)
+        rundown = framework.daily_rundown(profile, video.broadcast_date, limit=5)
+        assert rundown
+        assert rundown[0].category == category
+
+    def test_community_graph_feeds_recommendations(self, framework):
+        story = framework.collection.stories()[0]
+        shot_ids = story.shot_ids[:2]
+        framework.record_past_session(["shared community query"],
+                                      {shot_id: 1.0 for shot_id in shot_ids})
+        assert framework.implicit_graph.session_count == 1
+        recommender = framework.recommender()
+        profile = UserProfile(user_id="newcomer")
+        recommendations = recommender.recommend(
+            profile,
+            recent_queries=["shared community query"],
+            shot_evidence={},
+            limit=5,
+        )
+        # Community evidence alone cannot fire without any seed overlap, but a
+        # session that engaged with one of the same shots gets the other one.
+        recommendations_with_seed = recommender.recommend(
+            profile,
+            shot_evidence={shot_ids[0]: 1.0},
+            limit=5,
+        )
+        assert any(rec.story_id == story.story_id for rec in recommendations_with_seed)

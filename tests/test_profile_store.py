@@ -1,0 +1,77 @@
+"""Tests for the persistent profile store and cross-session learning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import InvertedIndex
+from repro.profiles import ProfileLearner, ProfileStore, UserProfile
+
+
+class TestProfileStore:
+    def test_get_or_create_starts_empty(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        profile = store.get_or_create("alice")
+        assert profile.user_id == "alice"
+        assert profile.is_empty()
+        assert "alice" in store
+
+    def test_save_and_reload(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        profile = UserProfile.single_interest("bob", "sports", 0.8)
+        profile.boost_term_interest("goal", 0.5)
+        store.save(profile)
+
+        fresh_store = ProfileStore(tmp_path / "profiles")
+        restored = fresh_store.load("bob")
+        assert restored.interest_in_category("sports") == 0.8
+        assert restored.interest_in_term("goal") == 0.5
+
+    def test_load_unknown_user_raises(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        with pytest.raises(KeyError):
+            store.load("nobody")
+
+    def test_user_ids_and_len(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        store.save(UserProfile(user_id="a"))
+        store.save(UserProfile(user_id="b"))
+        assert store.user_ids() == ["a", "b"]
+        assert len(store) == 2
+
+    def test_delete(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        store.save(UserProfile(user_id="a"))
+        assert store.delete("a")
+        assert not store.has_profile("a")
+        assert not store.delete("a")
+
+    def test_unsafe_user_id_is_sanitised(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles")
+        path = store.save(UserProfile(user_id="../evil/user"))
+        assert path.parent == store.directory
+
+
+class TestCrossSessionLearning:
+    def test_profile_improves_over_sessions(self, tmp_path, medium_corpus):
+        """After watching sports material across sessions, the stored profile
+        should declare sports as the primary interest."""
+        collection = medium_corpus.collection
+        index = InvertedIndex.from_collection(collection)
+        store = ProfileStore(tmp_path / "profiles")
+        learner = ProfileLearner(collection, inverted_index=index)
+
+        sports_shots = [shot.shot_id for shot in collection.shots_in_category("sports")]
+        if len(sports_shots) < 6:
+            pytest.skip("not enough sports material in the fixture corpus")
+
+        for session_index in range(3):
+            profile = store.get_or_create("viewer")
+            watched = sports_shots[session_index * 2 : session_index * 2 + 2]
+            learner.update_from_watched_shots(profile, watched)
+            store.save(profile)
+
+        final = ProfileStore(tmp_path / "profiles").load("viewer")
+        assert final.top_categories(1) == ["sports"]
+        assert final.interest_in_category("sports") > 0.3
+        assert final.term_interests

@@ -1,0 +1,207 @@
+"""Tests for the ontology, user profiles, profile learning and profile re-ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index import InvertedIndex
+from repro.profiles import (
+    Demographics,
+    InterestOntology,
+    OntologyNode,
+    ProfileLearner,
+    ProfileReranker,
+    UserProfile,
+    build_profile_for_topics,
+)
+from repro.retrieval import Query, ResultList
+
+
+class TestOntology:
+    def test_default_contains_categories_and_concepts(self):
+        ontology = InterestOntology.default()
+        assert "sports" in ontology.categories()
+        assert "stadium" in ontology.concepts()
+        assert len(ontology) > 10
+
+    def test_concepts_of_category(self):
+        ontology = InterestOntology.default()
+        assert "stadium" in ontology.concepts_of_category("sports")
+
+    def test_categories_of_concept(self):
+        ontology = InterestOntology.default()
+        assert "sports" in ontology.categories_of_concept("stadium")
+        assert len(ontology.categories_of_concept("person")) > 1
+
+    def test_default_with_vocabulary_attaches_terms(self, small_corpus):
+        ontology = InterestOntology.default(small_corpus.vocabulary)
+        terms = ontology.terms_for_category("sports")
+        assert terms
+        assert set(terms) <= set(small_corpus.vocabulary.model_for("sports").terms)
+
+    def test_unknown_node_raises(self):
+        ontology = InterestOntology.default()
+        with pytest.raises(KeyError):
+            ontology.node("astrology")
+        assert not ontology.has_node("astrology")
+
+    def test_custom_nodes(self):
+        ontology = InterestOntology(
+            [
+                OntologyNode(name="local", kind="category"),
+                OntologyNode(name="town_hall", kind="concept", parent="local"),
+            ]
+        )
+        assert ontology.concepts_of_category("local") == ["town_hall"]
+
+
+class TestUserProfile:
+    def test_interest_lookup_defaults(self):
+        profile = UserProfile(user_id="u1", category_interests={"sports": 0.8})
+        assert profile.interest_in_category("sports") == 0.8
+        assert profile.interest_in_category("weather") == 0.0
+        assert profile.interest_in_term("anything") == 0.0
+
+    def test_invalid_interest_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(user_id="u1", category_interests={"sports": 1.5})
+        profile = UserProfile(user_id="u1")
+        with pytest.raises(ValueError):
+            profile.set_category_interest("sports", -0.1)
+
+    def test_top_categories(self):
+        profile = UserProfile(
+            user_id="u1",
+            category_interests={"sports": 0.9, "politics": 0.5, "weather": 0.0},
+        )
+        assert profile.top_categories(2) == ["sports", "politics"]
+
+    def test_is_empty(self):
+        assert UserProfile(user_id="u1").is_empty()
+        assert not UserProfile(user_id="u1", category_interests={"sports": 0.5}).is_empty()
+
+    def test_boost_clamping(self):
+        profile = UserProfile(user_id="u1")
+        profile.boost_term_interest("goal", 0.7)
+        profile.boost_term_interest("goal", 0.7)
+        assert profile.interest_in_term("goal") == 1.0
+        profile.boost_concept_interest("person", -0.5)
+        assert profile.interest_in_concept("person") == 0.0
+
+    def test_decay(self):
+        profile = UserProfile(user_id="u1", category_interests={"sports": 0.8})
+        profile.decay(0.5)
+        assert profile.interest_in_category("sports") == pytest.approx(0.4)
+
+    def test_round_trip_dict(self):
+        profile = UserProfile(
+            user_id="u1",
+            category_interests={"sports": 0.9},
+            term_interests={"goal": 0.3},
+            concept_interests={"stadium": 0.4},
+            demographics=Demographics(expertise="expert"),
+        )
+        restored = UserProfile.from_dict(profile.as_dict())
+        assert restored.user_id == "u1"
+        assert restored.interest_in_category("sports") == 0.9
+        assert restored.interest_in_term("goal") == 0.3
+        assert restored.demographics.is_expert()
+
+    def test_single_interest_factory(self):
+        profile = UserProfile.single_interest("u1", "weather", 0.6)
+        assert profile.top_categories() == ["weather"]
+
+    def test_build_profile_for_topics(self):
+        profile = build_profile_for_topics("u1", {"sports": 0.9, "world": 0.3})
+        assert profile.interest_in_category("sports") == 0.9
+        with pytest.raises(ValueError):
+            build_profile_for_topics("u1", {"sports": 2.0})
+
+
+class TestProfileReranker:
+    def test_personalise_query_adds_category_terms(self, small_corpus):
+        ontology = InterestOntology.default(small_corpus.vocabulary)
+        reranker = ProfileReranker(ontology, collection=small_corpus.collection)
+        profile = UserProfile.single_interest("u1", "sports", 1.0)
+        personalised = reranker.personalise_query(Query(text="report"), profile)
+        assert personalised.term_weights
+        sports_terms = set(small_corpus.vocabulary.model_for("sports").terms)
+        assert set(personalised.term_weights) & sports_terms
+
+    def test_personalise_empty_profile_is_noop(self, small_corpus):
+        ontology = InterestOntology.default(small_corpus.vocabulary)
+        reranker = ProfileReranker(ontology)
+        query = Query(text="report")
+        assert reranker.personalise_query(query, UserProfile(user_id="u")) is query
+
+    def test_rerank_promotes_preferred_category(self, small_corpus):
+        ontology = InterestOntology.default(small_corpus.vocabulary)
+        reranker = ProfileReranker(ontology, collection=small_corpus.collection)
+        shots = small_corpus.collection.shots()
+        sports_shot = next(s for s in shots if s.category == "sports")
+        other_shot = next(s for s in shots if s.category != "sports")
+        results = ResultList.from_scores(
+            "q",
+            {other_shot.shot_id: 1.0, sports_shot.shot_id: 0.95},
+            collection=small_corpus.collection,
+        )
+        profile = UserProfile.single_interest("u1", "sports", 1.0)
+        reranked = reranker.rerank(results, profile, weight=0.8)
+        assert reranked.shot_ids()[0] == sports_shot.shot_id
+
+    def test_rerank_requires_collection(self, small_corpus):
+        ontology = InterestOntology.default()
+        reranker = ProfileReranker(ontology)
+        results = ResultList.from_scores("q", {"a": 1.0})
+        with pytest.raises(ValueError):
+            reranker.rerank(results, UserProfile.single_interest("u", "sports"))
+
+    def test_rerank_empty_profile_returns_original(self, small_corpus):
+        ontology = InterestOntology.default()
+        reranker = ProfileReranker(ontology, collection=small_corpus.collection)
+        results = ResultList.from_scores("q", {"a": 1.0})
+        assert reranker.rerank(results, UserProfile(user_id="u")) is results
+
+
+class TestProfileLearner:
+    def test_update_moves_interest_towards_watched_categories(self, small_corpus):
+        collection = small_corpus.collection
+        learner = ProfileLearner(collection)
+        sports_shots = [s.shot_id for s in collection.shots_in_category("sports")[:5]]
+        profile = UserProfile(user_id="u1")
+        learner.update_from_watched_shots(profile, sports_shots)
+        assert profile.interest_in_category("sports") > 0
+        assert profile.interest_in_category("sports") == max(
+            profile.category_interests.values()
+        )
+
+    def test_update_with_index_adds_term_interests(self, small_corpus):
+        collection = small_corpus.collection
+        index = InvertedIndex.from_collection(collection)
+        learner = ProfileLearner(collection, inverted_index=index)
+        shots = [s.shot_id for s in collection.shots()[:4]]
+        profile = UserProfile(user_id="u1")
+        learner.update_from_shot_evidence(profile, {shot_id: 1.0 for shot_id in shots})
+        assert profile.term_interests
+
+    def test_no_positive_evidence_is_noop(self, small_corpus):
+        learner = ProfileLearner(small_corpus.collection)
+        profile = UserProfile(user_id="u1", category_interests={"sports": 0.5})
+        learner.update_from_shot_evidence(profile, {"unknown": -1.0})
+        assert profile.interest_in_category("sports") == 0.5
+
+    def test_forgetting_decays_old_interests(self, small_corpus):
+        collection = small_corpus.collection
+        learner = ProfileLearner(collection, learning_rate=0.5, forgetting_factor=0.5)
+        profile = UserProfile(user_id="u1", category_interests={"weather": 1.0})
+        sports_shots = [s.shot_id for s in collection.shots_in_category("sports")[:5]]
+        learner.update_from_watched_shots(profile, sports_shots)
+        assert profile.interest_in_category("weather") < 1.0
+
+    def test_concept_interest_updated(self, small_corpus):
+        collection = small_corpus.collection
+        learner = ProfileLearner(collection)
+        shot = collection.shots()[0]
+        profile = UserProfile(user_id="u1")
+        learner.update_from_watched_shots(profile, [shot.shot_id])
+        assert any(profile.interest_in_concept(c) > 0 for c in shot.concepts)

@@ -1,0 +1,111 @@
+"""Tests for report rendering (markdown tables, CSVs, study reports)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core import baseline_policy, implicit_only_policy
+from repro.evaluation import (
+    ExperimentCondition,
+    ExperimentRunner,
+    LogAnalyser,
+    condition_summary_rows,
+    indicator_rows,
+    markdown_table,
+    per_session_rows,
+    write_csv,
+    write_study_report,
+)
+from repro.simulation import shot_durations_from_collection
+
+
+@pytest.fixture(scope="module")
+def small_results(medium_corpus):
+    runner = ExperimentRunner(medium_corpus)
+    conditions = [
+        ExperimentCondition(name="baseline", policy=baseline_policy(),
+                            user_count=2, topics_per_user=1, seed=61),
+        ExperimentCondition(name="implicit", policy=implicit_only_policy(),
+                            user_count=2, topics_per_user=1, seed=61),
+    ]
+    return runner.run_conditions(conditions)
+
+
+class TestMarkdownTable:
+    def test_empty(self):
+        assert markdown_table([]) == "(no rows)\n"
+
+    def test_formats_floats_and_strings(self):
+        table = markdown_table([{"name": "a", "value": 0.123456}])
+        assert "| name | value |" in table
+        assert "| a | 0.1235 |" in table
+
+    def test_explicit_columns(self):
+        table = markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+
+class TestSummaryRows:
+    def test_rows_cover_all_conditions(self, small_results):
+        rows = condition_summary_rows(small_results)
+        assert {row["condition"] for row in rows} == {"baseline", "implicit"}
+        assert all("map" in row for row in rows)
+
+    def test_baseline_gain_column(self, small_results):
+        rows = condition_summary_rows(small_results, baseline="baseline")
+        baseline_row = next(row for row in rows if row["condition"] == "baseline")
+        assert baseline_row["map_gain_%"] == pytest.approx(0.0)
+
+    def test_unknown_baseline_rejected(self, small_results):
+        with pytest.raises(KeyError):
+            condition_summary_rows(small_results, baseline="nonexistent")
+
+    def test_per_session_rows(self, small_results):
+        rows = per_session_rows(small_results)
+        assert len(rows) == sum(len(result.sessions) for result in small_results.values())
+        assert all("average_precision" in row for row in rows)
+
+
+class TestCsv:
+    def test_write_and_read_back(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(rows, tmp_path / "out" / "rows.csv")
+        with path.open() as handle:
+            restored = list(csv.DictReader(handle))
+        assert restored == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+
+class TestStudyReport:
+    def test_full_report_written(self, tmp_path, small_results, medium_corpus):
+        analyser = LogAnalyser(
+            shot_durations=shot_durations_from_collection(medium_corpus.collection)
+        )
+        logs = small_results["implicit"].session_logs()
+        log_report = analyser.analyse(logs, qrels=medium_corpus.qrels)
+
+        report_path = write_study_report(
+            small_results,
+            tmp_path / "study",
+            title="Test study",
+            baseline="baseline",
+            log_report=log_report,
+        )
+        text = report_path.read_text()
+        assert "# Test study" in text
+        assert "baseline" in text and "implicit" in text
+        assert "Implicit indicator precision" in text
+        assert (tmp_path / "study" / "conditions.csv").exists()
+        assert (tmp_path / "study" / "sessions.csv").exists()
+        assert (tmp_path / "study" / "indicators.csv").exists()
+        assert indicator_rows(log_report)
+
+    def test_report_without_logs(self, tmp_path, small_results):
+        report_path = write_study_report(small_results, tmp_path / "study2")
+        assert "Condition summary" in report_path.read_text()
+        assert not (tmp_path / "study2" / "indicators.csv").exists()
