@@ -18,25 +18,24 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro import CollectionConfig, generate_corpus
-from repro.core import AdaptiveVideoRetrievalSystem, combined_policy
+from repro import CollectionConfig, RetrievalService, generate_corpus
 from repro.evaluation import make_interface
 from repro.profiles import UserProfile
-from repro.retrieval import VideoRetrievalEngine
 from repro.simulation import SessionSimulator, diligent_user
 
 
-def run_on(interface_name, corpus, system, topic, profile):
+def run_on(interface_name, corpus, service, topic, profile):
     simulator = SessionSimulator(
         collection=corpus.collection,
         qrels=corpus.qrels,
         interface=make_interface(interface_name),
         seed=77,
     )
-    session = system.create_session(profile=profile, policy=combined_policy(),
-                                    topic_id=topic.topic_id)
-    outcome = simulator.run(session, topic, diligent_user("viewer"))
-    return session, outcome
+    info = service.open_session("viewer", policy="combined", profile=profile,
+                                topic_id=topic.topic_id)
+    outcome = simulator.run(service.adaptive_session(info.session_id), topic,
+                            diligent_user("viewer"))
+    return info, outcome
 
 
 def describe(outcome, interface_name):
@@ -58,16 +57,15 @@ def main() -> None:
     corpus = generate_corpus(
         seed=31, config=CollectionConfig(days=12, stories_per_day=8, topic_count=10)
     )
-    engine = VideoRetrievalEngine(corpus.collection)
-    system = AdaptiveVideoRetrievalSystem(engine)
+    service = RetrievalService.from_corpus(corpus)
 
     topic = corpus.topics.topics()[2]
     profile = UserProfile.single_interest("viewer", topic.category, 0.9)
     print(f"search task: {topic.description}")
     print(f"viewer profile: interested in {topic.category}")
 
-    desktop_session, desktop_outcome = run_on("desktop", corpus, system, topic, profile)
-    itv_session, itv_outcome = run_on("itv", corpus, system, topic, profile)
+    desktop_session, desktop_outcome = run_on("desktop", corpus, service, topic, profile)
+    itv_session, itv_outcome = run_on("itv", corpus, service, topic, profile)
 
     describe(desktop_outcome, "desktop")
     describe(itv_outcome, "iTV (remote control)")
@@ -79,12 +77,13 @@ def main() -> None:
 
     # On iTV, querying is painful — so instead of asking the viewer to type,
     # the system recommends further material from the evidence it has.
-    recommendations = itv_session.recommendations(limit=5)
+    recommendations = service.recommend("viewer", session_id=itv_session.session_id,
+                                        limit=5)
     print("\nbecause querying on iTV is costly, the system recommends follow-up "
           "shots from the viewer's implicit feedback instead:")
-    for item in recommendations:
-        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, item.shot_id) else " "
-        print(f"  {marker} {item.shot_id}  [{item.category}] {item.headline}")
+    for hit in recommendations:
+        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, hit.shot_id) else " "
+        print(f"  {marker} {hit.shot_id}  [{hit.category}] {hit.headline}")
     print("(* = actually relevant to the viewer's task)")
 
 

@@ -1,25 +1,31 @@
 #!/usr/bin/env python
 """Quickstart: build a collection, search it, and adapt with implicit feedback.
 
-This walks through the core loop of the library in a few dozen lines:
+This walks through the core loop of the library in a few dozen lines, all
+through the public :class:`~repro.RetrievalService` facade:
 
 1. generate a synthetic TRECVID-like news collection (the stand-in for the
    broadcast-news data the paper's proposed system records),
-2. build the multimodal retrieval engine over it,
-3. run a plain keyword search for one of the collection's search topics,
+2. stand up the retrieval service over it,
+3. open an adaptive session and run a plain keyword search for one of the
+   collection's search topics,
 4. pretend the user clicked and watched a couple of the relevant results, and
-5. re-run the query through the adaptive model and watch the ranking improve.
+5. re-run the query and watch the ranking improve.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CollectionConfig, generate_corpus
-from repro.core import AdaptiveVideoRetrievalSystem, implicit_only_policy
+from repro import (
+    CollectionConfig,
+    FeedbackBatch,
+    RetrievalService,
+    SearchRequest,
+    generate_corpus,
+)
 from repro.evaluation import average_precision
 from repro.feedback import EventKind, InteractionEvent
-from repro.retrieval import VideoRetrievalEngine
 
 
 def main() -> None:
@@ -32,47 +38,51 @@ def main() -> None:
           f"{stats['videos']:.0f} bulletins, {stats['stories']:.0f} stories,",
           f"{stats['shots']:.0f} shots, {stats['topics']:.0f} search topics")
 
-    # 2. The retrieval engine (BM25 text + visual + concept fusion).
-    engine = VideoRetrievalEngine(corpus.collection)
-    system = AdaptiveVideoRetrievalSystem(engine)
+    # 2. The retrieval service: BM25 text + visual + concept fusion, with
+    #    adaptive sessions on top.  One service serves many users.
+    service = RetrievalService.from_corpus(corpus)
 
-    # 3. Pick a topic and issue a deliberately vague two-term query for it.
+    # 3. Pick a topic and issue a deliberately vague one-term query for it,
+    #    inside a session that adapts to implicit feedback.
     topic = corpus.topics.topics()[0]
     judgements = corpus.qrels.judgements_for(topic.topic_id)
     query = " ".join(topic.query_terms[:1])
     print(f"\ntopic {topic.topic_id} ({topic.category}): {topic.description}")
     print(f"user query: {query!r}")
 
-    session = system.create_session(policy=implicit_only_policy(),
-                                    topic_id=topic.topic_id)
-    before = session.submit_query(query)
+    session = service.open_session("reader", policy="implicit",
+                                   topic_id=topic.topic_id)
+    request = SearchRequest(user_id="reader", query=query,
+                            session_id=session.session_id)
+    before = service.search(request)
     print(f"\ninitial ranking   AP = {average_precision(before.shot_ids(), judgements):.3f}")
-    for item in before.top(5):
-        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, item.shot_id) else " "
-        print(f"  {marker} #{item.rank:<3} {item.shot_id}  [{item.category}] {item.headline}")
+    for hit in before.top(5):
+        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, hit.shot_id) else " "
+        print(f"  {marker} #{hit.rank:<3} {hit.shot_id}  [{hit.category}] {hit.headline}")
 
     # 4. The user clicks two relevant-looking results and watches them through.
-    watched = [item for item in before.top(10)
-               if corpus.qrels.is_relevant(topic.topic_id, item.shot_id)][:2]
+    watched = [hit for hit in before.top(10)
+               if corpus.qrels.is_relevant(topic.topic_id, hit.shot_id)][:2]
     events = []
     clock = 0.0
-    for item in watched:
+    for hit in watched:
         clock += 2.0
         events.append(InteractionEvent(kind=EventKind.PLAY_CLICK, timestamp=clock,
-                                       shot_id=item.shot_id, rank=item.rank))
-        clock += item.duration_seconds
+                                       shot_id=hit.shot_id, rank=hit.rank))
+        clock += hit.duration_seconds
         events.append(InteractionEvent(kind=EventKind.PLAY_COMPLETE, timestamp=clock,
-                                       shot_id=item.shot_id, rank=item.rank))
-    session.observe(events)
+                                       shot_id=hit.shot_id, rank=hit.rank))
+    service.submit_feedback(FeedbackBatch(user_id="reader", events=tuple(events),
+                                          session_id=session.session_id))
     print(f"\nuser played {len(watched)} shots to the end "
-          f"({', '.join(item.shot_id for item in watched)})")
+          f"({', '.join(hit.shot_id for hit in watched)})")
 
     # 5. The same query, now adapted with the implicit evidence.
-    after = session.submit_query(query)
+    after = service.search(request)
     print(f"\nadapted ranking   AP = {average_precision(after.shot_ids(), judgements):.3f}")
-    for item in after.top(5):
-        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, item.shot_id) else " "
-        print(f"  {marker} #{item.rank:<3} {item.shot_id}  [{item.category}] {item.headline}")
+    for hit in after.top(5):
+        marker = "*" if corpus.qrels.is_relevant(topic.topic_id, hit.shot_id) else " "
+        print(f"  {marker} #{hit.rank:<3} {hit.shot_id}  [{hit.category}] {hit.headline}")
 
     print("\n(* = shot judged relevant for the topic)")
 

@@ -6,12 +6,20 @@ framework, together with every substrate those pieces depend on (synthetic
 TRECVID-like collection, video analysis, text/visual indexing, interface
 models and an evaluation harness).
 
-Typical entry points:
+The supported entry point is the multi-user service facade:
 
->>> from repro import generate_corpus, VideoRetrievalEngine
->>> corpus = generate_corpus(seed=7)
->>> engine = VideoRetrievalEngine(corpus.collection)
->>> results = engine.search_text(corpus.topics.topics()[0].title)
+>>> from repro import RetrievalService, SearchRequest
+>>> service = RetrievalService.generate(seed=7)
+>>> session = service.open_session("alice", policy="implicit")
+>>> response = service.search(
+...     SearchRequest(user_id="alice", query="election results",
+...                   session_id=session.session_id))
+>>> response.top(3)  # doctest: +SKIP
+
+Sessions accumulate the user's implicit/explicit feedback
+(``service.submit_feedback``) and every later search is adapted to it; the
+lower layers (``repro.core``, ``repro.retrieval``, ...) remain importable
+for code that needs the engine room directly.
 """
 
 from repro.collection import (
@@ -23,12 +31,40 @@ from repro.collection import (
     Topic,
     TopicSet,
     generate_corpus,
+    load_corpus,
+    save_corpus,
+)
+from repro.core import (
+    AdaptationPolicy,
+    baseline_policy,
+    combined_policy,
+    implicit_only_policy,
+    profile_only_policy,
 )
 from repro.retrieval import Query, ResultList, VideoRetrievalEngine
+from repro.service import (
+    FeedbackBatch,
+    RetrievalService,
+    SearchHit,
+    SearchRequest,
+    SearchResponse,
+    ServiceConfig,
+    SessionInfo,
+    SessionManager,
+    SessionNotFoundError,
+    UnknownComponentError,
+    available_policies,
+    available_scorers,
+    available_weighting_schemes,
+    register_policy,
+    register_scorer,
+    register_weighting_scheme,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # collection substrate
     "Collection",
     "CollectionConfig",
     "CollectionGenerator",
@@ -37,8 +73,34 @@ __all__ = [
     "Topic",
     "TopicSet",
     "generate_corpus",
+    "load_corpus",
+    "save_corpus",
+    # adaptation policies
+    "AdaptationPolicy",
+    "baseline_policy",
+    "profile_only_policy",
+    "implicit_only_policy",
+    "combined_policy",
+    # engine-room types
     "Query",
     "ResultList",
     "VideoRetrievalEngine",
+    # service facade
+    "RetrievalService",
+    "ServiceConfig",
+    "SearchRequest",
+    "SearchResponse",
+    "SearchHit",
+    "FeedbackBatch",
+    "SessionInfo",
+    "SessionManager",
+    "SessionNotFoundError",
+    "UnknownComponentError",
+    "available_policies",
+    "available_scorers",
+    "available_weighting_schemes",
+    "register_policy",
+    "register_scorer",
+    "register_weighting_scheme",
     "__version__",
 ]

@@ -20,7 +20,11 @@ writing Python:
     print per-indicator precision.
 
 Every command takes ``--seed`` so runs are reproducible.  Invoke as
-``python -m repro <command> ...``.
+``repro <command> ...`` (installed entry point) or ``python -m repro ...``.
+
+All retrieval goes through the :class:`~repro.service.RetrievalService`
+facade, so the CLI exercises exactly the code path library users and the
+experiment runner share.
 """
 
 from __future__ import annotations
@@ -31,27 +35,23 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.collection import CollectionConfig, generate_corpus, load_corpus, save_corpus
-from repro.core import (
-    baseline_policy,
-    combined_policy,
-    implicit_only_policy,
-    profile_only_policy,
-)
 from repro.evaluation import (
     LogAnalyser,
     average_precision,
     compare_per_topic,
 )
 from repro.interfaces import InteractionLogger
-from repro.retrieval import VideoRetrievalEngine
+from repro.service import (
+    RetrievalService,
+    SearchRequest,
+    available_policies,
+    create_policy,
+)
 from repro.simulation import shot_durations_from_collection
 
-_POLICIES = {
-    "baseline": baseline_policy,
-    "profile": profile_only_policy,
-    "implicit": implicit_only_policy,
-    "combined": combined_policy,
-}
+#: The four classic experimental systems, shown as examples in help text;
+#: every registered policy name is accepted.
+_CLASSIC_POLICIES = ("baseline", "profile", "implicit", "combined")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,13 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--query", required=True)
     search.add_argument("--topic", default=None, help="topic id to score the ranking against")
     search.add_argument("--limit", type=int, default=10)
+    search.add_argument("--user", default="cli",
+                        help="user id the service session is opened for")
+    search.add_argument("--policy", default="baseline",
+                        help="registered adaptation policy name (default: baseline)")
 
     simulate = subparsers.add_parser("simulate", help="run a simulated user study")
     simulate.add_argument("--corpus", required=True)
     simulate.add_argument("--logs", required=True, help="directory to write session logs to")
     simulate.add_argument("--users", type=int, default=6)
     simulate.add_argument("--topics-per-user", type=int, default=2)
-    simulate.add_argument("--policy", choices=sorted(_POLICIES), default="combined")
+    simulate.add_argument("--policy", default="combined",
+                          help="registered adaptation policy name (default: combined)")
     simulate.add_argument("--interface", choices=("desktop", "itv"), default="desktop")
     simulate.add_argument("--seed", type=int, default=2024)
 
@@ -91,7 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--topics-per-user", type=int, default=2)
     experiment.add_argument("--interface", choices=("desktop", "itv"), default="desktop")
     experiment.add_argument("--policies", default="baseline,profile,implicit,combined",
-                            help="comma-separated subset of: " + ",".join(sorted(_POLICIES)))
+                            help="comma-separated registered policy names, e.g. "
+                                 + ",".join(_CLASSIC_POLICIES))
     experiment.add_argument("--seed", type=int, default=2024)
 
     analyse = subparsers.add_parser("analyse-logs", help="analyse interaction log files")
@@ -124,23 +130,39 @@ def _command_generate(args: argparse.Namespace, out) -> int:
 
 
 def _command_search(args: argparse.Namespace, out) -> int:
-    stored = load_corpus(args.corpus)
-    engine = VideoRetrievalEngine(stored.collection)
-    results = engine.search_text(args.query, limit=args.limit, topic_id=args.topic)
-    if len(results) == 0:
+    if args.policy not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; available: "
+            + ", ".join(available_policies()),
+            file=sys.stderr,
+        )
+        return 2
+    service = RetrievalService.from_directory(args.corpus)
+    session = service.open_session(args.user, policy=args.policy, topic_id=args.topic)
+    response = service.search(
+        SearchRequest(
+            user_id=args.user,
+            query=args.query,
+            session_id=session.session_id,
+            topic_id=args.topic,
+            limit=args.limit,
+        )
+    )
+    if len(response) == 0:
         print("no results", file=out)
         return 0
-    for item in results:
+    qrels = service.qrels
+    for hit in response:
         marker = ""
-        if args.topic and stored.qrels.is_relevant(args.topic, item.shot_id):
+        if args.topic and qrels is not None and qrels.is_relevant(args.topic, hit.shot_id):
             marker = " [relevant]"
         print(
-            f"{item.rank:>3}. {item.shot_id}  score={item.score:.4f} "
-            f"[{item.category}] {item.headline}{marker}",
+            f"{hit.rank:>3}. {hit.shot_id}  score={hit.score:.4f} "
+            f"[{hit.category}] {hit.headline}{marker}",
             file=out,
         )
-    if args.topic:
-        ap = average_precision(results.shot_ids(), stored.qrels.judgements_for(args.topic))
+    if args.topic and qrels is not None:
+        ap = average_precision(response.shot_ids(), qrels.judgements_for(args.topic))
         print(f"average precision vs topic {args.topic}: {ap:.4f}", file=out)
     return 0
 
@@ -150,7 +172,7 @@ def _condition_for(name: str, args: argparse.Namespace):
 
     return ExperimentCondition(
         name=name,
-        policy=_POLICIES[name](),
+        policy=create_policy(name),
         interface=args.interface,
         user_count=args.users,
         topics_per_user=args.topics_per_user,
@@ -162,6 +184,8 @@ def _runner_for(corpus_directory: str):
     from repro.collection.generator import SyntheticCorpus
     from repro.collection.vocabulary import build_vocabulary
     from repro.evaluation import ExperimentRunner
+    from repro.retrieval.engine import EngineConfig
+    from repro.service import ServiceConfig
     from repro.utils.rng import RandomSource
 
     stored = load_corpus(corpus_directory)
@@ -177,10 +201,22 @@ def _runner_for(corpus_directory: str):
         config=CollectionConfig(),
         seed=stored.seed,
     )
-    return corpus, ExperimentRunner(corpus)
+    # Lift the engine defaults (not the tighter service defaults) so CLI
+    # experiments keep the same candidate depths as ExperimentRunner(corpus).
+    service = RetrievalService.from_corpus(
+        corpus, config=ServiceConfig.from_engine_config(EngineConfig())
+    )
+    return corpus, ExperimentRunner(corpus, service=service)
 
 
 def _command_simulate(args: argparse.Namespace, out) -> int:
+    if args.policy not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; available: "
+            + ", ".join(available_policies()),
+            file=sys.stderr,
+        )
+        return 2
     _corpus, runner = _runner_for(args.corpus)
     condition = _condition_for(args.policy, args)
     result = runner.run_condition(condition)
@@ -198,7 +234,7 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
 
 def _command_experiment(args: argparse.Namespace, out) -> int:
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
-    unknown = [name for name in names if name not in _POLICIES]
+    unknown = [name for name in names if name not in available_policies()]
     if unknown:
         print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
         return 2

@@ -1,4 +1,12 @@
-"""The adaptive video retrieval model: the paper's primary contribution."""
+"""The adaptive video retrieval model: the paper's primary contribution.
+
+.. deprecated::
+    Wiring :class:`AdaptiveVideoRetrievalSystem` by hand is a legacy entry
+    point.  New code should go through :class:`repro.service.RetrievalService`,
+    which owns the engine, the component registries and multi-user session
+    management; everything exported here remains available as the engine
+    room beneath that facade.
+"""
 
 from repro.core.adaptive import (
     AdaptiveSession,

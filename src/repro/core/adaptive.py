@@ -286,7 +286,15 @@ class AdaptiveSession:
 
 
 class AdaptiveVideoRetrievalSystem:
-    """Factory and shared state for adaptive search sessions."""
+    """Factory and shared state for adaptive search sessions.
+
+    .. deprecated::
+        Construct a :class:`repro.service.RetrievalService` instead, which
+        builds and owns this system and adds typed requests, component
+        registries and a bounded multi-user session pool.  Direct
+        construction remains supported for the internals (``repro.service``
+        itself, the experiment runner) and for backward compatibility.
+    """
 
     def __init__(
         self,

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.collection.generator import SyntheticCorpus
 from repro.core.adaptive import AdaptiveVideoRetrievalSystem
 from repro.core.policies import AdaptationPolicy, baseline_policy
+from repro.service import RetrievalService, ServiceConfig
 from repro.evaluation.metrics import evaluate_ranking, mean_metric
 from repro.feedback.dwell import DwellTimeModel
 from repro.feedback.weighting import WeightingScheme, heuristic_scheme
@@ -27,7 +28,7 @@ from repro.interfaces.desktop import DesktopInterface
 from repro.interfaces.itv import ItvInterface
 from repro.interfaces.logging import SessionLog
 from repro.profiles.profile import UserProfile
-from repro.retrieval.engine import EngineConfig, VideoRetrievalEngine
+from repro.retrieval.engine import EngineConfig
 from repro.simulation.population import (
     PopulationMember,
     assign_topics,
@@ -176,13 +177,24 @@ class ExperimentRunner:
     def __init__(
         self,
         corpus: SyntheticCorpus,
-        engine_config: EngineConfig = EngineConfig(),
+        engine_config: Optional[EngineConfig] = None,
         dwell_model: Optional[DwellTimeModel] = None,
         simulator_seed: int = 9090,
+        service: Optional[RetrievalService] = None,
     ) -> None:
         self._corpus = corpus
-        self._engine = VideoRetrievalEngine(corpus.collection, config=engine_config)
-        self._system = AdaptiveVideoRetrievalSystem(self._engine)
+        if service is None:
+            service = RetrievalService.from_corpus(
+                corpus,
+                config=ServiceConfig.from_engine_config(engine_config or EngineConfig()),
+            )
+        elif engine_config is not None:
+            # A pre-built service already fixes the engine; accepting a second
+            # engine configuration would silently misattribute results.
+            raise ValueError("pass either engine_config or service, not both")
+        self._service = service
+        self._engine = service.engine
+        self._system = service.system
         self._dwell_model = dwell_model
         self._simulator_seed = simulator_seed
 
@@ -190,6 +202,11 @@ class ExperimentRunner:
     def corpus(self) -> SyntheticCorpus:
         """The corpus experiments run against."""
         return self._corpus
+
+    @property
+    def service(self) -> RetrievalService:
+        """The retrieval service conditions run through."""
+        return self._service
 
     @property
     def system(self) -> AdaptiveVideoRetrievalSystem:

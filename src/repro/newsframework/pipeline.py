@@ -26,6 +26,7 @@ from repro.newsframework.recommender import (
 from repro.newsframework.segmentation import SegmentationResult, StorySegmenter
 from repro.profiles.profile import UserProfile
 from repro.retrieval.engine import EngineConfig, VideoRetrievalEngine
+from repro.service import RetrievalService, ServiceConfig
 
 
 @dataclass
@@ -63,6 +64,7 @@ class NewsVideoFramework:
         self._segmenter = StorySegmenter()
         self._engine_config = engine_config
         self._recommendation_weights = recommendation_weights
+        self._service: Optional[RetrievalService] = None
         self._engine: Optional[VideoRetrievalEngine] = None
         self._system: Optional[AdaptiveVideoRetrievalSystem] = None
         self._graph = ImplicitGraph()
@@ -80,8 +82,14 @@ class NewsVideoFramework:
             self._segmenter.evaluate_video(self._collection, bulletin.video.video_id)
             for bulletin in report.bulletins
         ]
-        self._engine = VideoRetrievalEngine(self._collection, config=self._engine_config)
-        self._system = AdaptiveVideoRetrievalSystem(self._engine)
+        # Index and serve through the shared facade so the framework runs on
+        # the same substrate as every other entry point.
+        self._service = RetrievalService(
+            self._collection,
+            config=ServiceConfig.from_engine_config(self._engine_config),
+        )
+        self._engine = self._service.engine
+        self._system = self._service.system
         self._ingested = True
         return report
 
@@ -101,6 +109,12 @@ class NewsVideoFramework:
         """The retrieval engine (available after ingest)."""
         self._require_ingested()
         return self._engine  # type: ignore[return-value]
+
+    @property
+    def service(self) -> RetrievalService:
+        """The retrieval service (available after ingest)."""
+        self._require_ingested()
+        return self._service  # type: ignore[return-value]
 
     @property
     def adaptive_system(self) -> AdaptiveVideoRetrievalSystem:

@@ -15,8 +15,10 @@ that baseline and adaptive systems share exactly the same substrate.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.collection.documents import Collection
 from repro.index.fusion import weighted_fusion
@@ -67,6 +69,7 @@ class VideoRetrievalEngine:
         visual_index: Optional[VisualIndex] = None,
         config: EngineConfig = EngineConfig(),
         tokenizer: Optional[Tokenizer] = None,
+        text_scorer: Optional[TextScorer] = None,
     ) -> None:
         self._collection = collection
         self._tokenizer = tokenizer or Tokenizer()
@@ -75,7 +78,12 @@ class VideoRetrievalEngine:
             collection, tokenizer=self._tokenizer
         )
         self._visual_index = visual_index or VisualIndex.from_collection(collection)
-        self._text_scorer = self._build_scorer(config)
+        # An explicit scorer instance (e.g. from the service registry) takes
+        # precedence over the name in the config.
+        self._text_scorer = text_scorer or self._build_scorer(config)
+        self._search_cache: Optional[Dict[Tuple, ResultList]] = None
+        self._search_cache_lock = threading.Lock()
+        self._search_cache_depth = 0
 
     def _build_scorer(self, config: EngineConfig) -> TextScorer:
         if config.scorer == "bm25":
@@ -147,8 +155,54 @@ class VideoRetrievalEngine:
 
     # -- search ---------------------------------------------------------------------
 
+    @contextmanager
+    def batch_search_cache(self) -> Iterator[None]:
+        """Memoise identical queries for the duration of a batch.
+
+        Within the ``with`` block, calls to :meth:`search` whose query
+        fingerprint and limit coincide are evaluated once and served from a
+        per-batch cache.  The engine is deterministic and stateless per
+        query, so cached answers are identical to fresh evaluations; each
+        caller receives its own shallow copy so downstream re-ranking cannot
+        alias across sessions.  Scopes may nest or overlap across threads:
+        a depth counter keeps one shared cache alive until the outermost
+        scope exits, so the cache can never outlive the last batch.
+        """
+        with self._search_cache_lock:
+            if self._search_cache_depth == 0:
+                self._search_cache = {}
+            self._search_cache_depth += 1
+        try:
+            yield
+        finally:
+            with self._search_cache_lock:
+                self._search_cache_depth -= 1
+                if self._search_cache_depth == 0:
+                    self._search_cache = None
+
+    @staticmethod
+    def _copy_results(results: ResultList) -> ResultList:
+        return ResultList(
+            query_text=results.query_text,
+            items=list(results.items),
+            topic_id=results.topic_id,
+        )
+
     def search(self, query: Query, limit: Optional[int] = None) -> ResultList:
         """Run a multimodal search and return a ranked result list."""
+        cache = self._search_cache
+        cache_key: Optional[Tuple] = None
+        if cache is not None:
+            cache_key = query.cache_key() + (limit or self._config.result_limit,)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return self._copy_results(cached)
+        results = self._search_uncached(query, limit)
+        if cache is not None and cache_key is not None:
+            cache[cache_key] = self._copy_results(results)
+        return results
+
+    def _search_uncached(self, query: Query, limit: Optional[int] = None) -> ResultList:
         if query.is_empty():
             return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
         score_maps: List[Dict[str, float]] = []

@@ -33,6 +33,23 @@ class Query:
             and not self.concept_weights
         )
 
+    def cache_key(self) -> tuple:
+        """A hashable fingerprint of everything that influences search results.
+
+        Two queries with equal cache keys are guaranteed to produce
+        identical rankings from a deterministic engine, which is what the
+        batch-search cache keys on.  ``user_id`` is deliberately excluded —
+        it never reaches scoring — so identical queries from different
+        users can share one evaluation.
+        """
+        return (
+            self.text,
+            tuple(sorted(self.term_weights.items())),
+            tuple(self.example_shot_ids),
+            tuple(sorted(self.concept_weights.items())),
+            self.topic_id,
+        )
+
     def with_text(self, text: str) -> "Query":
         """A copy of this query with different text."""
         return Query(

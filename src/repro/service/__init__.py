@@ -1,0 +1,62 @@
+"""The public service facade: multi-user adaptive retrieval behind typed requests.
+
+This package is the supported way to *use* the reproduction: construct a
+:class:`RetrievalService` over a corpus, open per-user sessions, and talk to
+it through the frozen request/response values.  The lower layers
+(:mod:`repro.core`, :mod:`repro.retrieval`, ...) remain importable as the
+engine room, but new code should not wire them together by hand.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.registry import (
+    POLICY_REGISTRY,
+    SCORER_REGISTRY,
+    WEIGHTING_SCHEME_REGISTRY,
+    ComponentRegistry,
+    UnknownComponentError,
+    available_policies,
+    available_scorers,
+    available_weighting_schemes,
+    create_policy,
+    create_scorer,
+    create_weighting_scheme,
+    register_policy,
+    register_scorer,
+    register_weighting_scheme,
+)
+from repro.service.service import RetrievalService
+from repro.service.sessions import ManagedSession, SessionManager, SessionNotFoundError
+from repro.service.types import (
+    FeedbackBatch,
+    SearchHit,
+    SearchRequest,
+    SearchResponse,
+    SessionInfo,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "POLICY_REGISTRY",
+    "SCORER_REGISTRY",
+    "WEIGHTING_SCHEME_REGISTRY",
+    "ComponentRegistry",
+    "UnknownComponentError",
+    "available_policies",
+    "available_scorers",
+    "available_weighting_schemes",
+    "create_policy",
+    "create_scorer",
+    "create_weighting_scheme",
+    "register_policy",
+    "register_scorer",
+    "register_weighting_scheme",
+    "RetrievalService",
+    "ManagedSession",
+    "SessionManager",
+    "SessionNotFoundError",
+    "FeedbackBatch",
+    "SearchHit",
+    "SearchRequest",
+    "SearchResponse",
+    "SessionInfo",
+]

@@ -1,0 +1,103 @@
+"""Service-level configuration: one value object wires the whole stack.
+
+A :class:`ServiceConfig` names every pluggable component (scorer, default
+adaptation policy, default weighting scheme — all resolved through the
+registries in :mod:`repro.service.registry`) and carries the numeric knobs
+of the retrieval engine and session manager.  Entry points construct a
+service from a config instead of assembling engine + adaptive system +
+sessions by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.retrieval.engine import EngineConfig
+from repro.utils.validation import ensure_positive
+
+#: Scorer names the engine can build natively (no registry override needed).
+_BUILTIN_SCORERS = ("bm25", "tfidf", "lm")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a :class:`~repro.service.service.RetrievalService`.
+
+    Attributes
+    ----------
+    scorer:
+        Registered name of the text ranking function.
+    policy:
+        Registered name of the default adaptation policy used when a
+        session is opened without an explicit policy.
+    weighting_scheme:
+        Registered name of the default implicit-indicator weighting scheme.
+    text_weight / visual_weight / concept_weight:
+        Multimodal fusion weights of the underlying engine.
+    result_limit:
+        Default ranked-list depth per search.
+    max_sessions:
+        Capacity of the LRU session manager; the least recently used
+        session is evicted when a new one would exceed it.
+    bm25_k1 / bm25_b / lm_mu:
+        Parameters of the built-in scorers.
+    """
+
+    scorer: str = "bm25"
+    policy: str = "combined"
+    weighting_scheme: str = "heuristic"
+    text_weight: float = 1.0
+    visual_weight: float = 0.4
+    concept_weight: float = 0.3
+    result_limit: int = 50
+    max_sessions: int = 1024
+    bm25_k1: float = 1.2
+    bm25_b: float = 0.75
+    lm_mu: float = 300.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.result_limit, "result_limit")
+        ensure_positive(self.max_sessions, "max_sessions")
+        if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
+            raise ValueError("fusion weights must be non-negative")
+
+    def with_overrides(self, **overrides: object) -> "ServiceConfig":
+        """A copy of this config with some fields replaced."""
+        return replace(self, **overrides)
+
+    def engine_config(self) -> EngineConfig:
+        """The engine configuration this service config implies.
+
+        Custom (registry-registered) scorer names are not representable in
+        :class:`EngineConfig`; for those the engine is built with the
+        default scorer name and an explicit scorer instance from the
+        registry, so the name here falls back to ``"bm25"``.
+        """
+        scorer = self.scorer if self.scorer in _BUILTIN_SCORERS else "bm25"
+        return EngineConfig(
+            scorer=scorer,
+            text_weight=self.text_weight,
+            visual_weight=self.visual_weight,
+            concept_weight=self.concept_weight,
+            result_limit=self.result_limit,
+            bm25_k1=self.bm25_k1,
+            bm25_b=self.bm25_b,
+            lm_mu=self.lm_mu,
+        )
+
+    @classmethod
+    def from_engine_config(
+        cls, engine_config: EngineConfig, **overrides: object
+    ) -> "ServiceConfig":
+        """Lift an engine configuration into a service configuration."""
+        config = cls(
+            scorer=engine_config.scorer,
+            text_weight=engine_config.text_weight,
+            visual_weight=engine_config.visual_weight,
+            concept_weight=engine_config.concept_weight,
+            result_limit=engine_config.result_limit,
+            bm25_k1=engine_config.bm25_k1,
+            bm25_b=engine_config.bm25_b,
+            lm_mu=engine_config.lm_mu,
+        )
+        return config.with_overrides(**overrides) if overrides else config

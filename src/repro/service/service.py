@@ -1,0 +1,371 @@
+"""The :class:`RetrievalService` facade: the package's public entry point.
+
+One service owns one corpus and everything built over it — the multimodal
+engine, the adaptive retrieval system, and a bounded pool of per-user
+sessions — behind a typed, multi-user API:
+
+>>> from repro.service import RetrievalService, SearchRequest
+>>> service = RetrievalService.generate(seed=7)
+>>> info = service.open_session("alice", policy="implicit")
+>>> response = service.search(SearchRequest(user_id="alice", query="election"))
+
+Every entry point of the repository (CLI, examples, experiment runner,
+benchmarks) goes through this facade, so that "baseline vs adaptive" and
+"sequential vs batch" comparisons always run on the same substrate under
+different configurations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.collection.documents import Collection
+from repro.collection.generator import CollectionConfig, SyntheticCorpus, generate_corpus
+from repro.collection.qrels import Qrels
+from repro.collection.storage import PathLike, StoredCorpus, load_corpus
+from repro.collection.topics import TopicSet
+from repro.core.adaptive import AdaptiveSession, AdaptiveVideoRetrievalSystem
+from repro.core.policies import AdaptationPolicy
+from repro.feedback.events import InteractionEvent
+from repro.feedback.weighting import WeightingScheme
+from repro.index.inverted_index import InvertedIndex
+from repro.index.tokenizer import Tokenizer
+from repro.profiles.ontology import InterestOntology
+from repro.profiles.profile import UserProfile
+from repro.retrieval.engine import VideoRetrievalEngine
+from repro.service.config import ServiceConfig
+from repro.service.registry import (
+    create_policy,
+    create_scorer,
+    create_weighting_scheme,
+)
+from repro.service.sessions import ManagedSession, SessionManager
+from repro.service.types import (
+    FeedbackBatch,
+    SearchRequest,
+    SearchResponse,
+    SessionInfo,
+)
+from repro.utils.validation import ensure_positive
+
+#: A corpus the service can be built from directly.
+CorpusLike = Union[SyntheticCorpus, StoredCorpus]
+
+
+class RetrievalService:
+    """Multi-user adaptive retrieval over one collection.
+
+    The service resolves its scorer, default policy and default weighting
+    scheme by name through the component registries, hands out per-user
+    adaptive sessions through a thread-safe LRU :class:`SessionManager`,
+    and exposes search/feedback as frozen request/response values.
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        topics: Optional[TopicSet] = None,
+        qrels: Optional[Qrels] = None,
+        config: Optional[ServiceConfig] = None,
+        ontology: Optional[InterestOntology] = None,
+    ) -> None:
+        self._config = config or ServiceConfig()
+        self._collection = collection
+        self._topics = topics
+        self._qrels = qrels
+        tokenizer = Tokenizer()
+        inverted_index = InvertedIndex.from_collection(collection, tokenizer=tokenizer)
+        # Resolving through the registry (rather than EngineConfig's own
+        # string switch) is what lets register_scorer() extensions work and
+        # makes unknown names fail with the registered alternatives listed.
+        scorer = create_scorer(self._config.scorer, inverted_index, self._config)
+        self._engine = VideoRetrievalEngine(
+            collection,
+            inverted_index=inverted_index,
+            config=self._config.engine_config(),
+            tokenizer=tokenizer,
+            text_scorer=scorer,
+        )
+        self._system = AdaptiveVideoRetrievalSystem(self._engine, ontology=ontology)
+        self._sessions = SessionManager(self._config.max_sessions)
+        self._lock = threading.RLock()
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: CorpusLike,
+        config: Optional[ServiceConfig] = None,
+        ontology: Optional[InterestOntology] = None,
+    ) -> "RetrievalService":
+        """Build a service over a generated or reloaded corpus."""
+        return cls(
+            collection=corpus.collection,
+            topics=corpus.topics,
+            qrels=corpus.qrels,
+            config=config,
+            ontology=ontology,
+        )
+
+    @classmethod
+    def from_directory(
+        cls, directory: PathLike, config: Optional[ServiceConfig] = None
+    ) -> "RetrievalService":
+        """Build a service over a corpus saved by ``save_corpus``/``repro generate``."""
+        return cls.from_corpus(load_corpus(directory), config=config)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 13,
+        collection_config: Optional[CollectionConfig] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> "RetrievalService":
+        """Generate a synthetic corpus and build a service over it."""
+        corpus = generate_corpus(seed=seed, config=collection_config or CollectionConfig())
+        return cls.from_corpus(corpus, config=config)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration."""
+        return self._config
+
+    @property
+    def collection(self) -> Collection:
+        """The collection being served."""
+        return self._collection
+
+    @property
+    def topics(self) -> Optional[TopicSet]:
+        """The corpus topics, when the service was built from a corpus."""
+        return self._topics
+
+    @property
+    def qrels(self) -> Optional[Qrels]:
+        """The corpus relevance judgements, when available."""
+        return self._qrels
+
+    @property
+    def engine(self) -> VideoRetrievalEngine:
+        """The underlying multimodal engine (read-only substrate)."""
+        return self._engine
+
+    @property
+    def system(self) -> AdaptiveVideoRetrievalSystem:
+        """The underlying adaptive system.
+
+        Exposed for infrastructure that needs to create sessions with fully
+        custom policy/scheme *objects* (e.g. the experiment runner); regular
+        callers should use :meth:`open_session` with registered names.
+        """
+        return self._system
+
+    @property
+    def session_count(self) -> int:
+        """Number of live sessions."""
+        return len(self._sessions)
+
+    # -- session lifecycle ---------------------------------------------------------
+
+    def _resolve_policy(
+        self, policy: Union[str, AdaptationPolicy, None]
+    ) -> tuple:
+        if policy is None:
+            policy = self._config.policy
+        if isinstance(policy, str):
+            return policy, create_policy(policy)
+        return policy.name, policy
+
+    def _resolve_scheme(
+        self, scheme: Union[str, WeightingScheme, None]
+    ) -> tuple:
+        if scheme is None:
+            scheme = self._config.weighting_scheme
+        if isinstance(scheme, str):
+            return scheme, create_weighting_scheme(scheme)
+        return scheme.name, scheme
+
+    def open_session(
+        self,
+        user_id: str,
+        policy: Union[str, AdaptationPolicy, None] = None,
+        scheme: Union[str, WeightingScheme, None] = None,
+        topic_id: Optional[str] = None,
+        profile: Optional[UserProfile] = None,
+        result_limit: Optional[int] = None,
+    ) -> SessionInfo:
+        """Open an adaptive session for a user and return its snapshot.
+
+        ``policy`` and ``scheme`` may be registered names or pre-built
+        objects; defaults come from the service config.  Opening a session
+        beyond ``max_sessions`` evicts the least recently used one.
+        """
+        if not user_id:
+            raise ValueError("user_id must be non-empty")
+        if result_limit is not None:
+            ensure_positive(result_limit, "result_limit")
+        policy_name, policy_obj = self._resolve_policy(policy)
+        scheme_name, scheme_obj = self._resolve_scheme(scheme)
+        limit = result_limit or self._config.result_limit
+        with self._lock:
+            session = self._system.create_session(
+                profile=profile or UserProfile(user_id=user_id),
+                policy=policy_obj,
+                scheme=scheme_obj,
+                topic_id=topic_id,
+                result_limit=limit,
+            )
+            entry = ManagedSession(
+                session_id=self._sessions.next_session_id(user_id),
+                user_id=user_id,
+                session=session,
+                policy_name=policy_name,
+                scheme_name=scheme_name,
+                result_limit=limit,
+            )
+            self._sessions.add(entry)
+            return entry.info()
+
+    def session_info(self, session_id: str) -> SessionInfo:
+        """Snapshot of a session's state (does not refresh LRU recency)."""
+        return self._sessions.get(session_id, touch=False).info()
+
+    def list_sessions(self, user_id: Optional[str] = None) -> List[SessionInfo]:
+        """Snapshots of all live sessions, optionally for one user."""
+        entries = self._sessions.for_user(user_id) if user_id else self._sessions.all()
+        return [entry.info() for entry in entries]
+
+    def close_session(self, session_id: str) -> SessionInfo:
+        """Close a session and return its final snapshot."""
+        return self._sessions.close(session_id).info()
+
+    def adaptive_session(self, session_id: str) -> AdaptiveSession:
+        """The live core session behind a session id.
+
+        An escape hatch for in-process drivers (e.g. the session simulator)
+        that need to step a session directly; remote callers only ever see
+        :class:`SessionInfo`.
+        """
+        return self._sessions.get(session_id, touch=False).session
+
+    # -- request resolution ---------------------------------------------------------
+
+    def _entry_for(
+        self,
+        user_id: str,
+        session_id: Optional[str],
+        topic_id: Optional[str] = None,
+    ) -> ManagedSession:
+        """The session a request targets, opening one when needed."""
+        if session_id is not None:
+            entry = self._sessions.get(session_id)
+            if entry.user_id != user_id:
+                raise PermissionError(
+                    f"session {session_id!r} belongs to user {entry.user_id!r}, "
+                    f"not {user_id!r}"
+                )
+            return entry
+        entry = self._sessions.latest_for_user(user_id)
+        if entry is not None and (topic_id is None or entry.session.topic_id == topic_id):
+            # Refresh recency just like the explicit-session path, so a
+            # session in active implicit use is not the LRU eviction victim.
+            return self._sessions.get(entry.session_id)
+        info = self.open_session(user_id, topic_id=topic_id)
+        return self._sessions.get(info.session_id)
+
+    # -- search -----------------------------------------------------------------------
+
+    def _search_one(self, request: SearchRequest) -> SearchResponse:
+        entry = self._entry_for(request.user_id, request.session_id, request.topic_id)
+        results = entry.session.submit_query(request.query, limit=request.limit)
+        return SearchResponse.from_result_list(
+            results,
+            session_id=entry.session_id,
+            user_id=entry.user_id,
+            iteration=entry.session.iteration_count,
+            policy=entry.policy_name,
+        )
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Run one adapted search for one user."""
+        with self._lock:
+            return self._search_one(request)
+
+    def search_text(
+        self,
+        user_id: str,
+        query: str,
+        session_id: Optional[str] = None,
+        topic_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> SearchResponse:
+        """Convenience wrapper building the :class:`SearchRequest` inline."""
+        return self.search(
+            SearchRequest(
+                user_id=user_id,
+                query=query,
+                session_id=session_id,
+                topic_id=topic_id,
+                limit=limit,
+            )
+        )
+
+    def search_batch(self, requests: Sequence[SearchRequest]) -> List[SearchResponse]:
+        """Run many search requests, amortising shared work across them.
+
+        Requests are evaluated in order under a per-batch engine query
+        cache: sessions whose adapted queries coincide (typically many
+        users issuing the same query before feedback diverges them) share
+        one engine evaluation.  Results are bit-identical to issuing the
+        same requests sequentially through :meth:`search`, because the
+        engine is deterministic and per-session adaptation still runs
+        individually on top of the cached rankings.
+        """
+        with self._lock:
+            with self._engine.batch_search_cache():
+                return [self._search_one(request) for request in requests]
+
+    # -- feedback ------------------------------------------------------------------------
+
+    def submit_feedback(self, batch: FeedbackBatch) -> SessionInfo:
+        """Route a user's interaction events into their session."""
+        with self._lock:
+            entry = self._entry_for(batch.user_id, batch.session_id)
+            entry.session.observe(batch.events)
+            return entry.info()
+
+    def observe(
+        self,
+        user_id: str,
+        events: Iterable[InteractionEvent],
+        session_id: Optional[str] = None,
+    ) -> SessionInfo:
+        """Convenience wrapper building the :class:`FeedbackBatch` inline."""
+        return self.submit_feedback(
+            FeedbackBatch(user_id=user_id, events=tuple(events), session_id=session_id)
+        )
+
+    # -- recommendations ------------------------------------------------------------------
+
+    def recommend(
+        self,
+        user_id: str,
+        session_id: Optional[str] = None,
+        limit: int = 10,
+    ) -> SearchResponse:
+        """Shots recommended from a session's accumulated positive evidence."""
+        ensure_positive(limit, "limit")
+        with self._lock:
+            entry = self._entry_for(user_id, session_id)
+            results = entry.session.recommendations(limit=limit)
+            return SearchResponse.from_result_list(
+                results,
+                session_id=entry.session_id,
+                user_id=entry.user_id,
+                iteration=entry.session.iteration_count,
+                policy=entry.policy_name,
+            )

@@ -1,0 +1,144 @@
+"""Thread-safe session management with LRU eviction.
+
+The service is multi-user: every user can hold several concurrent adaptive
+sessions, and a production deployment cannot let abandoned sessions (and
+their evidence accumulators) grow without bound.  :class:`SessionManager`
+owns that lifecycle: it hands out ids, tracks recency, evicts the least
+recently used session once ``max_sessions`` is reached, and isolates users
+from each other — a session can only ever be resolved for the user that
+opened it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.adaptive import AdaptiveSession
+from repro.service.types import SessionInfo
+from repro.utils.validation import ensure_positive
+
+
+class SessionNotFoundError(KeyError):
+    """Raised when a session id is unknown (never opened, closed or evicted)."""
+
+    def __init__(self, session_id: str) -> None:
+        self.session_id = session_id
+        super().__init__(f"no open session with id {session_id!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+@dataclass
+class ManagedSession:
+    """One live session plus the metadata the service tracks about it."""
+
+    session_id: str
+    user_id: str
+    session: AdaptiveSession
+    policy_name: str
+    scheme_name: str
+    result_limit: int
+
+    def info(self) -> SessionInfo:
+        """A frozen snapshot of the session's public state."""
+        return SessionInfo(
+            session_id=self.session_id,
+            user_id=self.user_id,
+            policy=self.policy_name,
+            weighting_scheme=self.scheme_name,
+            topic_id=self.session.topic_id,
+            result_limit=self.result_limit,
+            iteration_count=self.session.iteration_count,
+            seen_shot_count=len(self.session.seen_shots()),
+        )
+
+
+class SessionManager:
+    """Bounded, thread-safe registry of live sessions keyed by session id."""
+
+    def __init__(self, max_sessions: int = 1024) -> None:
+        ensure_positive(max_sessions, "max_sessions")
+        self._max_sessions = max_sessions
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, ManagedSession]" = OrderedDict()
+        self._counter = itertools.count(1)
+
+    @property
+    def max_sessions(self) -> int:
+        """The LRU capacity."""
+        return self._max_sessions
+
+    def next_session_id(self, user_id: str) -> str:
+        """A fresh, unique session id for a user."""
+        return f"{user_id}:s{next(self._counter):05d}"
+
+    def add(self, entry: ManagedSession) -> List[ManagedSession]:
+        """Track a new session; returns any sessions evicted to make room."""
+        evicted: List[ManagedSession] = []
+        with self._lock:
+            self._entries[entry.session_id] = entry
+            self._entries.move_to_end(entry.session_id)
+            while len(self._entries) > self._max_sessions:
+                _, old = self._entries.popitem(last=False)
+                evicted.append(old)
+        return evicted
+
+    def get(self, session_id: str, *, touch: bool = True) -> ManagedSession:
+        """Look up a session by id, refreshing its recency unless ``touch=False``."""
+        with self._lock:
+            try:
+                entry = self._entries[session_id]
+            except KeyError:
+                raise SessionNotFoundError(session_id) from None
+            if touch:
+                self._entries.move_to_end(session_id)
+            return entry
+
+    def close(self, session_id: str) -> ManagedSession:
+        """Remove a session and return it."""
+        with self._lock:
+            try:
+                return self._entries.pop(session_id)
+            except KeyError:
+                raise SessionNotFoundError(session_id) from None
+
+    def latest_for_user(self, user_id: str) -> Optional[ManagedSession]:
+        """The user's most recently used session, if any."""
+        with self._lock:
+            for entry in reversed(self._entries.values()):
+                if entry.user_id == user_id:
+                    return entry
+        return None
+
+    def for_user(self, user_id: str) -> List[ManagedSession]:
+        """All of a user's sessions, least recently used first."""
+        with self._lock:
+            return [entry for entry in self._entries.values() if entry.user_id == user_id]
+
+    def all(self) -> List[ManagedSession]:
+        """Every live session, least recently used first."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def session_ids(self) -> List[str]:
+        """Ids of every live session, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every session."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._entries

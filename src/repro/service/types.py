@@ -1,0 +1,195 @@
+"""Typed request/response surface of the retrieval service.
+
+These frozen dataclasses are the *wire format* of :class:`~repro.service.
+service.RetrievalService`: callers build :class:`SearchRequest` /
+:class:`FeedbackBatch` values and receive :class:`SearchResponse` /
+:class:`SessionInfo` values back, without ever touching the internal
+:class:`~repro.retrieval.results.ResultList` or session objects.  Keeping
+the boundary to plain immutable values is what lets the service evolve its
+internals (caching, sharding, remote transports) without breaking callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.feedback.events import InteractionEvent
+from repro.retrieval.results import ResultItem, ResultList
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked shot in a :class:`SearchResponse`."""
+
+    shot_id: str
+    score: float
+    rank: int
+    story_id: str = ""
+    video_id: str = ""
+    headline: str = ""
+    category: str = ""
+    duration_seconds: float = 0.0
+
+    @classmethod
+    def from_result_item(cls, item: ResultItem) -> "SearchHit":
+        """Convert an internal result item into a service hit."""
+        return cls(
+            shot_id=item.shot_id,
+            score=item.score,
+            rank=item.rank,
+            story_id=item.story_id,
+            video_id=item.video_id,
+            headline=item.headline,
+            category=item.category,
+            duration_seconds=item.duration_seconds,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for logging and JSON transports."""
+        return {
+            "shot_id": self.shot_id,
+            "score": self.score,
+            "rank": self.rank,
+            "story_id": self.story_id,
+            "video_id": self.video_id,
+            "headline": self.headline,
+            "category": self.category,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One user's search call.
+
+    Attributes
+    ----------
+    user_id:
+        Who is searching.  Required: the service is multi-user and every
+        request is resolved against that user's sessions.
+    query:
+        Free-text query.
+    session_id:
+        Target an existing session explicitly.  When omitted the service
+        reuses the user's most recent compatible session, or opens a new
+        one with the service defaults.
+    topic_id:
+        The search topic being pursued (used for evaluation bookkeeping).
+    limit:
+        Maximum results to return; service default when ``None``.
+    """
+
+    user_id: str
+    query: str
+    session_id: Optional[str] = None
+    topic_id: Optional[str] = None
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("SearchRequest.user_id must be non-empty")
+        if self.limit is not None and self.limit <= 0:
+            raise ValueError("SearchRequest.limit must be positive when given")
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """The ranked answer to one :class:`SearchRequest`."""
+
+    session_id: str
+    user_id: str
+    query: str
+    hits: Tuple[SearchHit, ...] = ()
+    topic_id: Optional[str] = None
+    iteration: int = 1
+    policy: str = ""
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self) -> Iterator[SearchHit]:
+        return iter(self.hits)
+
+    def shot_ids(self) -> List[str]:
+        """The ranked shot ids."""
+        return [hit.shot_id for hit in self.hits]
+
+    def top(self, count: int) -> Tuple[SearchHit, ...]:
+        """The first ``count`` hits."""
+        return self.hits[:count]
+
+    def scores(self) -> Dict[str, float]:
+        """A ``{shot_id: score}`` view of the ranking."""
+        return {hit.shot_id: hit.score for hit in self.hits}
+
+    @classmethod
+    def from_result_list(
+        cls,
+        results: ResultList,
+        *,
+        session_id: str,
+        user_id: str,
+        iteration: int,
+        policy: str,
+    ) -> "SearchResponse":
+        """Build a response from an internal result list."""
+        return cls(
+            session_id=session_id,
+            user_id=user_id,
+            query=results.query_text,
+            hits=tuple(SearchHit.from_result_item(item) for item in results),
+            topic_id=results.topic_id,
+            iteration=iteration,
+            policy=policy,
+        )
+
+
+@dataclass(frozen=True)
+class FeedbackBatch:
+    """A batch of interaction events a user produced since their last query.
+
+    Events are routed to the user's session (explicitly via ``session_id``
+    or implicitly to their most recent session) where they update the
+    implicit/explicit evidence stores according to the session's policy.
+    """
+
+    user_id: str
+    events: Tuple[InteractionEvent, ...] = ()
+    session_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.user_id:
+            raise ValueError("FeedbackBatch.user_id must be non-empty")
+        # Accept any iterable of events but always store an immutable tuple.
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """A snapshot of one managed session's public state."""
+
+    session_id: str
+    user_id: str
+    policy: str
+    weighting_scheme: str
+    topic_id: Optional[str] = None
+    result_limit: int = 50
+    iteration_count: int = 0
+    seen_shot_count: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for logging and JSON transports."""
+        return {
+            "session_id": self.session_id,
+            "user_id": self.user_id,
+            "policy": self.policy,
+            "weighting_scheme": self.weighting_scheme,
+            "topic_id": self.topic_id,
+            "result_limit": self.result_limit,
+            "iteration_count": self.iteration_count,
+            "seen_shot_count": self.seen_shot_count,
+        }
