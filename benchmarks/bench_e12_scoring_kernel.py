@@ -1,0 +1,317 @@
+"""E12 — Array-backed scoring-kernel latency and throughput.
+
+This is the performance bench for the compact, array-backed index layout:
+single-query latency (p50/p95) and repeated-query throughput for the three
+text scorers (BM25 / TF-IDF / Dirichlet LM), visual similarity search and
+concept scoring, measured over the standard bench corpus.  The engine's
+persistent result cache is DISABLED for the kernel rows — every number here
+is a genuine evaluation — with one extra row recording what the cache adds
+on a repeated-query workload.
+
+Every timed configuration is also checked against the retained reference
+implementations (:mod:`repro.index.reference`), so a kernel change that
+drifts from the original per-posting semantics fails this bench before it
+ships a wrong number.
+
+``BENCH_e12.json`` next to this file records the baseline numbers from the
+PR that introduced the kernel, so the perf trajectory is tracked from then
+on.  Run ``python benchmarks/bench_e12_scoring_kernel.py --write-baseline``
+to refresh it on representative hardware, or ``--smoke`` for the quick CI
+sanity check (small corpus, equivalence + sanity thresholds, no wall-clock
+assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    from _common import print_table
+except ImportError:  # script mode: python benchmarks/bench_e12_scoring_kernel.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import print_table
+
+from repro.analysis import analyse_collection
+from repro.index.reference import (
+    ReferenceBm25Scorer,
+    ReferenceDirichletScorer,
+    ReferenceTfIdfScorer,
+    reference_score_by_concepts,
+    reference_similar_to_vector,
+)
+from repro.retrieval import EngineConfig, VideoRetrievalEngine
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_e12.json"
+
+#: Measurement rounds for the latency distribution (per query).
+ROUNDS = 30
+
+_REFERENCE_FACTORIES = {
+    "bm25": ReferenceBm25Scorer,
+    "tfidf": ReferenceTfIdfScorer,
+    "lm": ReferenceDirichletScorer,
+}
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _ranking(scores):
+    return sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+
+
+def _assert_scorer_equivalence(engine, scorer_name, queries):
+    """The kernel must rank exactly like the retained reference scorer."""
+    reference = _REFERENCE_FACTORIES[scorer_name](engine.inverted_index)
+    for query in queries:
+        term_weights = {}
+        for token in engine.tokenizer.tokenize(query):
+            term_weights[token] = term_weights.get(token, 0.0) + 1.0
+        kernel_ranked = _ranking(engine._text_scorer.score(term_weights))
+        reference_ranked = _ranking(reference.score(term_weights))
+        assert [doc for doc, _ in kernel_ranked] == [doc for doc, _ in reference_ranked]
+        assert all(
+            abs(kernel_score - reference_score) <= 1e-9
+            for (_, kernel_score), (_, reference_score) in zip(
+                kernel_ranked, reference_ranked
+            )
+        )
+
+
+def _text_scorer_rows(corpus, rounds=ROUNDS, verify=True):
+    queries = [" ".join(topic.query_terms) for topic in corpus.topics]
+    rows = []
+    for scorer_name in ("bm25", "tfidf", "lm"):
+        engine = VideoRetrievalEngine(
+            corpus.collection,
+            config=EngineConfig(
+                scorer=scorer_name,
+                visual_weight=0.0,
+                concept_weight=0.0,
+                result_cache_size=0,  # measure the kernel, not the cache
+            ),
+        )
+        if verify:
+            _assert_scorer_equivalence(engine, scorer_name, queries)
+        for query in queries:  # warm the per-term statistic caches
+            engine.search_text(query, limit=100)
+        latencies = []
+        for _ in range(rounds):
+            for query in queries:
+                start = time.perf_counter()
+                engine.search_text(query, limit=100)
+                latencies.append(time.perf_counter() - start)
+        total = sum(latencies)
+        rows.append(
+            {
+                "scorer": scorer_name,
+                "queries": len(latencies),
+                "p50_ms": _percentile(latencies, 0.50) * 1e3,
+                "p95_ms": _percentile(latencies, 0.95) * 1e3,
+                "mean_ms": statistics.mean(latencies) * 1e3,
+                "qps": len(latencies) / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def _cache_row(corpus, rounds=ROUNDS):
+    """What the persistent result cache adds on a repeated-query workload."""
+    engine = VideoRetrievalEngine(
+        corpus.collection,
+        config=EngineConfig(scorer="bm25", visual_weight=0.0, concept_weight=0.0),
+    )
+    queries = [" ".join(topic.query_terms) for topic in corpus.topics]
+    for query in queries:
+        engine.search_text(query, limit=100)
+    latencies = []
+    for _ in range(rounds):
+        for query in queries:
+            start = time.perf_counter()
+            engine.search_text(query, limit=100)
+            latencies.append(time.perf_counter() - start)
+    total = sum(latencies)
+    return {
+        "scorer": "bm25+result_cache",
+        "queries": len(latencies),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "mean_ms": statistics.mean(latencies) * 1e3,
+        "qps": len(latencies) / total if total else 0.0,
+    }
+
+
+def _visual_rows(corpus, rounds=ROUNDS, verify=True):
+    engine = VideoRetrievalEngine(corpus.collection)
+    visual = engine.visual_index
+    probes = visual.shot_ids()[:8]
+    concept_vocabulary = sorted(
+        {
+            concept
+            for shot_id in visual.shot_ids()[:200]
+            for concept in visual.concept_scores_of(shot_id)
+        }
+    )
+    concept_queries = [
+        {concept: 1.0 for concept in concept_vocabulary[start : start + 3]}
+        for start in range(0, min(12, len(concept_vocabulary)), 3)
+    ]
+    if verify:
+        for shot_id in probes[:3]:
+            probe = visual.features_of(shot_id)
+            assert visual.similar_to_vector(probe, limit=20) == (
+                reference_similar_to_vector(visual, probe, limit=20)
+            )
+        for weights in concept_queries[:2]:
+            assert visual.score_by_concepts(weights) == (
+                reference_score_by_concepts(visual, weights)
+            )
+
+    similarity_latencies = []
+    for _ in range(rounds):
+        for shot_id in probes:
+            start = time.perf_counter()
+            visual.similar_to_shot(shot_id, limit=20)
+            similarity_latencies.append(time.perf_counter() - start)
+    concept_latencies = []
+    for _ in range(rounds):
+        for weights in concept_queries:
+            start = time.perf_counter()
+            visual.score_by_concepts(weights)
+            concept_latencies.append(time.perf_counter() - start)
+
+    rows = []
+    for name, latencies in (
+        ("visual_similarity", similarity_latencies),
+        ("concept_scoring", concept_latencies),
+    ):
+        if not latencies:
+            continue
+        total = sum(latencies)
+        rows.append(
+            {
+                "workload": name,
+                "queries": len(latencies),
+                "p50_ms": _percentile(latencies, 0.50) * 1e3,
+                "p95_ms": _percentile(latencies, 0.95) * 1e3,
+                "qps": len(latencies) / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def _batch_row(corpus, rounds=4):
+    """Throughput of the service batch path over the kernel (cold cache)."""
+    from repro.service import RetrievalService, SearchRequest
+
+    service = RetrievalService.from_corpus(corpus)
+    topics = corpus.topics.topics() if hasattr(corpus.topics, "topics") else list(corpus.topics)
+    requests = [
+        SearchRequest(
+            user_id=f"user{index:02d}",
+            query=" ".join(topic.query_terms[:3]),
+            topic_id=topic.topic_id,
+        )
+        for index, topic in enumerate(topics)
+    ]
+    start = time.perf_counter()
+    for _ in range(rounds):
+        service.search_batch(requests)
+    elapsed = time.perf_counter() - start
+    total_queries = rounds * len(requests)
+    return {
+        "workload": "service_batch_search",
+        "queries": total_queries,
+        "qps": total_queries / elapsed if elapsed else 0.0,
+    }
+
+
+def run_experiment(bench_corpus, rounds=ROUNDS, verify=True):
+    analyse_collection(bench_corpus.collection)
+    scorer_rows = _text_scorer_rows(bench_corpus, rounds=rounds, verify=verify)
+    scorer_rows.append(_cache_row(bench_corpus, rounds=rounds))
+    visual_rows = _visual_rows(bench_corpus, rounds=max(2, rounds // 3), verify=verify)
+    batch_row = _batch_row(bench_corpus)
+    return scorer_rows, visual_rows, batch_row
+
+
+def _sanity_check(scorer_rows, visual_rows):
+    by_scorer = {row["scorer"]: row for row in scorer_rows}
+    for name in ("bm25", "tfidf", "lm"):
+        assert by_scorer[name]["qps"] > 0
+        assert by_scorer[name]["p95_ms"] >= by_scorer[name]["p50_ms"]
+    # The result cache must never be slower than the raw kernel.
+    assert by_scorer["bm25+result_cache"]["qps"] >= by_scorer["bm25"]["qps"]
+    assert all(row["qps"] > 0 for row in visual_rows)
+
+
+def test_e12_scoring_kernel(benchmark, bench_corpus):
+    scorer_rows, visual_rows, batch_row = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("E12a: text scoring kernel latency/throughput", scorer_rows)
+    print_table("E12b: visual kernel latency/throughput", visual_rows)
+    print_table("E12c: batch path", [batch_row])
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        print_table(
+            "E12 baseline (from BENCH_e12.json, for trajectory — not asserted)",
+            baseline.get("text_scorers", []),
+        )
+    _sanity_check(scorer_rows, visual_rows)
+
+
+def _main(argv):
+    smoke = "--smoke" in argv
+    write_baseline = "--write-baseline" in argv
+    from repro.collection import CollectionConfig, generate_corpus
+
+    if smoke:
+        corpus = generate_corpus(
+            seed=7,
+            config=CollectionConfig(days=4, stories_per_day=5, topic_count=6),
+        )
+        rounds = 3
+    else:
+        corpus = generate_corpus(
+            seed=2008,
+            config=CollectionConfig(
+                days=24, stories_per_day=9, topic_count=16, min_stories_per_topic=3
+            ),
+        )
+        rounds = ROUNDS
+    scorer_rows, visual_rows, batch_row = run_experiment(
+        corpus, rounds=rounds, verify=True
+    )
+    print_table("E12a: text scoring kernel latency/throughput", scorer_rows)
+    print_table("E12b: visual kernel latency/throughput", visual_rows)
+    print_table("E12c: batch path", [batch_row])
+    _sanity_check(scorer_rows, visual_rows)
+    if write_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "corpus": "bench standard (seed 2008)" if not smoke else "smoke",
+                    "rounds": rounds,
+                    "text_scorers": scorer_rows,
+                    "visual": visual_rows,
+                    "batch": batch_row,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+    print("e12 ok: kernel matches reference rankings; sanity thresholds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

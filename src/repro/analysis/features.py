@@ -16,6 +16,7 @@ drop-in change.
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -112,14 +113,18 @@ class FeatureExtractor:
 
 
 def cosine_similarity(left: Sequence[float], right: Sequence[float]) -> float:
-    """Cosine similarity between two feature vectors (0 for zero vectors)."""
+    """Cosine similarity between two feature vectors (0 for zero vectors).
+
+    The ``map(operator.mul, ...)`` form adds the same products in the same
+    order as a generator expression would, without per-element bytecode.
+    """
     if len(left) != len(right):
         raise ValueError(
             f"vectors must have equal length, got {len(left)} and {len(right)}"
         )
-    dot = sum(a * b for a, b in zip(left, right))
-    norm_left = math.sqrt(sum(a * a for a in left))
-    norm_right = math.sqrt(sum(b * b for b in right))
+    dot = sum(map(operator.mul, left, right))
+    norm_left = math.sqrt(sum(map(operator.mul, left, left)))
+    norm_right = math.sqrt(sum(map(operator.mul, right, right)))
     if norm_left == 0 or norm_right == 0:
         return 0.0
     return dot / (norm_left * norm_right)

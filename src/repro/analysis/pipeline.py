@@ -41,6 +41,9 @@ class AnalysisPipeline:
         feature_extractor: Optional[FeatureExtractor] = None,
         concept_bank: Optional[ConceptDetectorBank] = None,
     ) -> None:
+        # Custom components force re-analysis in run(): shots analysed under
+        # a different configuration must not be served as-is.
+        self._default_components = feature_extractor is None and concept_bank is None
         self._features = feature_extractor or FeatureExtractor(FeatureConfig())
         self._concepts = concept_bank or ConceptDetectorBank(
             config=ConceptDetectorConfig()
@@ -56,12 +59,22 @@ class AnalysisPipeline:
         """The concept detector bank in use."""
         return self._concepts
 
-    def run(self, collection: Collection) -> AnalysisReport:
-        """Analyse every shot in the collection, filling derived fields."""
+    def run(self, collection: Collection, force: bool = False) -> AnalysisReport:
+        """Analyse every shot in the collection, filling derived fields.
+
+        Extraction is deterministic given the keyframe, so a pipeline built
+        from default components leaves shots that already carry features and
+        concept scores untouched (re-analysing an analysed collection is a
+        cheap no-op).  A pipeline with custom components — or ``force=True``
+        — always re-analyses, since existing values may have been produced
+        under a different configuration.
+        """
+        force = force or not self._default_components
         processed = 0
         for shot in collection.iter_shots():
-            shot.features = self._features.extract(shot.keyframe)
-            shot.concept_scores = self._concepts.score_shot(shot)
+            if force or shot.features is None or not shot.concept_scores:
+                shot.features = self._features.extract(shot.keyframe)
+                shot.concept_scores = self._concepts.score_shot(shot)
             processed += 1
         return AnalysisReport(
             shots_processed=processed,
@@ -74,10 +87,22 @@ def analyse_collection(
     collection: Collection,
     feature_config: Optional[FeatureConfig] = None,
     concept_config: Optional[ConceptDetectorConfig] = None,
+    force: bool = False,
 ) -> AnalysisReport:
-    """Convenience wrapper: analyse a collection with default components."""
+    """Convenience wrapper: analyse a collection with default components.
+
+    A non-default configuration forces re-analysis (via the pipeline's
+    custom-component rule), since previously filled features may have been
+    produced under different settings.
+    """
     pipeline = AnalysisPipeline(
-        feature_extractor=FeatureExtractor(feature_config or FeatureConfig()),
-        concept_bank=ConceptDetectorBank(config=concept_config or ConceptDetectorConfig()),
+        feature_extractor=(
+            FeatureExtractor(feature_config) if feature_config is not None else None
+        ),
+        concept_bank=(
+            ConceptDetectorBank(config=concept_config)
+            if concept_config is not None
+            else None
+        ),
     )
-    return pipeline.run(collection)
+    return pipeline.run(collection, force=force)

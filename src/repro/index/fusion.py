@@ -10,6 +10,7 @@ scales (BM25 vs. cosine similarity vs. feedback mass) can be mixed.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Mapping, Sequence
 
 from repro.utils.validation import ensure_non_empty
@@ -17,17 +18,26 @@ from repro.utils.validation import ensure_non_empty
 ScoreMap = Mapping[str, float]
 
 
+def normalisation_bounds(scores: ScoreMap) -> tuple:
+    """``(low, span)`` of a score map for min-max normalisation.
+
+    ``span`` is 0.0 for constant inputs, which normalise to 1.0 by
+    convention.  Shared by every operator (and the engine's single-source
+    fast path) so the convention lives in exactly one place.
+    """
+    low = min(scores.values())
+    return low, max(scores.values()) - low
+
+
 def min_max_normalise(scores: ScoreMap) -> Dict[str, float]:
     """Normalise scores to ``[0, 1]``; constant inputs map to 1.0."""
     if not scores:
         return {}
-    values = list(scores.values())
-    low = min(values)
-    high = max(values)
-    if high == low:
+    low, span = normalisation_bounds(scores)
+    if span == 0.0:
         return {document_id: 1.0 for document_id in scores}
     return {
-        document_id: (value - low) / (high - low)
+        document_id: (value - low) / span
         for document_id, value in scores.items()
     }
 
@@ -68,10 +78,25 @@ def weighted_fusion(
         )
     if any(weight < 0 for weight in weights):
         raise ValueError("fusion weights must be non-negative")
+    active = [
+        (scores, weight) for scores, weight in zip(score_maps, weights) if weight != 0
+    ]
+    if len(active) == 1:
+        # Single contributing source: fuse normalisation and weighting in one
+        # pass (0.0 + w * v == w * v for the non-negative normalised values,
+        # so results match the general path exactly).
+        scores, weight = active[0]
+        if not scores:
+            return {}
+        low, span = normalisation_bounds(scores)
+        if span == 0.0:
+            return {document_id: weight * 1.0 for document_id in scores}
+        return {
+            document_id: weight * ((value - low) / span)
+            for document_id, value in scores.items()
+        }
     fused: Dict[str, float] = {}
-    for scores, weight in zip(score_maps, weights):
-        if weight == 0:
-            continue
+    for scores, weight in active:
         for document_id, value in min_max_normalise(scores).items():
             fused[document_id] = fused.get(document_id, 0.0) + weight * value
     return fused
@@ -115,6 +140,11 @@ def interpolate(
 
 
 def top_documents(scores: ScoreMap, limit: int) -> List[str]:
-    """The ``limit`` best document ids, ties broken by id for determinism."""
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-    return [document_id for document_id, _score in ranked[:limit]]
+    """The ``limit`` best document ids, ties broken by id for determinism.
+
+    Selection uses a bounded heap (``heapq.nsmallest`` over the
+    ``(-score, id)`` key), which is O(n log limit) instead of sorting every
+    scored document and returns exactly what the full sort would.
+    """
+    ranked = heapq.nsmallest(limit, scores.items(), key=lambda item: (-item[1], item[0]))
+    return [document_id for document_id, _score in ranked]

@@ -1,14 +1,35 @@
 """In-memory inverted index over shot transcripts.
 
-The index is the text-retrieval substrate every experiment sits on: postings
-lists with term frequencies, document lengths, and collection statistics.
-Scoring functions (:mod:`repro.index.scoring`,
-:mod:`repro.index.language_model`) operate on this structure; persistence
-lives in :mod:`repro.index.storage`.
+The index is the text-retrieval substrate every experiment sits on.  Since
+the scoring-kernel rework it stores its data in a compact, array-backed
+layout designed for the access pattern of the scoring loop:
+
+* document ids are **interned** to dense integer indexes (``doc_index_of`` /
+  ``doc_id_at``), so score accumulation can run over flat arrays instead of
+  string-keyed dictionaries;
+* postings are stored as parallel ``array('i')`` columns per term
+  (``postings_arrays``) — one column of document indexes, one of term
+  frequencies — instead of lists of :class:`Posting` objects;
+* document lengths live in one flat ``array('i')``
+  (``document_lengths_array``); and
+* collection statistics (collection frequency per term, total terms) are
+  maintained incrementally on :meth:`add_document`, so they are O(1) reads.
+
+Derived per-document normalisation tables used by the scorers (BM25 length
+denominators, TF-IDF cosine norms) are computed lazily and cached; the
+:attr:`generation` counter ticks on every mutation so scorers can invalidate
+their own per-term caches (IDF, collection probabilities) cheaply.
+
+The original object API — ``postings()`` returning :class:`Posting` lists,
+``document_vector()``, ``iter_postings()`` — is preserved as thin views over
+the dense layout, so existing callers and persisted snapshots keep working.
+Scoring functions live in :mod:`repro.index.scoring` and
+:mod:`repro.index.language_model`; persistence in :mod:`repro.index.storage`.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -29,10 +50,21 @@ class InvertedIndex:
 
     def __init__(self, tokenizer: Optional[Tokenizer] = None) -> None:
         self._tokenizer = tokenizer or Tokenizer()
-        self._postings: Dict[str, List[Posting]] = {}
-        self._document_lengths: Dict[str, int] = {}
-        self._document_vectors: Dict[str, Dict[str, int]] = {}
+        # Dense document interning: index -> id and id -> index.
+        self._doc_ids: List[str] = []
+        self._doc_index: Dict[str, int] = {}
+        self._doc_lengths = array("i")
+        # Per-document term-frequency vectors, indexed by document index.
+        self._doc_vectors: List[Dict[str, int]] = []
+        # Postings columns: term -> (document indexes, term frequencies).
+        self._postings_columns: Dict[str, Tuple[array, array]] = {}
+        # Incrementally-maintained collection statistics.
+        self._collection_frequencies: Dict[str, int] = {}
         self._total_terms = 0
+        # Mutation counter; derived caches check it before serving.
+        self._generation = 0
+        self._bm25_norms_cache: Dict[Tuple[float, float], array] = {}
+        self._tfidf_norms_cache: Optional[array] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -43,17 +75,43 @@ class InvertedIndex:
 
     def add_document(self, document_id: str, text: str) -> None:
         """Index one document; re-adding an id raises ``ValueError``."""
-        if document_id in self._document_lengths:
+        self.add_document_frequencies(
+            document_id, self._tokenizer.term_frequencies(text)
+        )
+
+    def add_document_frequencies(
+        self, document_id: str, frequencies: Mapping[str, int]
+    ) -> None:
+        """Index one document from an already-tokenised term-frequency map.
+
+        This is the fast path used when loading persisted snapshots: terms
+        are assumed to be normalised already, so no tokenisation runs.
+        """
+        if document_id in self._doc_index:
             raise ValueError(f"document {document_id!r} already indexed")
-        frequencies = self._tokenizer.term_frequencies(text)
+        frequencies = dict(frequencies)
+        doc_index = len(self._doc_ids)
+        self._doc_ids.append(document_id)
+        self._doc_index[document_id] = doc_index
         length = sum(frequencies.values())
-        self._document_lengths[document_id] = length
-        self._document_vectors[document_id] = frequencies
+        self._doc_lengths.append(length)
+        self._doc_vectors.append(frequencies)
         self._total_terms += length
+        collection_frequencies = self._collection_frequencies
+        postings_columns = self._postings_columns
         for term, frequency in frequencies.items():
-            self._postings.setdefault(term, []).append(
-                Posting(document_id=document_id, term_frequency=frequency)
+            columns = postings_columns.get(term)
+            if columns is None:
+                postings_columns[term] = (array("i", (doc_index,)), array("i", (frequency,)))
+            else:
+                columns[0].append(doc_index)
+                columns[1].append(frequency)
+            collection_frequencies[term] = (
+                collection_frequencies.get(term, 0) + frequency
             )
+        self._generation += 1
+        self._bm25_norms_cache.clear()
+        self._tfidf_norms_cache = None
 
     def add_documents(self, documents: Mapping[str, str]) -> None:
         """Index a mapping of ``document_id -> text``."""
@@ -75,12 +133,12 @@ class InvertedIndex:
     @property
     def document_count(self) -> int:
         """Number of indexed documents."""
-        return len(self._document_lengths)
+        return len(self._doc_ids)
 
     @property
     def vocabulary_size(self) -> int:
         """Number of distinct index terms."""
-        return len(self._postings)
+        return len(self._postings_columns)
 
     @property
     def total_terms(self) -> int:
@@ -90,53 +148,160 @@ class InvertedIndex:
     @property
     def average_document_length(self) -> float:
         """Mean document length in terms."""
-        if not self._document_lengths:
+        if not self._doc_ids:
             return 0.0
-        return self._total_terms / len(self._document_lengths)
+        return self._total_terms / len(self._doc_ids)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; changes whenever a document is added.
+
+        Scorers key their derived statistics caches (IDF tables, collection
+        probabilities) on this value so stale entries are never served.
+        """
+        return self._generation
 
     def document_length(self, document_id: str) -> int:
         """Length (term count) of one document."""
-        return self._document_lengths[document_id]
+        return self._doc_lengths[self._doc_index[document_id]]
 
     def has_document(self, document_id: str) -> bool:
         """True if the document is indexed."""
-        return document_id in self._document_lengths
+        return document_id in self._doc_index
 
     def document_ids(self) -> List[str]:
         """All indexed document ids."""
-        return list(self._document_lengths)
+        return list(self._doc_ids)
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing the term."""
-        return len(self._postings.get(term, ()))
+        columns = self._postings_columns.get(term)
+        return len(columns[0]) if columns is not None else 0
 
     def collection_frequency(self, term: str) -> int:
-        """Total occurrences of the term across the collection."""
-        return sum(posting.term_frequency for posting in self._postings.get(term, ()))
+        """Total occurrences of the term across the collection (O(1))."""
+        return self._collection_frequencies.get(term, 0)
 
     def postings(self, term: str) -> List[Posting]:
-        """The postings list for a term (empty if unseen)."""
-        return list(self._postings.get(term, ()))
+        """The postings list for a term (empty if unseen).
+
+        A materialised object view over the dense columns; scoring code
+        should prefer :meth:`postings_arrays`.
+        """
+        columns = self._postings_columns.get(term)
+        if columns is None:
+            return []
+        doc_ids = self._doc_ids
+        return [
+            Posting(document_id=doc_ids[doc], term_frequency=freq)
+            for doc, freq in zip(columns[0], columns[1])
+        ]
 
     def terms(self) -> List[str]:
         """All index terms."""
-        return list(self._postings)
+        return list(self._postings_columns)
 
     def document_vector(self, document_id: str) -> Dict[str, int]:
         """Term-frequency vector of one document (a copy)."""
-        return dict(self._document_vectors.get(document_id, {}))
+        doc_index = self._doc_index.get(document_id)
+        if doc_index is None:
+            return {}
+        return dict(self._doc_vectors[doc_index])
+
+    def document_vector_view(self, document_id: str) -> Mapping[str, int]:
+        """Term-frequency vector of one document **without copying**.
+
+        The returned mapping is the index's own structure: treat it as
+        read-only.  Used on hot paths (query expansion, centroids) where the
+        defensive copy of :meth:`document_vector` dominates.
+        """
+        doc_index = self._doc_index.get(document_id)
+        if doc_index is None:
+            return {}
+        return self._doc_vectors[doc_index]
 
     def term_frequency(self, term: str, document_id: str) -> int:
         """Frequency of ``term`` in ``document_id`` (0 if absent)."""
-        return self._document_vectors.get(document_id, {}).get(term, 0)
+        doc_index = self._doc_index.get(document_id)
+        if doc_index is None:
+            return 0
+        return self._doc_vectors[doc_index].get(term, 0)
+
+    # -- dense kernel views ------------------------------------------------------
+
+    def doc_index_of(self, document_id: str) -> int:
+        """Dense integer index of a document id (raises ``KeyError`` if absent)."""
+        return self._doc_index[document_id]
+
+    def doc_id_at(self, doc_index: int) -> str:
+        """Document id at a dense index."""
+        return self._doc_ids[doc_index]
+
+    def dense_document_ids(self) -> List[str]:
+        """The id table in dense-index order — the index's own list, read-only."""
+        return self._doc_ids
+
+    def postings_arrays(self, term: str) -> Tuple[array, array]:
+        """Postings columns for a term: ``(doc_indexes, term_frequencies)``.
+
+        Both are the index's own ``array('i')`` columns (read-only); empty
+        arrays are returned for unseen terms.
+        """
+        columns = self._postings_columns.get(term)
+        if columns is None:
+            return _EMPTY_INT_ARRAY, _EMPTY_INT_ARRAY
+        return columns
+
+    @property
+    def document_lengths_array(self) -> array:
+        """Document lengths in dense-index order (read-only ``array('i')``)."""
+        return self._doc_lengths
+
+    def bm25_norms(self, k1: float, b: float) -> array:
+        """Per-document BM25 length-normalisation denominators.
+
+        ``k1 * (1 - b + b * length / average_length)`` for every document in
+        dense-index order, cached per ``(k1, b)`` and invalidated whenever a
+        document is added (the average length moves).
+        """
+        key = (k1, b)
+        cached = self._bm25_norms_cache.get(key)
+        if cached is not None:
+            return cached
+        average_length = max(1.0, self.average_document_length)
+        # Evaluated with the same expression the scorer historically used per
+        # posting, so precomputed scores stay bit-identical.
+        norms = array(
+            "d",
+            (
+                k1 * (1.0 - b + b * length / average_length)
+                for length in self._doc_lengths
+            ),
+        )
+        self._bm25_norms_cache[key] = norms
+        return norms
+
+    def tfidf_norms(self) -> array:
+        """Per-document cosine length norms ``sqrt(max(1, length))``."""
+        cached = self._tfidf_norms_cache
+        if cached is not None:
+            return cached
+        from math import sqrt
+
+        norms = array(
+            "d", (sqrt(max(1.0, float(length))) for length in self._doc_lengths)
+        )
+        self._tfidf_norms_cache = norms
+        return norms
 
     # -- export -----------------------------------------------------------------
 
     def iter_postings(self) -> Iterable[Tuple[str, Posting]]:
         """Iterate ``(term, posting)`` pairs, mainly for persistence."""
-        for term in self._postings:
-            for posting in self._postings[term]:
-                yield term, posting
+        doc_ids = self._doc_ids
+        for term, (docs, freqs) in self._postings_columns.items():
+            for doc, freq in zip(docs, freqs):
+                yield term, Posting(document_id=doc_ids[doc], term_frequency=freq)
 
     def statistics(self) -> Dict[str, float]:
         """Summary statistics for reports."""
@@ -148,10 +313,13 @@ class InvertedIndex:
         }
 
     def __contains__(self, term: str) -> bool:
-        return term in self._postings
+        return term in self._postings_columns
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"InvertedIndex(documents={self.document_count}, "
             f"vocabulary={self.vocabulary_size})"
         )
+
+
+_EMPTY_INT_ARRAY = array("i")

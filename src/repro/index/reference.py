@@ -1,0 +1,206 @@
+"""Retained reference implementations of the scoring functions.
+
+These are the original, straightforward per-:class:`Posting` scoring loops
+that predate the array-backed kernel in :mod:`repro.index.scoring`,
+:mod:`repro.index.language_model` and :mod:`repro.index.visual`.  They are
+deliberately kept verbatim — object postings, string-keyed dictionaries,
+full sorts — because they define the *semantics* the fast kernel must
+reproduce: the ranking-equivalence test suite asserts that kernel and
+reference produce identical ``(document_id, score)`` rankings for every
+scorer, for weighted fusion and for query-by-example.
+
+Do not "optimise" this module; its only job is to stay obviously correct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.features import cosine_similarity
+from repro.index.inverted_index import InvertedIndex
+from repro.index.scoring import QueryTerms, normalise_query
+from repro.index.visual import VisualIndex
+
+
+class ReferenceTfIdfScorer:
+    """Original cosine-normalised TF-IDF loop."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self._index = index
+
+    def _idf(self, term: str) -> float:
+        document_frequency = self._index.document_frequency(term)
+        if document_frequency == 0:
+            return 0.0
+        return math.log((self._index.document_count + 1) / (document_frequency + 0.5))
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        weights = normalise_query(query_terms)
+        scores: Dict[str, float] = {}
+        for term, query_weight in weights.items():
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                term_score = (
+                    query_weight
+                    * (1.0 + math.log(posting.term_frequency))
+                    * idf
+                )
+                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
+        for document_id in list(scores):
+            length = self._index.document_length(document_id)
+            scores[document_id] /= math.sqrt(max(1.0, float(length)))
+        return scores
+
+
+class ReferenceBm25Scorer:
+    """Original Okapi BM25 loop."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
+        self._index = index
+        self._k1 = k1
+        self._b = b
+
+    def _idf(self, term: str) -> float:
+        document_frequency = self._index.document_frequency(term)
+        if document_frequency == 0:
+            return 0.0
+        numerator = self._index.document_count - document_frequency + 0.5
+        denominator = document_frequency + 0.5
+        return math.log(1.0 + numerator / denominator)
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        weights = normalise_query(query_terms)
+        scores: Dict[str, float] = {}
+        average_length = max(1.0, self._index.average_document_length)
+        for term, query_weight in weights.items():
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                length = self._index.document_length(posting.document_id)
+                frequency = posting.term_frequency
+                denominator = frequency + self._k1 * (
+                    1.0 - self._b + self._b * length / average_length
+                )
+                term_score = query_weight * idf * (frequency * (self._k1 + 1.0)) / denominator
+                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
+        return scores
+
+
+class ReferenceDirichletScorer:
+    """Original Dirichlet-smoothed query-likelihood loop."""
+
+    def __init__(self, index: InvertedIndex, mu: float = 300.0) -> None:
+        self._index = index
+        self._mu = mu
+
+    def _collection_probability(self, term: str) -> float:
+        total = self._index.total_terms
+        if total == 0:
+            return 0.0
+        return (
+            sum(posting.term_frequency for posting in self._index.postings(term))
+            / total
+        )
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        weights = normalise_query(query_terms)
+        candidate_documents: Dict[str, Dict[str, int]] = {}
+        for term in weights:
+            for posting in self._index.postings(term):
+                document_terms = candidate_documents.setdefault(posting.document_id, {})
+                document_terms[term] = posting.term_frequency
+
+        scores: Dict[str, float] = {}
+        for document_id, term_frequencies in candidate_documents.items():
+            length = self._index.document_length(document_id)
+            log_likelihood = 0.0
+            for term, query_weight in weights.items():
+                collection_probability = self._collection_probability(term)
+                if collection_probability == 0.0:
+                    continue
+                frequency = term_frequencies.get(term, 0)
+                smoothed = (frequency + self._mu * collection_probability) / (
+                    length + self._mu
+                )
+                log_likelihood += query_weight * math.log(smoothed)
+            scores[document_id] = log_likelihood
+        return scores
+
+
+class ReferenceJelinekMercerScorer:
+    """Original Jelinek-Mercer smoothed query-likelihood loop."""
+
+    def __init__(self, index: InvertedIndex, lambda_: float = 0.7) -> None:
+        self._index = index
+        self._lambda = lambda_
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        weights = normalise_query(query_terms)
+        total_terms = max(1, self._index.total_terms)
+        candidate_documents: Dict[str, Dict[str, int]] = {}
+        for term in weights:
+            for posting in self._index.postings(term):
+                document_terms = candidate_documents.setdefault(posting.document_id, {})
+                document_terms[term] = posting.term_frequency
+
+        scores: Dict[str, float] = {}
+        for document_id, term_frequencies in candidate_documents.items():
+            length = max(1, self._index.document_length(document_id))
+            log_likelihood = 0.0
+            for term, query_weight in weights.items():
+                collection_frequency = sum(
+                    posting.term_frequency for posting in self._index.postings(term)
+                )
+                collection_probability = collection_frequency / total_terms
+                document_probability = term_frequencies.get(term, 0) / length
+                mixed = (
+                    self._lambda * document_probability
+                    + (1.0 - self._lambda) * collection_probability
+                )
+                if mixed <= 0.0:
+                    continue
+                log_likelihood += query_weight * math.log(mixed)
+            scores[document_id] = log_likelihood
+        return scores
+
+
+def reference_similar_to_vector(
+    index: VisualIndex,
+    vector: Sequence[float],
+    limit: int = 20,
+    exclude: Sequence[str] = (),
+) -> List[Tuple[str, float]]:
+    """Original brute-force cosine scan with a full sort."""
+    excluded = set(exclude)
+    scored = [
+        (shot_id, cosine_similarity(vector, index.features_of(shot_id)))
+        for shot_id in index.shot_ids()
+        if shot_id not in excluded
+    ]
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:limit]
+
+
+def reference_score_by_concepts(
+    index: VisualIndex, concept_weights: Mapping[str, float]
+) -> Dict[str, float]:
+    """Original per-shot weighted concept sum."""
+    scores: Dict[str, float] = {}
+    for shot_id in index.shot_ids():
+        shot_scores = index.concept_scores_of(shot_id)
+        total = 0.0
+        for concept, weight in concept_weights.items():
+            total += weight * shot_scores.get(concept, 0.0)
+        if total != 0.0:
+            scores[shot_id] = total
+    return scores
+
+
+def reference_top_documents(scores: Mapping[str, float], limit: int) -> List[str]:
+    """Original full-sort top-k selection."""
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [document_id for document_id, _score in ranked[:limit]]

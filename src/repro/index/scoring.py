@@ -5,16 +5,37 @@ so the retrieval engine, fusion layer and adaptive model can swap them
 freely.  Query terms may carry weights (a ``{term: weight}`` mapping), which
 is how relevance feedback and profile expansion inject evidence into the
 ranking function.
+
+Since the scoring-kernel rework both scorers run over the index's dense
+layout: postings arrive as parallel ``array('i')`` columns of document
+indexes and term frequencies, scores accumulate into a flat dense buffer
+indexed by document index, and the string-keyed ``{doc_id: score}`` mapping
+is materialised only at the very end (the fusion boundary).  Per-term IDF is
+cached and invalidated via the index's ``generation`` counter.  The scores
+produced are bit-identical to the original per-``Posting`` loops (see
+:mod:`repro.index.reference`, which retains them for equivalence testing).
 """
 
 from __future__ import annotations
 
 import math
+from array import array
+from functools import lru_cache
 from typing import Dict, Mapping, Sequence, Union
 
 from repro.index.inverted_index import InvertedIndex
 
 QueryTerms = Union[Sequence[str], Mapping[str, float]]
+
+
+@lru_cache(maxsize=None)
+def _log_tf(frequency: int) -> float:
+    """``1 + log(tf)``, memoised (``lru_cache`` is thread-safe).
+
+    Term frequencies are small positive integers, so the cache stays tiny
+    and column construction never recomputes a logarithm.
+    """
+    return 1.0 + math.log(frequency)
 
 
 def normalise_query(query_terms: QueryTerms) -> Dict[str, float]:
@@ -43,40 +64,89 @@ class TextScorer:
         return self.score(query_terms).get(document_id, 0.0)
 
 
-class TfIdfScorer(TextScorer):
+class _CachedIdfMixin:
+    """Per-term IDF and postings-column caches keyed on the index generation."""
+
+    _index: InvertedIndex
+
+    def __init__(self) -> None:
+        self._idf_cache: Dict[str, float] = {}
+        self._idf_generation = -1
+        self._columns_cache: Dict[str, tuple] = {}
+        self._columns_generation = -1
+
+    def _compute_idf(self, term: str) -> float:
+        raise NotImplementedError
+
+    def _idf(self, term: str) -> float:
+        if self._idf_generation != self._index.generation:
+            self._idf_cache.clear()
+            self._idf_generation = self._index.generation
+        cached = self._idf_cache.get(term)
+        if cached is None:
+            cached = self._compute_idf(term)
+            self._idf_cache[term] = cached
+        return cached
+
+
+class TfIdfScorer(_CachedIdfMixin, TextScorer):
     """Cosine-normalised TF-IDF scoring."""
 
     def __init__(self, index: InvertedIndex) -> None:
+        super().__init__()
         self._index = index
 
-    def _idf(self, term: str) -> float:
+    def _compute_idf(self, term: str) -> float:
         document_frequency = self._index.document_frequency(term)
         if document_frequency == 0:
             return 0.0
         return math.log((self._index.document_count + 1) / (document_frequency + 0.5))
 
+    def _term_columns(self, term: str):
+        """Cached columns ``(doc_indexes, (1 + log(tf)) * idf, doc_index_set)``.
+
+        Unit query weights reproduce the historical per-posting expression
+        bit-for-bit (``1.0 * x == x``); other weights multiply the cached
+        contribution, at most one ulp from the historical association.
+        """
+        if self._columns_generation != self._index.generation:
+            self._columns_cache.clear()
+            self._columns_generation = self._index.generation
+        columns = self._columns_cache.get(term)
+        if columns is None:
+            docs, freqs = self._index.postings_arrays(term)
+            idf = self._idf(term)
+            log_tf = _log_tf
+            contributions = array("d", (log_tf(freq) * idf for freq in freqs))
+            columns = (docs, contributions, frozenset(docs))
+            self._columns_cache[term] = columns
+        return columns
+
     def score(self, query_terms: QueryTerms) -> Dict[str, float]:
         """TF-IDF scores with document-length normalisation."""
         weights = normalise_query(query_terms)
-        scores: Dict[str, float] = {}
+        index = self._index
+        # A plain list is the fastest dense accumulator in CPython: reads
+        # return the stored float object directly, with no array unboxing.
+        accumulator = [0.0] * index.document_count
+        candidates: set = set()
         for term, query_weight in weights.items():
-            idf = self._idf(term)
-            if idf == 0.0:
+            if self._idf(term) == 0.0:
                 continue
-            for posting in self._index.postings(term):
-                term_score = (
-                    query_weight
-                    * (1.0 + math.log(posting.term_frequency))
-                    * idf
-                )
-                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
-        for document_id in list(scores):
-            length = self._index.document_length(document_id)
-            scores[document_id] /= math.sqrt(max(1.0, float(length)))
-        return scores
+            docs, contributions, doc_set = self._term_columns(term)
+            if query_weight == 1.0:
+                for doc, contribution in zip(docs, contributions):
+                    accumulator[doc] += contribution
+            else:
+                for doc, contribution in zip(docs, contributions):
+                    accumulator[doc] += query_weight * contribution
+            candidates |= doc_set
+        norms = index.tfidf_norms()
+        doc_ids = index.dense_document_ids()
+        return {doc_ids[doc]: accumulator[doc] / norms[doc] for doc in candidates}
 
 
-class Bm25Scorer(TextScorer):
+class Bm25Scorer(_CachedIdfMixin, TextScorer):
     """Okapi BM25 with the standard ``k1``/``b`` parameterisation."""
 
     def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
@@ -84,6 +154,7 @@ class Bm25Scorer(TextScorer):
             raise ValueError(f"k1 must be non-negative, got {k1}")
         if not 0.0 <= b <= 1.0:
             raise ValueError(f"b must be in [0, 1], got {b}")
+        super().__init__()
         self._index = index
         self._k1 = k1
         self._b = b
@@ -98,7 +169,7 @@ class Bm25Scorer(TextScorer):
         """Length-normalisation parameter."""
         return self._b
 
-    def _idf(self, term: str) -> float:
+    def _compute_idf(self, term: str) -> float:
         document_frequency = self._index.document_frequency(term)
         if document_frequency == 0:
             return 0.0
@@ -106,21 +177,56 @@ class Bm25Scorer(TextScorer):
         denominator = document_frequency + 0.5
         return math.log(1.0 + numerator / denominator)
 
+    def _term_columns(self, term: str):
+        """Cached columns ``(doc_indexes, contributions, doc_index_set)``.
+
+        ``contributions[i]`` is the complete unit-weight BM25 contribution
+        ``(idf * (tf * (k1 + 1))) / (tf + k1 * (1 - b + b * length /
+        average_length))`` of posting ``i`` — everything about the posting
+        that does not depend on the query.  Because ``1.0 * idf == idf``
+        exactly, unit-weight queries (every plain keyword search) produce
+        bit-identical scores to the historical per-posting expression; other
+        weights multiply the cached contribution, which can differ from the
+        historical association by at most one ulp.
+        """
+        if self._columns_generation != self._index.generation:
+            self._columns_cache.clear()
+            self._columns_generation = self._index.generation
+        columns = self._columns_cache.get(term)
+        if columns is None:
+            docs, freqs = self._index.postings_arrays(term)
+            idf = self._idf(term)
+            norms = self._index.bm25_norms(self._k1, self._b)
+            k1_plus_1 = self._k1 + 1.0
+            contributions = array(
+                "d",
+                (
+                    idf * (freq * k1_plus_1) / (freq + norms[doc])
+                    for doc, freq in zip(docs, freqs)
+                ),
+            )
+            columns = (docs, contributions, frozenset(docs))
+            self._columns_cache[term] = columns
+        return columns
+
     def score(self, query_terms: QueryTerms) -> Dict[str, float]:
         """BM25 scores for all matching documents."""
         weights = normalise_query(query_terms)
-        scores: Dict[str, float] = {}
-        average_length = max(1.0, self._index.average_document_length)
+        index = self._index
+        # A plain list is the fastest dense accumulator in CPython: reads
+        # return the stored float object directly, with no array unboxing.
+        accumulator = [0.0] * index.document_count
+        candidates: set = set()
         for term, query_weight in weights.items():
-            idf = self._idf(term)
-            if idf == 0.0:
+            if self._idf(term) == 0.0:
                 continue
-            for posting in self._index.postings(term):
-                length = self._index.document_length(posting.document_id)
-                frequency = posting.term_frequency
-                denominator = frequency + self._k1 * (
-                    1.0 - self._b + self._b * length / average_length
-                )
-                term_score = query_weight * idf * (frequency * (self._k1 + 1.0)) / denominator
-                scores[posting.document_id] = scores.get(posting.document_id, 0.0) + term_score
-        return scores
+            docs, contributions, doc_set = self._term_columns(term)
+            if query_weight == 1.0:
+                for doc, contribution in zip(docs, contributions):
+                    accumulator[doc] += contribution
+            else:
+                for doc, contribution in zip(docs, contributions):
+                    accumulator[doc] += query_weight * contribution
+            candidates |= doc_set
+        doc_ids = index.dense_document_ids()
+        return {doc_ids[doc]: accumulator[doc] for doc in candidates}

@@ -18,8 +18,13 @@ from repro.utils.serialization import read_json, write_json
 
 PathLike = Union[str, Path]
 
-_INVERTED_FORMAT_VERSION = 1
+_INVERTED_FORMAT_VERSION = 2
 _VISUAL_FORMAT_VERSION = 1
+
+#: Versions this module can read.  v1 carried the same per-document
+#: term-frequency payload but was historically re-tokenised on load; v2 is
+#: loaded straight into the index's dense layout.
+_READABLE_INVERTED_VERSIONS = (1, 2)
 
 
 def save_inverted_index(index: InvertedIndex, path: PathLike) -> None:
@@ -39,24 +44,24 @@ def save_inverted_index(index: InvertedIndex, path: PathLike) -> None:
 def load_inverted_index(path: PathLike, tokenizer: Tokenizer = None) -> InvertedIndex:
     """Load an inverted index from a JSON file.
 
-    The index is rebuilt from the stored per-document term-frequency vectors,
-    so collection statistics are identical to the original.
+    The stored per-document term-frequency vectors are already normalised
+    index terms, so they are fed straight into the index's dense layout via
+    :meth:`InvertedIndex.add_document_frequencies` — no re-tokenisation —
+    and collection statistics come out identical to the original.
     """
     payload = read_json(path)
     if payload.get("kind") != "inverted_index":
         raise ValueError(f"{path} does not contain an inverted index snapshot")
-    if payload.get("format_version") != _INVERTED_FORMAT_VERSION:
+    if payload.get("format_version") not in _READABLE_INVERTED_VERSIONS:
         raise ValueError(
             f"unsupported inverted index format version {payload.get('format_version')}"
         )
     index = InvertedIndex(tokenizer=tokenizer)
     for document_id, term_frequencies in payload["documents"].items():
-        # Reconstruct a synthetic text with the right term frequencies; the
-        # tokenizer will pass these already-normalised terms through.
-        words = []
-        for term, frequency in term_frequencies.items():
-            words.extend([term] * int(frequency))
-        index.add_document(document_id, " ".join(words))
+        index.add_document_frequencies(
+            document_id,
+            {term: int(frequency) for term, frequency in term_frequencies.items()},
+        )
     return index
 
 

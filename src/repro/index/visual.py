@@ -7,10 +7,22 @@ Two visual evidence sources are supported, mirroring TRECVID-era systems:
   watched shot to visually similar shots; and
 * **concept scoring** — "find shots likely to contain *crowd* and *flag*",
   used when a query or profile is mapped onto the concept vocabulary.
+
+Storage is array-backed to match the access pattern of the scoring loops:
+shot ids are interned to dense integer indexes, feature-vector L2 norms are
+precomputed once at ``add_shot`` time (the cosine scan then only computes
+dot products), concept scores are additionally inverted into per-concept
+postings (``concept -> [(shot_index, score)]``) so ``score_by_concepts``
+touches only shots that actually carry a queried concept, and top-k
+selection uses a bounded heap instead of sorting every candidate.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+from array import array
+from operator import mul
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.features import FeatureExtractor, cosine_similarity
@@ -22,8 +34,15 @@ class VisualIndex:
     """Stores one feature vector and one concept-score map per shot."""
 
     def __init__(self) -> None:
-        self._features: Dict[str, Tuple[float, ...]] = {}
-        self._concept_scores: Dict[str, Dict[str, float]] = {}
+        # Dense shot interning: index -> id and id -> index.
+        self._shot_ids: List[str] = []
+        self._shot_index: Dict[str, int] = {}
+        self._vectors: List[Tuple[float, ...]] = []
+        self._norms = array("d")
+        self._concept_maps: List[Dict[str, float]] = []
+        # Inverted concept postings: concept -> [(shot_index, score)].
+        self._concept_postings: Dict[str, List[Tuple[int, float]]] = {}
+        self._generation = 0
 
     # -- construction --------------------------------------------------------
 
@@ -34,10 +53,21 @@ class VisualIndex:
         concept_scores: Optional[Mapping[str, float]] = None,
     ) -> None:
         """Add one shot's visual evidence; duplicates raise ``ValueError``."""
-        if shot_id in self._features:
+        if shot_id in self._shot_index:
             raise ValueError(f"shot {shot_id!r} already in visual index")
-        self._features[shot_id] = tuple(features)
-        self._concept_scores[shot_id] = dict(concept_scores or {})
+        shot_index = len(self._shot_ids)
+        vector = tuple(features)
+        self._shot_ids.append(shot_id)
+        self._shot_index[shot_id] = shot_index
+        self._vectors.append(vector)
+        # sum(map(mul, v, v)) adds the same products in the same order as the
+        # historical generator expression, just without per-element bytecode.
+        self._norms.append(math.sqrt(sum(map(mul, vector, vector))))
+        concepts = dict(concept_scores or {})
+        self._concept_maps.append(concepts)
+        for concept, score in concepts.items():
+            self._concept_postings.setdefault(concept, []).append((shot_index, score))
+        self._generation += 1
 
     @classmethod
     def from_collection(
@@ -63,23 +93,31 @@ class VisualIndex:
     @property
     def shot_count(self) -> int:
         """Number of shots indexed."""
-        return len(self._features)
+        return len(self._shot_ids)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter; changes whenever a shot is added."""
+        return self._generation
 
     def has_shot(self, shot_id: str) -> bool:
         """True if the shot has visual evidence."""
-        return shot_id in self._features
+        return shot_id in self._shot_index
 
     def shot_ids(self) -> List[str]:
         """All indexed shot ids."""
-        return list(self._features)
+        return list(self._shot_ids)
 
     def features_of(self, shot_id: str) -> Tuple[float, ...]:
         """Feature vector of one shot."""
-        return self._features[shot_id]
+        return self._vectors[self._shot_index[shot_id]]
 
     def concept_scores_of(self, shot_id: str) -> Dict[str, float]:
         """Concept confidence scores of one shot (a copy)."""
-        return dict(self._concept_scores.get(shot_id, {}))
+        shot_index = self._shot_index.get(shot_id)
+        if shot_index is None:
+            return {}
+        return dict(self._concept_maps[shot_index])
 
     # -- search -----------------------------------------------------------------
 
@@ -89,37 +127,61 @@ class VisualIndex:
         """Shots most similar to an arbitrary feature vector."""
         ensure_positive(limit, "limit")
         excluded = set(exclude)
-        scored = [
-            (shot_id, cosine_similarity(vector, features))
-            for shot_id, features in self._features.items()
-            if shot_id not in excluded
-        ]
-        scored.sort(key=lambda item: (-item[1], item[0]))
-        return scored[:limit]
+        query = tuple(vector)
+        query_dimensions = len(query)
+        query_norm = math.sqrt(sum(map(mul, query, query)))
+        shot_ids = self._shot_ids
+        norms = self._norms
+        scored: List[Tuple[str, float]] = []
+        for shot_index, features in enumerate(self._vectors):
+            shot_id = shot_ids[shot_index]
+            if shot_id in excluded:
+                continue
+            if len(features) != query_dimensions:
+                raise ValueError(
+                    f"vectors must have equal length, got {query_dimensions} "
+                    f"and {len(features)}"
+                )
+            norm = norms[shot_index]
+            if query_norm == 0 or norm == 0:
+                similarity = 0.0
+            else:
+                similarity = sum(map(mul, query, features)) / (query_norm * norm)
+            scored.append((shot_id, similarity))
+        return heapq.nsmallest(limit, scored, key=lambda item: (-item[1], item[0]))
 
     def similar_to_shot(self, shot_id: str, limit: int = 20) -> List[Tuple[str, float]]:
         """Shots most similar to a given shot (the query shot is excluded)."""
-        if shot_id not in self._features:
+        shot_index = self._shot_index.get(shot_id)
+        if shot_index is None:
             raise KeyError(f"shot {shot_id!r} not in visual index")
         return self.similar_to_vector(
-            self._features[shot_id], limit=limit, exclude=(shot_id,)
+            self._vectors[shot_index], limit=limit, exclude=(shot_id,)
         )
 
     def score_by_concepts(
         self, concept_weights: Mapping[str, float]
     ) -> Dict[str, float]:
         """Score every shot by a weighted sum of its concept confidences."""
+        accumulator = [0.0] * len(self._shot_ids)
+        touched: List[int] = []
+        seen = bytearray(len(self._shot_ids))
+        for concept, weight in concept_weights.items():
+            for shot_index, score in self._concept_postings.get(concept, ()):
+                accumulator[shot_index] += weight * score
+                if not seen[shot_index]:
+                    seen[shot_index] = 1
+                    touched.append(shot_index)
+        shot_ids = self._shot_ids
         scores: Dict[str, float] = {}
-        for shot_id, shot_scores in self._concept_scores.items():
-            total = 0.0
-            for concept, weight in concept_weights.items():
-                total += weight * shot_scores.get(concept, 0.0)
+        for shot_index in sorted(touched):
+            total = accumulator[shot_index]
             if total != 0.0:
-                scores[shot_id] = total
+                scores[shot_ids[shot_index]] = total
         return scores
 
     def similarity(self, first_shot_id: str, second_shot_id: str) -> float:
         """Cosine similarity between two indexed shots."""
         return cosine_similarity(
-            self._features[first_shot_id], self._features[second_shot_id]
+            self.features_of(first_shot_id), self.features_of(second_shot_id)
         )

@@ -16,12 +16,13 @@ that baseline and adaptive systems share exactly the same substrate.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.collection.documents import Collection
-from repro.index.fusion import weighted_fusion
+from repro.index.fusion import normalisation_bounds, weighted_fusion
 from repro.index.inverted_index import InvertedIndex
 from repro.index.language_model import DirichletLanguageModelScorer
 from repro.index.scoring import Bm25Scorer, TextScorer, TfIdfScorer
@@ -39,7 +40,10 @@ class EngineConfig:
 
     ``text_weight``, ``visual_weight`` and ``concept_weight`` control the
     multimodal fusion; ``scorer`` selects the text ranking function
-    (``"bm25"``, ``"tfidf"`` or ``"lm"``).
+    (``"bm25"``, ``"tfidf"`` or ``"lm"``).  ``result_cache_size`` bounds the
+    engine's persistent query-result LRU cache (0 disables it); cached
+    entries are invalidated automatically when either index is mutated, so
+    served rankings are always identical to a fresh evaluation.
     """
 
     scorer: str = "bm25"
@@ -50,6 +54,7 @@ class EngineConfig:
     bm25_k1: float = 1.2
     bm25_b: float = 0.75
     lm_mu: float = 300.0
+    result_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.scorer not in ("bm25", "tfidf", "lm"):
@@ -57,6 +62,10 @@ class EngineConfig:
         if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
             raise ValueError("fusion weights must be non-negative")
         ensure_positive(self.result_limit, "result_limit")
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be non-negative, got {self.result_cache_size}"
+            )
 
 
 class VideoRetrievalEngine:
@@ -84,6 +93,13 @@ class VideoRetrievalEngine:
         self._search_cache: Optional[Dict[Tuple, ResultList]] = None
         self._search_cache_lock = threading.Lock()
         self._search_cache_depth = 0
+        # Persistent LRU of fully-evaluated searches.  Entries are keyed on
+        # the query fingerprint plus limit and guarded by the index
+        # generation counters, so a mutation (add_document / add_shot)
+        # implicitly invalidates every cached result.
+        self._result_cache: "OrderedDict[Tuple, ResultList]" = OrderedDict()
+        self._result_cache_lock = threading.Lock()
+        self._result_cache_generations = (-1, -1)
 
     def _build_scorer(self, config: EngineConfig) -> TextScorer:
         if config.scorer == "bm25":
@@ -121,14 +137,20 @@ class VideoRetrievalEngine:
 
     # -- scoring -----------------------------------------------------------------
 
-    def text_scores(self, query: Query) -> Dict[str, float]:
-        """Text-evidence scores for a query (terms from text plus weights)."""
+    def _query_term_weights(self, query: Query) -> Dict[str, float]:
+        """Weighted index terms for a query: tokenised text plus explicit
+        term weights (normalised through the same stemmer)."""
         term_weights: Dict[str, float] = {}
         for token in self._tokenizer.tokenize(query.text):
             term_weights[token] = term_weights.get(token, 0.0) + 1.0
         for term, weight in query.term_weights.items():
             normalised = self._tokenizer.stem_token(term.lower())
             term_weights[normalised] = term_weights.get(normalised, 0.0) + weight
+        return term_weights
+
+    def text_scores(self, query: Query) -> Dict[str, float]:
+        """Text-evidence scores for a query (terms from text plus weights)."""
+        term_weights = self._query_term_weights(query)
         if not term_weights:
             return {}
         return self._text_scorer.score(term_weights)
@@ -188,18 +210,69 @@ class VideoRetrievalEngine:
             topic_id=results.topic_id,
         )
 
+    def _result_cache_get(self, cache_key: Tuple) -> Optional[ResultList]:
+        with self._result_cache_lock:
+            generations = (
+                self._inverted_index.generation,
+                self._visual_index.generation,
+            )
+            if generations != self._result_cache_generations:
+                self._result_cache.clear()
+                self._result_cache_generations = generations
+                return None
+            cached = self._result_cache.get(cache_key)
+            if cached is None:
+                return None
+            self._result_cache.move_to_end(cache_key)
+            return self._copy_results(cached)
+
+    def _result_cache_put(
+        self,
+        cache_key: Tuple,
+        results: ResultList,
+        evaluation_generations: Tuple[int, int],
+    ) -> None:
+        with self._result_cache_lock:
+            generations = (
+                self._inverted_index.generation,
+                self._visual_index.generation,
+            )
+            if generations != evaluation_generations:
+                # An index was mutated while this search was being evaluated;
+                # the results may predate the mutation, so never cache them.
+                return
+            if generations != self._result_cache_generations:
+                self._result_cache.clear()
+                self._result_cache_generations = generations
+            self._result_cache[cache_key] = self._copy_results(results)
+            self._result_cache.move_to_end(cache_key)
+            while len(self._result_cache) > self._config.result_cache_size:
+                self._result_cache.popitem(last=False)
+
     def search(self, query: Query, limit: Optional[int] = None) -> ResultList:
         """Run a multimodal search and return a ranked result list."""
         cache = self._search_cache
-        cache_key: Optional[Tuple] = None
+        cache_key = query.cache_key() + (limit or self._config.result_limit,)
         if cache is not None:
-            cache_key = query.cache_key() + (limit or self._config.result_limit,)
             cached = cache.get(cache_key)
             if cached is not None:
                 return self._copy_results(cached)
+        use_result_cache = self._config.result_cache_size > 0
+        if use_result_cache:
+            cached = self._result_cache_get(cache_key)
+            if cached is not None:
+                if cache is not None:
+                    cache[cache_key] = self._copy_results(cached)
+                return cached
+            evaluation_generations = (
+                self._inverted_index.generation,
+                self._visual_index.generation,
+            )
         results = self._search_uncached(query, limit)
-        if cache is not None and cache_key is not None:
+        if cache is not None:
             cache[cache_key] = self._copy_results(results)
+        if use_result_cache:
+            self._result_cache_put(cache_key, results, evaluation_generations)
         return results
 
     def _search_uncached(self, query: Query, limit: Optional[int] = None) -> ResultList:
@@ -221,10 +294,45 @@ class VideoRetrievalEngine:
             weights.append(self._config.concept_weight)
         if not score_maps:
             return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
+        if len(score_maps) == 1:
+            return self._single_source_results(query, score_maps[0], weights[0], limit)
         fused = weighted_fusion(score_maps, weights)
         return ResultList.from_scores(
             query_text=query.text,
             scores=fused,
+            collection=self._collection,
+            limit=limit or self._config.result_limit,
+            topic_id=query.topic_id,
+        )
+
+    def _single_source_results(
+        self,
+        query: Query,
+        scores: Dict[str, float],
+        weight: float,
+        limit: Optional[int],
+    ) -> ResultList:
+        """Fast path for single-evidence searches (e.g. text-only configs).
+
+        Applies exactly the arithmetic ``weighted_fusion`` would — min-max
+        normalisation scaled by the source weight — but decorates straight
+        into ``(-fused_score, shot_id)`` tuples, skipping two intermediate
+        score-map materialisations.  Equivalence with the general path is
+        pinned by the kernel-equivalence tests.
+        """
+        if weight == 0:
+            return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
+        low, span = normalisation_bounds(scores)
+        if span == 0.0:
+            decorated = [(-(weight * 1.0), shot_id) for shot_id in scores]
+        else:
+            decorated = [
+                (-(weight * ((value - low) / span)), shot_id)
+                for shot_id, value in scores.items()
+            ]
+        return ResultList.from_decorated(
+            query_text=query.text,
+            decorated=decorated,
             collection=self._collection,
             limit=limit or self._config.result_limit,
             topic_id=query.topic_id,
@@ -275,11 +383,6 @@ class VideoRetrievalEngine:
         expander = RocchioExpander(
             self._inverted_index, expansion_terms=expansion_terms
         )
-        base_terms: Dict[str, float] = {}
-        for token in self._tokenizer.tokenize(query.text):
-            base_terms[token] = base_terms.get(token, 0.0) + 1.0
-        for term, weight in query.term_weights.items():
-            normalised = self._tokenizer.stem_token(term.lower())
-            base_terms[normalised] = base_terms.get(normalised, 0.0) + weight
+        base_terms = self._query_term_weights(query)
         expanded = expander.expand(base_terms, list(relevant_shot_ids), list(non_relevant_shot_ids))
         return query.with_term_weights(expanded)

@@ -10,6 +10,7 @@ feedback model and the profile learner.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
@@ -40,25 +41,26 @@ def extract_key_terms(
         document_weight = weights.get(document_id, 1.0)
         if document_weight <= 0:
             continue
-        for term, frequency in index.document_vector(document_id).items():
+        # Read-only view: avoids copying every feedback document's vector.
+        for term, frequency in index.document_vector_view(document_id).items():
             term_mass[term] = term_mass.get(term, 0.0) + document_weight * frequency
     if not term_mass:
         return {}
-    scored: List[Tuple[str, float]] = []
+    scored: List[Tuple[float, str]] = []
+    document_count_factor = index.document_count + 1
     for term, mass in term_mass.items():
         document_frequency = index.document_frequency(term)
         if document_frequency == 0:
             continue
-        idf = math.log((index.document_count + 1) / (document_frequency + 0.5))
-        scored.append((term, mass * idf))
-    scored.sort(key=lambda item: (-item[1], item[0]))
-    top = scored[:limit]
+        idf = math.log(document_count_factor / (document_frequency + 0.5))
+        scored.append((-(mass * idf), term))
+    top = heapq.nsmallest(limit, scored)
     if not top:
         return {}
-    maximum = top[0][1]
+    maximum = -top[0][0]
     if maximum <= 0:
         return {}
-    return {term: score / maximum for term, score in top}
+    return {term: -negated_score / maximum for negated_score, term in top}
 
 
 class RocchioExpander:
@@ -93,7 +95,7 @@ class RocchioExpander:
 
     def _centroid(self, document_ids: Iterable[str]) -> Dict[str, float]:
         documents = [
-            self._index.document_vector(document_id)
+            self._index.document_vector_view(document_id)
             for document_id in document_ids
             if self._index.has_document(document_id)
         ]
@@ -128,12 +130,16 @@ class RocchioExpander:
         # Keep the original terms plus the strongest expansion terms.
         original_terms = set(query_weights)
         expansion_candidates = [
-            (term, weight)
+            (-weight, term)
             for term, weight in expanded.items()
             if term not in original_terms and weight > 0
         ]
-        expansion_candidates.sort(key=lambda item: (-item[1], item[0]))
-        kept = {term for term, _weight in expansion_candidates[: self._expansion_terms]}
+        kept = {
+            term
+            for _negated_weight, term in heapq.nsmallest(
+                self._expansion_terms, expansion_candidates
+            )
+        }
         return {
             term: weight
             for term, weight in expanded.items()

@@ -8,6 +8,7 @@ to interact with it without dereferencing the collection.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -39,6 +40,14 @@ class ResultItem:
             "category": self.category,
             "duration_seconds": self.duration_seconds,
         }
+
+
+# Fast construction path for the result-list hot loop: installing a complete
+# field dictionary on a bare instance skips the frozen-dataclass __init__
+# (eight guarded object.__setattr__ calls per item).  Equivalence with normal
+# construction is pinned by the kernel-equivalence tests.
+_NEW_ITEM = ResultItem.__new__
+_SET_ATTRIBUTE = object.__setattr__
 
 
 @dataclass
@@ -92,29 +101,61 @@ class ResultList:
     ) -> "ResultList":
         """Build a ranked list from a score map.
 
-        Ties are broken by shot id so rankings are deterministic.  When a
-        collection is supplied, presentation metadata is filled in.
+        Ties are broken by shot id so rankings are deterministic.  Selection
+        negates scores into ``(-score, shot_id)`` tuples so the sort runs on
+        C tuple comparisons (no per-element key function); only the top
+        ``limit`` survive.  When a collection is supplied, presentation
+        metadata is filled in from the collection's cached per-shot
+        prototype records.
         """
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:limit]
+        return cls.from_decorated(
+            query_text,
+            [(-score, shot_id) for shot_id, score in scores.items()],
+            collection=collection,
+            limit=limit,
+            topic_id=topic_id,
+        )
+
+    @classmethod
+    def from_decorated(
+        cls,
+        query_text: str,
+        decorated: List[tuple],
+        collection: Optional[Collection] = None,
+        limit: int = 100,
+        topic_id: Optional[str] = None,
+    ) -> "ResultList":
+        """Build a ranked list from pre-negated ``(-score, shot_id)`` tuples.
+
+        The kernel-facing variant of :meth:`from_scores`: callers that
+        already hold scores in decorated form (the engine's single-source
+        fusion fast path) avoid materialising an intermediate score map.
+        ``decorated`` is consumed destructively (sorted in place).
+        """
+        if len(decorated) > 4 * limit:
+            decorated = heapq.nsmallest(limit, decorated)
+        else:
+            decorated.sort()
+            decorated = decorated[:limit]
+        records = collection.presentation_records() if collection is not None else {}
+        records_get = records.get
         items: List[ResultItem] = []
-        for rank, (shot_id, score) in enumerate(ranked, start=1):
-            if collection is not None and collection.has_shot(shot_id):
-                shot = collection.shot(shot_id)
-                story = collection.story(shot.story_id)
-                items.append(
-                    ResultItem(
-                        shot_id=shot_id,
-                        score=score,
-                        rank=rank,
-                        story_id=shot.story_id,
-                        video_id=shot.video_id,
-                        headline=story.headline,
-                        category=shot.category,
-                        duration_seconds=shot.duration,
-                    )
-                )
+        append = items.append
+        new_item = _NEW_ITEM
+        set_attribute = _SET_ATTRIBUTE
+        copy_record = dict
+        item_type = ResultItem
+        for rank, (negated_score, shot_id) in enumerate(decorated, start=1):
+            record = records_get(shot_id)
+            if record is not None:
+                fields = copy_record(record)
+                fields["score"] = -negated_score
+                fields["rank"] = rank
+                item = new_item(item_type)
+                set_attribute(item, "__dict__", fields)
+                append(item)
             else:
-                items.append(ResultItem(shot_id=shot_id, score=score, rank=rank))
+                append(ResultItem(shot_id=shot_id, score=-negated_score, rank=rank))
         return cls(query_text=query_text, items=items, topic_id=topic_id)
 
 
@@ -128,7 +169,9 @@ def merge_result_lists(
             current = best.get(item.shot_id)
             if current is None or item.score > current.score:
                 best[item.shot_id] = item
-    ranked = sorted(best.values(), key=lambda item: (-item.score, item.shot_id))[:limit]
+    ranked = heapq.nsmallest(
+        limit, best.values(), key=lambda item: (-item.score, item.shot_id)
+    )
     items = [
         ResultItem(
             shot_id=item.shot_id,

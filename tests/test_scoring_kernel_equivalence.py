@@ -1,0 +1,321 @@
+"""Ranking-equivalence tests for the array-backed scoring kernel.
+
+The kernel in :mod:`repro.index.scoring` / :mod:`repro.index.language_model`
+/ :mod:`repro.index.visual` restructures the index's memory layout for
+speed; :mod:`repro.index.reference` retains the original per-posting loops.
+These property-style tests assert the two produce identical
+``(document_id, score)`` rankings — same ids, same order, scores equal to
+within 1e-9 (unit-weight queries are bit-identical by construction) — across
+scorers, weighted multimodal fusion and query-by-example, over randomly
+generated corpora and queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import analyse_collection
+from repro.collection import CollectionConfig, generate_corpus
+from repro.index import (
+    Bm25Scorer,
+    DirichletLanguageModelScorer,
+    InvertedIndex,
+    JelinekMercerLanguageModelScorer,
+    TfIdfScorer,
+    top_documents,
+    weighted_fusion,
+)
+from repro.index.reference import (
+    ReferenceBm25Scorer,
+    ReferenceDirichletScorer,
+    ReferenceJelinekMercerScorer,
+    ReferenceTfIdfScorer,
+    reference_score_by_concepts,
+    reference_similar_to_vector,
+    reference_top_documents,
+)
+from repro.index.visual import VisualIndex
+from repro.retrieval import EngineConfig, Query, VideoRetrievalEngine
+
+SEED = 20080731
+
+
+def ranking(scores, limit=None):
+    """Deterministic ranked (id, score) list: score desc, id asc."""
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit] if limit is not None else ranked
+
+
+def assert_equivalent(kernel_scores, reference_scores, tolerance=1e-9):
+    assert set(kernel_scores) == set(reference_scores)
+    kernel_ranked = ranking(kernel_scores)
+    reference_ranked = ranking(reference_scores)
+    assert [doc for doc, _ in kernel_ranked] == [doc for doc, _ in reference_ranked]
+    for (_, kernel_score), (_, reference_score) in zip(kernel_ranked, reference_ranked):
+        assert kernel_score == pytest.approx(reference_score, abs=tolerance)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generated = generate_corpus(
+        seed=SEED,
+        config=CollectionConfig(days=6, stories_per_day=6, topic_count=8),
+    )
+    analyse_collection(generated.collection)
+    return generated
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return InvertedIndex.from_collection(corpus.collection)
+
+
+@pytest.fixture(scope="module")
+def visual_index(corpus):
+    return VisualIndex.from_collection(corpus.collection)
+
+
+def _random_queries(index, rng, count=25):
+    """A mix of plain, repeated-term and weighted queries over real terms."""
+    terms = sorted(index.terms())
+    queries = []
+    for _ in range(count):
+        size = rng.randint(1, 6)
+        chosen = rng.sample(terms, size)
+        kind = rng.random()
+        if kind < 0.4:
+            queries.append(chosen)
+        elif kind < 0.6:
+            # Repeats exercise the sequence-counting path.
+            queries.append(chosen + chosen[: rng.randint(0, size)])
+        else:
+            queries.append(
+                {term: rng.choice([0.25, 0.5, 1.0, 1.5, 2.0, 3.75]) for term in chosen}
+            )
+    # Unknown terms must be ignored identically.
+    queries.append(["zzz-not-a-term"])
+    queries.append({"zzz-not-a-term": 2.0, terms[0]: 1.0})
+    return queries
+
+
+SCORER_PAIRS = [
+    ("bm25", lambda index: Bm25Scorer(index), lambda index: ReferenceBm25Scorer(index)),
+    (
+        "bm25-tuned",
+        lambda index: Bm25Scorer(index, k1=0.9, b=0.3),
+        lambda index: ReferenceBm25Scorer(index, k1=0.9, b=0.3),
+    ),
+    ("tfidf", lambda index: TfIdfScorer(index), lambda index: ReferenceTfIdfScorer(index)),
+    (
+        "lm-dirichlet",
+        lambda index: DirichletLanguageModelScorer(index, mu=250.0),
+        lambda index: ReferenceDirichletScorer(index, mu=250.0),
+    ),
+    (
+        "lm-jm",
+        lambda index: JelinekMercerLanguageModelScorer(index, lambda_=0.6),
+        lambda index: ReferenceJelinekMercerScorer(index, lambda_=0.6),
+    ),
+]
+
+
+class TestScorerEquivalence:
+    @pytest.mark.parametrize("name,kernel_factory,reference_factory", SCORER_PAIRS)
+    def test_random_queries(self, index, name, kernel_factory, reference_factory):
+        rng = random.Random(SEED)
+        kernel = kernel_factory(index)
+        reference = reference_factory(index)
+        for query in _random_queries(index, rng):
+            assert_equivalent(kernel.score(query), reference.score(query))
+
+    @pytest.mark.parametrize("name,kernel_factory,reference_factory", SCORER_PAIRS)
+    def test_after_incremental_add(self, name, kernel_factory, reference_factory):
+        """Cached statistics must be invalidated by add_document."""
+        index = InvertedIndex()
+        index.add_documents(
+            {
+                "d1": "football match stadium goal goal",
+                "d2": "football politics debate parliament",
+                "d3": "weather rain cloud forecast",
+            }
+        )
+        kernel = kernel_factory(index)
+        reference = reference_factory(index)
+        query = ["football", "goal", "stadium"]
+        assert_equivalent(kernel.score(query), reference.score(query))
+        # Mutate the index: every cached IDF, norm table and contribution
+        # column is now stale and must be recomputed.
+        index.add_document("d4", "stadium crowd goal celebration football goal")
+        assert_equivalent(kernel.score(query), reference.score(query))
+        assert index.collection_frequency("goal") == 4
+
+    def test_unit_weight_queries_bit_identical(self, index):
+        """Plain keyword queries must match the reference bit-for-bit."""
+        rng = random.Random(SEED + 1)
+        terms = sorted(index.terms())
+        kernel = Bm25Scorer(index)
+        reference = ReferenceBm25Scorer(index)
+        for _ in range(10):
+            query = rng.sample(terms, rng.randint(1, 5))
+            kernel_scores = kernel.score(query)
+            reference_scores = reference.score(query)
+            assert kernel_scores == reference_scores  # exact float equality
+
+
+class TestVisualEquivalence:
+    def test_similar_to_vector(self, visual_index):
+        rng = random.Random(SEED + 2)
+        shot_ids = visual_index.shot_ids()
+        for _ in range(10):
+            probe = visual_index.features_of(rng.choice(shot_ids))
+            kernel = visual_index.similar_to_vector(probe, limit=20)
+            reference = reference_similar_to_vector(visual_index, probe, limit=20)
+            assert kernel == reference
+
+    def test_similar_to_shot_excludes_query(self, visual_index):
+        shot_id = visual_index.shot_ids()[0]
+        results = visual_index.similar_to_shot(shot_id, limit=10)
+        assert all(candidate != shot_id for candidate, _ in results)
+
+    def test_score_by_concepts(self, visual_index):
+        rng = random.Random(SEED + 3)
+        concepts = sorted(
+            {
+                concept
+                for shot_id in visual_index.shot_ids()
+                for concept in visual_index.concept_scores_of(shot_id)
+            }
+        )
+        assert concepts, "corpus should carry concept scores"
+        for _ in range(10):
+            chosen = rng.sample(concepts, min(len(concepts), rng.randint(1, 4)))
+            weights = {concept: rng.choice([0.5, 1.0, 2.0, -1.0]) for concept in chosen}
+            kernel = visual_index.score_by_concepts(weights)
+            reference = reference_score_by_concepts(visual_index, weights)
+            assert kernel == reference
+
+
+class TestSelectionEquivalence:
+    def test_top_documents_matches_full_sort(self):
+        rng = random.Random(SEED + 4)
+        scores = {f"shot_{i:04d}": rng.choice([0.0, 0.5, 1.0, rng.random()]) for i in range(500)}
+        for limit in (1, 7, 100, 499, 500, 1000):
+            assert top_documents(scores, limit) == reference_top_documents(scores, limit)
+
+
+class TestEndToEndEquivalence:
+    """The engine pipeline (scorer -> fusion -> result list) must rank like
+    a from-scratch reference computation."""
+
+    @pytest.mark.parametrize("scorer_name", ["bm25", "tfidf", "lm"])
+    def test_search_matches_reference_pipeline(self, corpus, scorer_name):
+        engine = VideoRetrievalEngine(
+            corpus.collection,
+            config=EngineConfig(
+                scorer=scorer_name, visual_weight=0.0, concept_weight=0.0
+            ),
+        )
+        index = engine.inverted_index
+        reference_factory = {
+            "bm25": ReferenceBm25Scorer,
+            "tfidf": ReferenceTfIdfScorer,
+            "lm": ReferenceDirichletScorer,
+        }[scorer_name]
+        kwargs = {"mu": 300.0} if scorer_name == "lm" else {}
+        reference_scorer = reference_factory(index, **kwargs)
+        for topic in corpus.topics:
+            query_text = " ".join(topic.query_terms)
+            results = engine.search_text(query_text, limit=50)
+            term_weights = {}
+            for token in engine.tokenizer.tokenize(query_text):
+                term_weights[token] = term_weights.get(token, 0.0) + 1.0
+            raw = reference_scorer.score(term_weights)
+            fused = weighted_fusion([raw], [engine.config.text_weight])
+            expected = ranking(fused, limit=50)
+            assert results.shot_ids() == [doc for doc, _ in expected]
+            for item, (_, score) in zip(results, expected):
+                assert item.score == pytest.approx(score, abs=1e-9)
+
+    def test_multimodal_fusion_ranking(self, corpus):
+        engine = VideoRetrievalEngine(corpus.collection)
+        reference_scorer = ReferenceBm25Scorer(engine.inverted_index)
+        for topic in list(corpus.topics)[:4]:
+            relevant = sorted(corpus.qrels.relevant_shots(topic.topic_id))
+            query = Query(
+                text=" ".join(topic.query_terms),
+                example_shot_ids=relevant[:1],
+            )
+            results = engine.search(query, limit=50)
+            # Reference computation of the same fusion.
+            term_weights = {}
+            for token in engine.tokenizer.tokenize(query.text):
+                term_weights[token] = term_weights.get(token, 0.0) + 1.0
+            text = reference_scorer.score(term_weights)
+            visual = {}
+            for shot_id in query.example_shot_ids:
+                for candidate, similarity in reference_similar_to_vector(
+                    engine.visual_index,
+                    engine.visual_index.features_of(shot_id),
+                    limit=engine.config.result_limit,
+                    exclude=(shot_id,),
+                ):
+                    visual[candidate] = max(visual.get(candidate, 0.0), similarity)
+            maps, weights = [text], [engine.config.text_weight]
+            if visual:
+                maps.append(visual)
+                weights.append(engine.config.visual_weight)
+            fused = weighted_fusion(maps, weights)
+            expected = ranking(fused, limit=50)
+            assert results.shot_ids() == [doc for doc, _ in expected]
+            for item, (_, score) in zip(results, expected):
+                assert item.score == pytest.approx(score, abs=1e-9)
+
+    def test_more_like_this_consistent_with_cache_disabled(self, corpus):
+        cached = VideoRetrievalEngine(corpus.collection)
+        uncached = VideoRetrievalEngine(
+            corpus.collection, config=EngineConfig(result_cache_size=0)
+        )
+        shot_id = corpus.collection.shot_ids()[0]
+        first = cached.more_like_this(shot_id, limit=10)
+        second = cached.more_like_this(shot_id, limit=10)  # served via cache
+        fresh = uncached.more_like_this(shot_id, limit=10)
+        assert first.shot_ids() == second.shot_ids() == fresh.shot_ids()
+        assert [item.score for item in first] == [item.score for item in fresh]
+
+    def test_result_cache_invalidated_on_index_mutation(self, corpus):
+        engine = VideoRetrievalEngine(corpus.collection)
+        query_text = " ".join(list(corpus.topics)[0].query_terms)
+        before = engine.search_text(query_text, limit=10)
+        assert engine.search_text(query_text, limit=10).shot_ids() == before.shot_ids()
+        # Mutating the index must drop cached results and change statistics.
+        engine.inverted_index.add_document("extra-doc", query_text)
+        after = engine.search_text(query_text, limit=10)
+        assert "extra-doc" in after.scores() or after.shot_ids() != []
+
+    def test_fast_item_construction_matches_dataclass(self, corpus):
+        from repro.retrieval.results import ResultItem, ResultList
+
+        scores = {"a": 1.0, "b": 0.5}
+        shot_id = corpus.collection.shot_ids()[0]
+        scores[shot_id] = 2.0
+        results = ResultList.from_scores(
+            "q", scores, collection=corpus.collection, limit=10
+        )
+        top = results[0]
+        assert isinstance(top, ResultItem)
+        shot = corpus.collection.shot(shot_id)
+        story = corpus.collection.story(shot.story_id)
+        rebuilt = ResultItem(
+            shot_id=shot_id,
+            score=2.0,
+            rank=1,
+            story_id=shot.story_id,
+            video_id=shot.video_id,
+            headline=story.headline,
+            category=shot.category,
+            duration_seconds=shot.duration,
+        )
+        assert top == rebuilt
+        assert top.as_dict() == rebuilt.as_dict()
