@@ -49,6 +49,7 @@ from repro.service import (
     SearchRequest,
     SearchResponse,
     ServiceConfig,
+    SessionExpiredError,
     SessionInfo,
     SessionManager,
     SessionNotFoundError,
@@ -60,8 +61,14 @@ from repro.service import (
     register_scorer,
     register_weighting_scheme,
 )
+from repro.workload import (
+    LoadResult,
+    ServiceLoadDriver,
+    WorkloadSpec,
+    generate_workload,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # collection substrate
@@ -94,6 +101,7 @@ __all__ = [
     "FeedbackBatch",
     "SessionInfo",
     "SessionManager",
+    "SessionExpiredError",
     "SessionNotFoundError",
     "UnknownComponentError",
     "available_policies",
@@ -102,5 +110,10 @@ __all__ = [
     "register_policy",
     "register_scorer",
     "register_weighting_scheme",
+    # workload harness
+    "LoadResult",
+    "ServiceLoadDriver",
+    "WorkloadSpec",
+    "generate_workload",
     "__version__",
 ]

@@ -18,6 +18,10 @@ writing Python:
 ``repro analyse-logs``
     Analyse a directory of interaction logs against the stored qrels and
     print per-indicator precision.
+``repro loadtest``
+    Drive N concurrent simulated users through a live service and print the
+    canonical event-log digest; the same seed always yields the same digest
+    (``--verify`` re-runs the workload and checks).
 
 Every command takes ``--seed`` so runs are reproducible.  Invoke as
 ``repro <command> ...`` (installed entry point) or ``python -m repro ...``.
@@ -103,6 +107,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyse = subparsers.add_parser("analyse-logs", help="analyse interaction log files")
     analyse.add_argument("--corpus", required=True)
     analyse.add_argument("--logs", required=True)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="drive a deterministic concurrent workload"
+    )
+    loadtest.add_argument("--corpus", required=True, help="directory written by 'generate'")
+    loadtest.add_argument("--users", type=int, default=8)
+    loadtest.add_argument("--queries", type=int, default=3,
+                          help="query iterations per user")
+    loadtest.add_argument("--workers", type=int, default=4,
+                          help="client-side thread count")
+    loadtest.add_argument("--policy", default="combined",
+                          help="registered adaptation policy name (default: combined)")
+    loadtest.add_argument("--seed", type=int, default=97)
+    loadtest.add_argument("--log", default=None,
+                          help="file to write the canonical event log to")
+    loadtest.add_argument("--verify", action="store_true",
+                          help="run the workload twice and require identical digests")
 
     return parser
 
@@ -286,6 +307,54 @@ def _command_analyse_logs(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_loadtest(args: argparse.Namespace, out) -> int:
+    from repro.workload import ServiceLoadDriver, WorkloadSpec
+
+    if args.policy not in available_policies():
+        print(
+            f"unknown policy {args.policy!r}; available: "
+            + ", ".join(available_policies()),
+            file=sys.stderr,
+        )
+        return 2
+    stored = load_corpus(args.corpus)
+
+    def factory() -> RetrievalService:
+        return RetrievalService.from_corpus(stored)
+
+    spec = WorkloadSpec(
+        users=args.users,
+        queries_per_user=args.queries,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    driver = ServiceLoadDriver(factory, max_workers=args.workers)
+    result = driver.run(spec)
+    digest = result.digest()
+    print(
+        f"loadtest: {spec.users} users x {spec.queries_per_user} queries "
+        f"({args.workers} workers, policy {spec.policy}, seed {spec.seed}): "
+        f"{result.request_count} requests in {result.wall_seconds:.3f}s "
+        f"({result.throughput_rps:.1f} req/s)",
+        file=out,
+    )
+    print(f"canonical log digest: {digest}", file=out)
+    if args.log:
+        path = result.write_log(args.log)
+        print(f"canonical log written to {path}", file=out)
+    if args.verify:
+        replay_digest = driver.run(spec).digest()
+        if replay_digest != digest:
+            print(
+                f"DETERMINISM FAILURE: replay digest {replay_digest} "
+                f"!= {digest}",
+                file=sys.stderr,
+            )
+            return 1
+        print("replay digest matches: workload is deterministic", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -297,6 +366,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "simulate": _command_simulate,
         "experiment": _command_experiment,
         "analyse-logs": _command_analyse_logs,
+        "loadtest": _command_loadtest,
     }
     return handlers[args.command](args, out)
 

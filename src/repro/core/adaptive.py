@@ -31,6 +31,7 @@ differences.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -310,6 +311,7 @@ class AdaptiveVideoRetrievalSystem:
             self._ontology, collection=engine.collection
         )
         self._feedback_models: Dict[str, ImplicitFeedbackModel] = {}
+        self._feedback_models_lock = threading.Lock()
 
     # -- shared components -------------------------------------------------------------
 
@@ -339,16 +341,25 @@ class AdaptiveVideoRetrievalSystem:
         return self._profile_reranker
 
     def feedback_model(self, policy: AdaptationPolicy) -> ImplicitFeedbackModel:
-        """The implicit feedback model configured for a policy (cached)."""
+        """The implicit feedback model configured for a policy (cached).
+
+        Thread-safe: concurrent sessions running under the same policy
+        share one model instance (the model itself is stateless per call).
+        """
         key = f"{policy.expansion_terms}:{policy.visual_propagation}"
-        if key not in self._feedback_models:
-            self._feedback_models[key] = ImplicitFeedbackModel(
-                self._engine.inverted_index,
-                visual_index=self._engine.visual_index,
-                expansion_terms=policy.expansion_terms,
-                visual_propagation=policy.visual_propagation,
-            )
-        return self._feedback_models[key]
+        model = self._feedback_models.get(key)
+        if model is None:
+            with self._feedback_models_lock:
+                model = self._feedback_models.get(key)
+                if model is None:
+                    model = ImplicitFeedbackModel(
+                        self._engine.inverted_index,
+                        visual_index=self._engine.visual_index,
+                        expansion_terms=policy.expansion_terms,
+                        visual_propagation=policy.visual_propagation,
+                    )
+                    self._feedback_models[key] = model
+        return model
 
     # -- sessions ---------------------------------------------------------------------------
 

@@ -19,7 +19,7 @@ import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.collection.documents import Collection
 from repro.index.fusion import normalisation_bounds, weighted_fusion
@@ -31,6 +31,7 @@ from repro.index.visual import VisualIndex
 from repro.retrieval.expansion import RocchioExpander, extract_key_terms
 from repro.retrieval.query import Query
 from repro.retrieval.results import ResultList
+from repro.utils.concurrency import ReadWriteLock
 from repro.utils.validation import ensure_positive
 
 
@@ -100,6 +101,10 @@ class VideoRetrievalEngine:
         self._result_cache: "OrderedDict[Tuple, ResultList]" = OrderedDict()
         self._result_cache_lock = threading.Lock()
         self._result_cache_generations = (-1, -1)
+        # Read-mostly discipline: searches take the shared side (they never
+        # block each other), index mutation takes the exclusive side and
+        # bumps the generation counters that invalidate every derived cache.
+        self._rw_lock = ReadWriteLock()
 
     def _build_scorer(self, config: EngineConfig) -> TextScorer:
         if config.scorer == "bm25":
@@ -134,6 +139,55 @@ class VideoRetrievalEngine:
     def tokenizer(self) -> Tokenizer:
         """The query/document tokenizer."""
         return self._tokenizer
+
+    # -- read-mostly concurrency discipline ---------------------------------------
+
+    @contextmanager
+    def read_access(self) -> Iterator[None]:
+        """Shared-side scope for anything that reads the indexes.
+
+        Readers never block each other; they only wait while an exclusive
+        writer (:meth:`exclusive_writer`) is active or waiting.  The scope
+        is reentrant per thread, so the service can hold it around a whole
+        session operation while :meth:`search` takes it again internally.
+        """
+        with self._rw_lock.read_locked():
+            yield
+
+    @contextmanager
+    def exclusive_writer(self) -> Iterator[None]:
+        """Exclusive scope for index mutation.
+
+        Waits for in-flight searches to drain, blocks new ones for the
+        duration, and is the only sanctioned way to mutate the engine's
+        indexes once the engine is serving traffic.  Mutations bump the
+        index ``generation`` counters, which invalidates the result cache
+        and every per-term derived cache, so the first search after the
+        scope exits sees a fully consistent snapshot.
+        """
+        with self._rw_lock.write_locked():
+            yield
+
+    def index_document(self, document_id: str, text: str) -> None:
+        """Add (or extend) one transcript document through the writer path."""
+        with self.exclusive_writer():
+            self._inverted_index.add_document(document_id, text)
+
+    def index_documents(self, documents: Mapping[str, str]) -> None:
+        """Add several transcript documents in one exclusive writer scope."""
+        with self.exclusive_writer():
+            for document_id, text in documents.items():
+                self._inverted_index.add_document(document_id, text)
+
+    def index_shot(
+        self,
+        shot_id: str,
+        features: Sequence[float],
+        concept_scores: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Add one shot's visual evidence through the writer path."""
+        with self.exclusive_writer():
+            self._visual_index.add_shot(shot_id, features, concept_scores)
 
     # -- scoring -----------------------------------------------------------------
 
@@ -250,9 +304,30 @@ class VideoRetrievalEngine:
                 self._result_cache.popitem(last=False)
 
     def search(self, query: Query, limit: Optional[int] = None) -> ResultList:
-        """Run a multimodal search and return a ranked result list."""
+        """Run a multimodal search and return a ranked result list.
+
+        Concurrent calls are safe and never block one another: evaluation
+        runs on the shared side of the engine's read/write discipline, the
+        caches carry their own locks (or tolerate benign duplicate
+        evaluation — the engine is deterministic, so two threads racing on
+        the same per-batch cache key store identical values), and an
+        exclusive writer (:meth:`exclusive_writer`) is the only thing a
+        search ever waits for.
+        """
+        with self._rw_lock.read_locked():
+            return self._search_read_locked(query, limit)
+
+    def _search_read_locked(self, query: Query, limit: Optional[int]) -> ResultList:
         cache = self._search_cache
-        cache_key = query.cache_key() + (limit or self._config.result_limit,)
+        # The generation pair is part of the key so a mutation landing
+        # between two requests of one batch (through the writer path or a
+        # legacy direct index call) can never serve a pre-mutation ranking
+        # from the per-batch cache.
+        cache_key = query.cache_key() + (
+            limit or self._config.result_limit,
+            self._inverted_index.generation,
+            self._visual_index.generation,
+        )
         if cache is not None:
             cached = cache.get(cache_key)
             if cached is not None:

@@ -25,7 +25,12 @@ from repro.service.registry import (
     register_weighting_scheme,
 )
 from repro.service.service import RetrievalService
-from repro.service.sessions import ManagedSession, SessionManager, SessionNotFoundError
+from repro.service.sessions import (
+    ManagedSession,
+    SessionExpiredError,
+    SessionManager,
+    SessionNotFoundError,
+)
 from repro.service.types import (
     FeedbackBatch,
     SearchHit,
@@ -52,6 +57,7 @@ __all__ = [
     "register_weighting_scheme",
     "RetrievalService",
     "ManagedSession",
+    "SessionExpiredError",
     "SessionManager",
     "SessionNotFoundError",
     "FeedbackBatch",

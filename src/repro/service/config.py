@@ -41,6 +41,10 @@ class ServiceConfig:
         session is evicted when a new one would exceed it.
     bm25_k1 / bm25_b / lm_mu:
         Parameters of the built-in scorers.
+    result_cache_size:
+        Capacity of the engine's persistent query-result LRU cache
+        (``0`` disables it); benchmark and equivalence harnesses disable
+        it to measure genuine evaluations.
     """
 
     scorer: str = "bm25"
@@ -54,12 +58,17 @@ class ServiceConfig:
     bm25_k1: float = 1.2
     bm25_b: float = 0.75
     lm_mu: float = 300.0
+    result_cache_size: int = 256
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")
         ensure_positive(self.max_sessions, "max_sessions")
         if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
             raise ValueError("fusion weights must be non-negative")
+        if self.result_cache_size < 0:
+            raise ValueError(
+                f"result_cache_size must be non-negative, got {self.result_cache_size}"
+            )
 
     def with_overrides(self, **overrides: object) -> "ServiceConfig":
         """A copy of this config with some fields replaced."""
@@ -83,6 +92,7 @@ class ServiceConfig:
             bm25_k1=self.bm25_k1,
             bm25_b=self.bm25_b,
             lm_mu=self.lm_mu,
+            result_cache_size=self.result_cache_size,
         )
 
     @classmethod
@@ -99,5 +109,6 @@ class ServiceConfig:
             bm25_k1=engine_config.bm25_k1,
             bm25_b=engine_config.bm25_b,
             lm_mu=engine_config.lm_mu,
+            result_cache_size=engine_config.result_cache_size,
         )
         return config.with_overrides(**overrides) if overrides else config

@@ -13,12 +13,39 @@ Every entry point of the repository (CLI, examples, experiment runner,
 benchmarks) goes through this facade, so that "baseline vs adaptive" and
 "sequential vs batch" comparisons always run on the same substrate under
 different configurations.
+
+Concurrency model
+-----------------
+
+The service is safe to call from many threads at once, and independent
+sessions never serialise behind each other:
+
+* Every :class:`~repro.service.sessions.ManagedSession` carries its own
+  lock; one request against a session holds that lock for the duration of
+  its work, so requests targeting the *same* session execute in arrival
+  order while requests targeting *different* sessions run in parallel.
+* The engine and its indexes are read-mostly.  Searches take the shared
+  side of the engine's read/write discipline (they never block one
+  another; derived statistics are validated by index ``generation``
+  counters), and index mutation goes through the engine's exclusive
+  writer path (:meth:`index_documents`), which drains in-flight searches
+  first.
+* The session registry's own lock is held only for map operations —
+  lookup, insert, pop — never across session work, so session management
+  cannot become the global bottleneck it was when the whole service
+  serialised behind one lock.
+* :meth:`search_batch` partitions a batch by target session and fans the
+  per-session partitions out over a thread pool (``max_workers``), under
+  one shared per-batch engine query cache; responses are bit-identical to
+  sequential execution because per-session order is preserved and the
+  engine is deterministic.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Iterable, List, Optional, Sequence, Union
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.collection.documents import Collection
 from repro.collection.generator import CollectionConfig, SyntheticCorpus, generate_corpus
@@ -40,7 +67,11 @@ from repro.service.registry import (
     create_scorer,
     create_weighting_scheme,
 )
-from repro.service.sessions import ManagedSession, SessionManager
+from repro.service.sessions import (
+    ManagedSession,
+    SessionExpiredError,
+    SessionManager,
+)
 from repro.service.types import (
     FeedbackBatch,
     SearchRequest,
@@ -52,6 +83,12 @@ from repro.utils.validation import ensure_positive
 #: A corpus the service can be built from directly.
 CorpusLike = Union[SyntheticCorpus, StoredCorpus]
 
+#: How often a request retries resolving an implicitly addressed session
+#: that keeps being evicted underneath it before giving up.  Hitting this
+#: bound requires pathological capacity pressure (every freshly opened
+#: session evicted before its first use).
+_RESOLVE_RETRIES = 8
+
 
 class RetrievalService:
     """Multi-user adaptive retrieval over one collection.
@@ -59,7 +96,9 @@ class RetrievalService:
     The service resolves its scorer, default policy and default weighting
     scheme by name through the component registries, hands out per-user
     adaptive sessions through a thread-safe LRU :class:`SessionManager`,
-    and exposes search/feedback as frozen request/response values.
+    and exposes search/feedback as frozen request/response values.  All
+    public methods are thread-safe; see the module docstring for the
+    locking discipline.
     """
 
     def __init__(
@@ -89,7 +128,6 @@ class RetrievalService:
         )
         self._system = AdaptiveVideoRetrievalSystem(self._engine, ontology=ontology)
         self._sessions = SessionManager(self._config.max_sessions)
-        self._lock = threading.RLock()
 
     # -- constructors ------------------------------------------------------------
 
@@ -151,7 +189,7 @@ class RetrievalService:
 
     @property
     def engine(self) -> VideoRetrievalEngine:
-        """The underlying multimodal engine (read-only substrate)."""
+        """The underlying multimodal engine (read-mostly substrate)."""
         return self._engine
 
     @property
@@ -202,7 +240,8 @@ class RetrievalService:
 
         ``policy`` and ``scheme`` may be registered names or pre-built
         objects; defaults come from the service config.  Opening a session
-        beyond ``max_sessions`` evicts the least recently used one.
+        beyond ``max_sessions`` evicts the least recently used one (after
+        any request currently running against the victim completes).
         """
         if not user_id:
             raise ValueError("user_id must be non-empty")
@@ -211,24 +250,23 @@ class RetrievalService:
         policy_name, policy_obj = self._resolve_policy(policy)
         scheme_name, scheme_obj = self._resolve_scheme(scheme)
         limit = result_limit or self._config.result_limit
-        with self._lock:
-            session = self._system.create_session(
-                profile=profile or UserProfile(user_id=user_id),
-                policy=policy_obj,
-                scheme=scheme_obj,
-                topic_id=topic_id,
-                result_limit=limit,
-            )
-            entry = ManagedSession(
-                session_id=self._sessions.next_session_id(user_id),
-                user_id=user_id,
-                session=session,
-                policy_name=policy_name,
-                scheme_name=scheme_name,
-                result_limit=limit,
-            )
-            self._sessions.add(entry)
-            return entry.info()
+        session = self._system.create_session(
+            profile=profile or UserProfile(user_id=user_id),
+            policy=policy_obj,
+            scheme=scheme_obj,
+            topic_id=topic_id,
+            result_limit=limit,
+        )
+        entry = ManagedSession(
+            session_id=self._sessions.next_session_id(user_id),
+            user_id=user_id,
+            session=session,
+            policy_name=policy_name,
+            scheme_name=scheme_name,
+            result_limit=limit,
+        )
+        self._sessions.add(entry)
+        return entry.info()
 
     def session_info(self, session_id: str) -> SessionInfo:
         """Snapshot of a session's state (does not refresh LRU recency)."""
@@ -240,7 +278,11 @@ class RetrievalService:
         return [entry.info() for entry in entries]
 
     def close_session(self, session_id: str) -> SessionInfo:
-        """Close a session and return its final snapshot."""
+        """Close a session and return its final snapshot.
+
+        Waits for any request currently running against the session, so the
+        snapshot reflects every completed request.
+        """
         return self._sessions.close(session_id).info()
 
     def adaptive_session(self, session_id: str) -> AdaptiveSession:
@@ -271,17 +313,73 @@ class RetrievalService:
             return entry
         entry = self._sessions.latest_for_user(user_id)
         if entry is not None and (topic_id is None or entry.session.topic_id == topic_id):
-            # Refresh recency just like the explicit-session path, so a
-            # session in active implicit use is not the LRU eviction victim.
-            return self._sessions.get(entry.session_id)
+            try:
+                # Refresh recency just like the explicit-session path, so a
+                # session in active implicit use is not the LRU eviction victim.
+                return self._sessions.get(entry.session_id)
+            except SessionNotFoundError:
+                # Evicted or closed by a concurrent thread between the scan
+                # and the touch; fall through and open a fresh session.
+                pass
         info = self.open_session(user_id, topic_id=topic_id)
-        return self._sessions.get(info.session_id)
+        try:
+            return self._sessions.get(info.session_id)
+        except SessionNotFoundError:
+            # The freshly opened session was itself evicted before first
+            # use (extreme capacity pressure).  Surface as expiry so the
+            # implicit-addressing retry loop in _locked_entry spins again.
+            raise SessionExpiredError(info.session_id) from None
+
+    @contextmanager
+    def _locked_entry(
+        self,
+        user_id: str,
+        session_id: Optional[str],
+        topic_id: Optional[str] = None,
+    ) -> Iterator[ManagedSession]:
+        """Resolve a request's session and hold its lock for the scope.
+
+        Resolution and locking race with LRU eviction: between ``get`` and
+        acquiring the session lock the entry may be marked evicted (or
+        closed).  Explicitly addressed sessions surface that as
+        :class:`SessionExpiredError` / :class:`SessionNotFoundError`;
+        implicitly addressed requests simply resolve again, which opens a
+        fresh session for the user.
+        """
+        last_session_id: Optional[str] = None
+        for _ in range(_RESOLVE_RETRIES):
+            try:
+                entry = self._entry_for(user_id, session_id, topic_id)
+            except SessionExpiredError as error:
+                if session_id is not None:
+                    raise
+                last_session_id = error.session_id
+                continue  # implicit addressing: resolve a replacement
+            last_session_id = entry.session_id
+            with entry.lock:
+                if entry.is_active:
+                    yield entry
+                    return
+                if session_id is not None:
+                    entry.raise_if_inactive()
+            # Implicit addressing: the resolved session died underneath us;
+            # retry, which will open a replacement.
+        raise SessionExpiredError(
+            last_session_id or "<none>",
+            detail=(
+                f"session resolution for user {user_id!r} lost to LRU "
+                f"eviction {_RESOLVE_RETRIES} times in a row (last session "
+                f"{last_session_id!r}); the session pool is undersized for "
+                f"the concurrent load"
+            ),
+        )
 
     # -- search -----------------------------------------------------------------------
 
-    def _search_one(self, request: SearchRequest) -> SearchResponse:
-        entry = self._entry_for(request.user_id, request.session_id, request.topic_id)
-        results = entry.session.submit_query(request.query, limit=request.limit)
+    def _respond(self, entry: ManagedSession, request: SearchRequest) -> SearchResponse:
+        """Run one search on an entry whose lock the caller already holds."""
+        with self._engine.read_access():
+            results = entry.session.submit_query(request.query, limit=request.limit)
         return SearchResponse.from_result_list(
             results,
             session_id=entry.session_id,
@@ -291,9 +389,15 @@ class RetrievalService:
         )
 
     def search(self, request: SearchRequest) -> SearchResponse:
-        """Run one adapted search for one user."""
-        with self._lock:
-            return self._search_one(request)
+        """Run one adapted search for one user.
+
+        Holds only the target session's lock: concurrent searches for
+        different sessions proceed in parallel against the shared index.
+        """
+        with self._locked_entry(
+            request.user_id, request.session_id, request.topic_id
+        ) as entry:
+            return self._respond(entry, request)
 
     def search_text(
         self,
@@ -314,28 +418,122 @@ class RetrievalService:
             )
         )
 
-    def search_batch(self, requests: Sequence[SearchRequest]) -> List[SearchResponse]:
-        """Run many search requests, amortising shared work across them.
+    def _resolve_batch(
+        self, requests: Sequence[SearchRequest]
+    ) -> List[ManagedSession]:
+        """Bind every batch request to its session, in request order.
 
-        Requests are evaluated in order under a per-batch engine query
-        cache: sessions whose adapted queries coincide (typically many
-        users issuing the same query before feedback diverges them) share
-        one engine evaluation.  Results are bit-identical to issuing the
-        same requests sequentially through :meth:`search`, because the
-        engine is deterministic and per-session adaptation still runs
-        individually on top of the cached rankings.
+        Resolution is sequential and happens before any search runs, so
+        implicit session opening (including LRU eviction) is deterministic
+        regardless of how many workers later execute the searches.
         """
-        with self._lock:
-            with self._engine.batch_search_cache():
-                return [self._search_one(request) for request in requests]
+        entries: List[ManagedSession] = []
+        for request in requests:
+            entries.append(
+                self._entry_for(request.user_id, request.session_id, request.topic_id)
+            )
+        return entries
+
+    def search_batch(
+        self,
+        requests: Sequence[SearchRequest],
+        max_workers: Optional[int] = None,
+    ) -> List[SearchResponse]:
+        """Run many search requests, amortising and parallelising shared work.
+
+        The batch is first *bound*: every request is resolved to its target
+        session sequentially in request order (so implicit session opening
+        is deterministic), then partitioned by session.  With
+        ``max_workers`` greater than 1 the per-session partitions execute
+        on a :class:`~concurrent.futures.ThreadPoolExecutor` — requests for
+        the same session stay in submission order under that session's
+        lock, while different sessions' requests run concurrently.  With
+        ``max_workers`` of ``None``/``1`` the partitions run on the calling
+        thread, one partition at a time (per-session order and response
+        order are preserved; cross-session interleaving is not).
+
+        Either way the whole batch shares one per-batch engine query cache
+        (thread-safe: racing threads that miss on the same key evaluate the
+        same deterministic result), so sessions whose adapted queries
+        coincide — typically many users issuing the same query before
+        feedback diverges them — share one engine evaluation.  Responses
+        are returned in request order and are bit-identical (ids and
+        scores) to issuing the same requests sequentially through
+        :meth:`search`, because per-session execution order is preserved
+        and the engine is deterministic.
+
+        The bit-identical guarantee assumes the session pool does not
+        overflow during the batch; under capacity pressure an implicitly
+        addressed request whose bound session is evicted mid-batch is
+        re-resolved onto a fresh session (exactly as sequential
+        :meth:`search` would), while an explicitly addressed one raises
+        :class:`SessionExpiredError`.
+        """
+        requests = list(requests)
+        if max_workers is not None:
+            ensure_positive(max_workers, "max_workers")
+        entries = self._resolve_batch(requests)
+        responses: List[Optional[SearchResponse]] = [None] * len(requests)
+
+        # Partition by session, preserving request order within a partition.
+        partitions: "Dict[str, List[Tuple[int, SearchRequest, ManagedSession]]]" = {}
+        for index, (request, entry) in enumerate(zip(requests, entries)):
+            partitions.setdefault(entry.session_id, []).append((index, request, entry))
+
+        def run_partition(
+            partition: List[Tuple[int, SearchRequest, ManagedSession]]
+        ) -> None:
+            for index, request, entry in partition:
+                served = False
+                with entry.lock:
+                    if entry.is_active:
+                        responses[index] = self._respond(entry, request)
+                        served = True
+                    elif request.session_id is not None:
+                        entry.raise_if_inactive()
+                if not served:
+                    # The bound session lost to LRU eviction mid-batch (e.g.
+                    # a later bind overflowed the pool).  The request was
+                    # implicitly addressed, so do what sequential search()
+                    # does: resolve a replacement session and serve it.  The
+                    # per-batch engine cache is engine-scoped, so the
+                    # re-resolved search still shares batch evaluations.
+                    responses[index] = self.search(request)
+
+        workers = max_workers or 1
+        with self._engine.batch_search_cache():
+            if workers <= 1 or len(partitions) <= 1:
+                for partition in partitions.values():
+                    run_partition(partition)
+            else:
+                pool_size = min(workers, len(partitions))
+                with ThreadPoolExecutor(
+                    max_workers=pool_size, thread_name_prefix="search-batch"
+                ) as pool:
+                    futures = [
+                        pool.submit(run_partition, partition)
+                        for partition in partitions.values()
+                    ]
+                    for future in futures:
+                        future.result()
+        # Every partition either filled all of its slots or raised (and the
+        # exception propagated above), so the response list is complete.
+        return [response for response in responses if response is not None]
 
     # -- feedback ------------------------------------------------------------------------
 
     def submit_feedback(self, batch: FeedbackBatch) -> SessionInfo:
-        """Route a user's interaction events into their session."""
-        with self._lock:
-            entry = self._entry_for(batch.user_id, batch.session_id)
-            entry.session.observe(batch.events)
+        """Route a user's interaction events into their session.
+
+        Serialises against other requests on the same session only; the
+        returned snapshot reflects the batch.  If the session is evicted
+        while the batch is mid-flight, the batch still completes (eviction
+        waits for the session lock); a batch arriving *after* eviction gets
+        :class:`SessionExpiredError`.
+        """
+        with self._locked_entry(batch.user_id, batch.session_id) as entry:
+            with self._engine.read_access():
+                entry.session.observe(batch.events)
             return entry.info()
 
     def observe(
@@ -349,6 +547,18 @@ class RetrievalService:
             FeedbackBatch(user_id=user_id, events=tuple(events), session_id=session_id)
         )
 
+    # -- corpus mutation (exclusive writer path) -------------------------------------------
+
+    def index_documents(self, documents: Mapping[str, str]) -> None:
+        """Add transcript documents to the live text index.
+
+        Takes the engine's exclusive writer path: in-flight searches drain
+        first, new searches wait for the mutation, and the index generation
+        bump invalidates every derived cache — so no search ever observes a
+        half-applied mutation.
+        """
+        self._engine.index_documents(documents)
+
     # -- recommendations ------------------------------------------------------------------
 
     def recommend(
@@ -359,9 +569,9 @@ class RetrievalService:
     ) -> SearchResponse:
         """Shots recommended from a session's accumulated positive evidence."""
         ensure_positive(limit, "limit")
-        with self._lock:
-            entry = self._entry_for(user_id, session_id)
-            results = entry.session.recommendations(limit=limit)
+        with self._locked_entry(user_id, session_id) as entry:
+            with self._engine.read_access():
+                results = entry.session.recommendations(limit=limit)
             return SearchResponse.from_result_list(
                 results,
                 session_id=entry.session_id,

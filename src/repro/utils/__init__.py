@@ -1,5 +1,7 @@
-"""Shared utilities: deterministic RNG management, validation and serialization."""
+"""Shared utilities: deterministic RNG management, concurrency primitives,
+validation and serialization."""
 
+from repro.utils.concurrency import ReadWriteLock
 from repro.utils.rng import RandomSource, derive_seed, spawn_rng
 from repro.utils.serialization import (
     read_json,
@@ -17,6 +19,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ReadWriteLock",
     "RandomSource",
     "derive_seed",
     "spawn_rng",

@@ -1,0 +1,111 @@
+"""Concurrency primitives for the read-mostly serving path.
+
+The service's hot path is overwhelmingly reads: many user sessions searching
+one shared, rarely-mutated index.  :class:`ReadWriteLock` encodes that
+discipline — any number of readers proceed together without blocking each
+other, while a writer (corpus/index mutation) waits for in-flight readers to
+drain and then runs exclusively.  Writers are preferred once waiting, so a
+steady stream of searches cannot starve an index update.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Readers acquire the shared side (:meth:`read_locked`): they never block
+    one another, only a live or waiting writer.  Writers acquire the
+    exclusive side (:meth:`write_locked`): they wait for current readers to
+    finish and block new readers from entering while waiting, so mutation
+    latency is bounded by the longest in-flight read, not by the arrival
+    rate of new reads.
+
+    The read side is reentrant per thread: a thread already holding it may
+    acquire it again (e.g. a service request holding the read side calls
+    into ``engine.search``, which takes it as well) without deadlocking
+    against a waiting writer.  The write side is not reentrant, and a
+    thread must not acquire the write side while holding the read side.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    def acquire_read(self) -> None:
+        """Enter the shared (reader) side (reentrant per thread)."""
+        depth = getattr(self._local, "read_depth", 0)
+        if depth:
+            self._local.read_depth = depth + 1
+            return
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        self._local.read_depth = 1
+
+    def release_read(self) -> None:
+        """Leave the shared (reader) side."""
+        depth = getattr(self._local, "read_depth", 0)
+        if depth > 1:
+            self._local.read_depth = depth - 1
+            return
+        self._local.read_depth = 0
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        """Enter the exclusive (writer) side."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive (writer) side."""
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with`` scope holding the shared side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with`` scope holding the exclusive side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def active_readers(self) -> int:
+        """Number of threads currently holding the shared side."""
+        with self._condition:
+            return self._active_readers
+
+    @property
+    def writer_active(self) -> bool:
+        """Whether a thread currently holds the exclusive side."""
+        with self._condition:
+            return self._writer_active

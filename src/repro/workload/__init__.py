@@ -1,0 +1,31 @@
+"""Deterministic multi-user workload generation and load driving.
+
+The load-testing counterpart of :mod:`repro.simulation`: where the
+simulator studies *retrieval quality* under simulated behaviour, this
+package studies the *serving path* under concurrency — N simulated users
+drawn from the population generator hammer a live
+:class:`~repro.service.RetrievalService` from worker threads, and the
+canonical event log (plus its digest) proves the run was deterministic and
+nothing was lost or leaked across sessions.
+"""
+
+from repro.workload.driver import LoadResult, ServiceLoadDriver
+from repro.workload.generator import (
+    FEEDBACK,
+    SEARCH,
+    UserWorkload,
+    WorkloadStep,
+    generate_workload,
+)
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "FEEDBACK",
+    "SEARCH",
+    "LoadResult",
+    "ServiceLoadDriver",
+    "UserWorkload",
+    "WorkloadStep",
+    "WorkloadSpec",
+    "generate_workload",
+]

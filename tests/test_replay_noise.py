@@ -1,0 +1,202 @@
+"""Coverage for the thin simulation helpers: log replay and judgement noise.
+
+``simulation/replay.py`` re-runs weighting schemes over recorded session
+logs (including the round trip through the JSON-lines log files), and
+``simulation/noise.py`` centralises the simulated users' noisy relevance
+perception; both must be exactly reproducible under fixed seeds, because
+the paper's methodology — and this repo's workload determinism guarantees —
+stand on replayed logs meaning the same thing every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback.accumulator import EvidenceAccumulator
+from repro.feedback.events import EventKind, InteractionEvent
+from repro.feedback.weighting import heuristic_scheme, uniform_scheme
+from repro.interfaces.logging import InteractionLogger, SessionLog
+from repro.simulation import (
+    JudgementModel,
+    build_graph_from_logs,
+    indicator_observations_from_logs,
+    replay_evidence,
+    shot_durations_from_collection,
+)
+from repro.utils.rng import RandomSource
+
+
+def _event(kind: EventKind, timestamp: float, **kwargs) -> InteractionEvent:
+    return InteractionEvent(kind=kind, timestamp=timestamp, user_id="u1",
+                            session_id="u1-t1", **kwargs)
+
+
+@pytest.fixture()
+def two_iteration_log() -> SessionLog:
+    """A session with two query iterations touching overlapping shots."""
+    events = [
+        _event(EventKind.SESSION_STARTED, 0.0),
+        _event(EventKind.QUERY_SUBMITTED, 1.0, query_text="election results"),
+        _event(EventKind.PLAY_CLICK, 2.0, shot_id="S1", rank=1),
+        _event(EventKind.PLAY_PROGRESS, 8.0, shot_id="S1", rank=1, duration=6.0),
+        _event(EventKind.HIGHLIGHT_METADATA, 9.0, shot_id="S2", rank=2),
+        _event(EventKind.QUERY_SUBMITTED, 10.0, query_text="election government"),
+        _event(EventKind.PLAY_CLICK, 11.0, shot_id="S3", rank=1),
+        _event(EventKind.SKIP_RESULT, 12.0, shot_id="S4", rank=2),
+        _event(EventKind.SESSION_ENDED, 13.0),
+    ]
+    return SessionLog(session_id="u1-t1", user_id="u1", interface="desktop",
+                      topic_id="T1", events=events)
+
+
+class TestReplayEvidence:
+    def test_matches_live_accumulator_batching(self, two_iteration_log):
+        """Replay splits the stream on query submissions, exactly as the
+        live session observed it batch by batch."""
+        replayed = replay_evidence(two_iteration_log, decay=0.5)
+
+        live = EvidenceAccumulator(scheme=heuristic_scheme(), decay=0.5)
+        events = two_iteration_log.events
+        # Batches as the live system saw them: [start], [q1 + its events],
+        # [q2 + its events + end] — split happens *before* each new query.
+        live.observe_batch(events[0:1])
+        live.observe_batch(events[1:5])
+        live.observe_batch(events[5:])
+        assert replayed == live.evidence()
+
+    def test_decay_discounts_earlier_iterations(self, two_iteration_log):
+        """With ostensive decay, iteration-1 evidence is weaker than an
+        undecayed replay; the final iteration keeps full strength."""
+        decayed = replay_evidence(two_iteration_log, decay=0.5)
+        flat = replay_evidence(two_iteration_log, decay=1.0)
+        assert decayed["S1"] < flat["S1"]
+        assert decayed["S3"] == pytest.approx(flat["S3"])
+
+    def test_scheme_changes_change_evidence(self, two_iteration_log):
+        heuristic = replay_evidence(two_iteration_log, scheme=heuristic_scheme())
+        uniform = replay_evidence(two_iteration_log, scheme=uniform_scheme())
+        assert heuristic != uniform
+        # Both agree on *which* shots carry evidence, though.
+        assert set(heuristic) == set(uniform)
+
+    def test_replay_is_idempotent(self, two_iteration_log):
+        assert replay_evidence(two_iteration_log) == replay_evidence(two_iteration_log)
+
+
+class TestLogRoundTrip:
+    def test_graph_from_written_and_reread_logs_matches(
+        self, two_iteration_log, tmp_path
+    ):
+        """The JSON-lines round trip loses nothing the graph builder uses."""
+        second = SessionLog(
+            session_id="u2-t1", user_id="u2", interface="desktop", topic_id="T1",
+            events=[
+                _event(EventKind.QUERY_SUBMITTED, 1.0, query_text="election results"),
+                _event(EventKind.PLAY_CLICK, 2.0, shot_id="S1", rank=1),
+                _event(EventKind.ADD_TO_PLAYLIST, 3.0, shot_id="S5", rank=3),
+            ],
+        )
+        originals = [two_iteration_log, second]
+        logger = InteractionLogger()
+        logger.write_sessions(originals, tmp_path)
+        reread = logger.read_sessions(tmp_path)
+        assert [log.session_id for log in reread] == ["u1-t1", "u2-t1"]
+
+        direct = build_graph_from_logs(originals)
+        round_tripped = build_graph_from_logs(reread)
+        assert round_tripped.session_count == direct.session_count == 2
+        assert round_tripped.node_count == direct.node_count
+        assert round_tripped.edge_count == direct.edge_count
+        # Spot-check an edge neighbourhood survives byte-for-byte.
+        for node in ("s:S1", "s:S3"):
+            assert round_tripped.neighbours(node) == direct.neighbours(node)
+
+    def test_replay_evidence_survives_round_trip(self, two_iteration_log, tmp_path):
+        logger = InteractionLogger()
+        path = tmp_path / "session.jsonl"
+        logger.write_session(two_iteration_log, path)
+        assert replay_evidence(logger.read_session(path)) == replay_evidence(
+            two_iteration_log
+        )
+
+    def test_indicator_observations_skip_topicless_sessions(self, two_iteration_log):
+        topicless = SessionLog(session_id="x", user_id="u3", interface="desktop",
+                               topic_id=None,
+                               events=[_event(EventKind.PLAY_CLICK, 1.0, shot_id="S1")])
+        observations = indicator_observations_from_logs([two_iteration_log, topicless])
+        assert len(observations) == 1
+        topic_id, per_shot = observations[0]
+        assert topic_id == "T1"
+        assert "S1" in per_shot
+
+    def test_shot_durations_cover_collection(self, small_corpus):
+        durations = shot_durations_from_collection(small_corpus.collection)
+        shots = list(small_corpus.collection.iter_shots())
+        assert len(durations) == len(shots)
+        assert all(duration > 0 for duration in durations.values())
+
+
+class TestJudgementNoise:
+    def test_fixed_seed_reproduces_judgements(self):
+        model = JudgementModel(surrogate_error_rate=0.3, post_play_error_rate=0.1)
+
+        def draw(seed: int):
+            rng = RandomSource(seed).spawn("judge")
+            surrogate = [
+                model.judge_from_surrogate(rng, truly_relevant=(i % 2 == 0))
+                for i in range(50)
+            ]
+            played = [
+                model.judge_after_playing(rng, truly_relevant=(i % 3 == 0))
+                for i in range(50)
+            ]
+            return surrogate, played
+
+        assert draw(99) == draw(99)
+        assert draw(99) != draw(100)  # different stream, different mistakes
+
+    def test_zero_error_rates_are_truthful(self):
+        model = JudgementModel(surrogate_error_rate=0.0, post_play_error_rate=0.0)
+        rng = RandomSource(1).spawn("judge")
+        for truly in (True, False):
+            assert model.judge_from_surrogate(rng, truly) is truly
+            assert model.judge_after_playing(rng, truly) is truly
+
+    def test_certain_error_always_inverts(self):
+        model = JudgementModel(surrogate_error_rate=1.0, post_play_error_rate=1.0)
+        rng = RandomSource(2).spawn("judge")
+        for truly in (True, False):
+            assert model.judge_from_surrogate(rng, truly) is (not truly)
+            assert model.judge_after_playing(rng, truly) is (not truly)
+
+    def test_representativeness_scales_surrogate_error(self):
+        """An unrepresentative keyframe pushes the error towards chance; a
+        perfect one keeps the base rate.  Checked over a fixed stream."""
+        model = JudgementModel(surrogate_error_rate=0.1)
+
+        def error_rate(representativeness):
+            rng = RandomSource(7).spawn("rep")
+            draws = 4000
+            wrong = sum(
+                1
+                for _ in range(draws)
+                if not model.judge_from_surrogate(
+                    rng, True, representativeness=representativeness
+                )
+            )
+            return wrong / draws
+
+        base = error_rate(1.0)
+        degraded = error_rate(0.0)
+        assert base == pytest.approx(0.1, abs=0.03)
+        assert degraded == pytest.approx(0.5, abs=0.05)
+        # Out-of-range representativeness is clamped, not an error.
+        rng = RandomSource(8).spawn("clamp")
+        model.judge_from_surrogate(rng, True, representativeness=1.7)
+        model.judge_from_surrogate(rng, True, representativeness=-0.4)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            JudgementModel(surrogate_error_rate=1.2)
+        with pytest.raises(ValueError):
+            JudgementModel(post_play_error_rate=-0.1)

@@ -1,0 +1,209 @@
+"""Tests for the deterministic multi-user workload harness (repro.workload).
+
+Covers script generation (pure function of spec + topics), the load
+driver's canonical event log (digest independent of thread count, byte-
+identical across replays), and the ``repro loadtest`` CLI command.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.collection import save_corpus
+from repro.service import RetrievalService
+from repro.utils.rng import RandomSource
+from repro.workload import (
+    FEEDBACK,
+    SEARCH,
+    ServiceLoadDriver,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.workload.driver import _synthesise_feedback
+
+
+@pytest.fixture()
+def spec() -> WorkloadSpec:
+    return WorkloadSpec(users=5, queries_per_user=2, seed=4242)
+
+
+@pytest.fixture()
+def factory(small_corpus):
+    return lambda: RetrievalService.from_corpus(small_corpus)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(users=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(queries_per_user=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(feedback_top_k=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(policy="")
+
+    def test_with_overrides(self, spec):
+        assert spec.with_overrides(users=9).users == 9
+        assert spec.with_overrides(users=9).seed == spec.seed
+
+
+class TestGenerator:
+    def test_scripts_are_pure_function_of_inputs(self, small_corpus, spec):
+        first = generate_workload(spec, small_corpus.topics)
+        second = generate_workload(spec, small_corpus.topics)
+        assert [w.user_id for w in first] == [w.user_id for w in second]
+        for a, b in zip(first, second):
+            assert a.topic.topic_id == b.topic.topic_id
+            assert [(s.kind, s.step, s.query) for s in a.steps] == [
+                (s.kind, s.step, s.query) for s in b.steps
+            ]
+
+    def test_interleaving_and_counts(self, small_corpus, spec):
+        workloads = generate_workload(spec, small_corpus.topics)
+        assert len(workloads) == spec.users
+        for workload in workloads:
+            kinds = [step.kind for step in workload.steps]
+            assert kinds == [SEARCH, FEEDBACK] * spec.queries_per_user
+            assert workload.search_count == spec.queries_per_user
+            for step in workload.steps:
+                if step.kind == SEARCH:
+                    assert step.query  # always a concrete query string
+
+    def test_different_seeds_differ(self, small_corpus, spec):
+        a = generate_workload(spec, small_corpus.topics)
+        b = generate_workload(spec.with_overrides(seed=spec.seed + 1),
+                              small_corpus.topics)
+        # Populations are jittered per seed; at least the scripted queries
+        # or topics must differ somewhere.
+        assert [(w.topic.topic_id, [s.query for s in w.steps]) for w in a] != [
+            (w.topic.topic_id, [s.query for s in w.steps]) for w in b
+        ]
+
+
+class TestFeedbackSynthesis:
+    def test_deterministic_for_fixed_stream(self, factory, small_corpus, spec):
+        service = factory()
+        workloads = generate_workload(spec, small_corpus.topics)
+        workload = workloads[0]
+        info = service.open_session(workload.user_id, policy=workload.policy,
+                                    topic_id=workload.topic.topic_id)
+        from repro.service import SearchRequest
+
+        response = service.search(
+            SearchRequest(user_id=workload.user_id,
+                          query=workload.steps[0].query,
+                          session_id=info.session_id)
+        )
+        first = _synthesise_feedback(
+            workload.user, response, RandomSource(1).spawn("f"),
+            service.qrels, workload.topic.topic_id, 5,
+        )
+        second = _synthesise_feedback(
+            workload.user, response, RandomSource(1).spawn("f"),
+            service.qrels, workload.topic.topic_id, 5,
+        )
+        assert [(e.kind, e.shot_id, e.timestamp, e.duration) for e in first] == [
+            (e.kind, e.shot_id, e.timestamp, e.duration) for e in second
+        ]
+
+
+@pytest.mark.concurrency
+class TestDriver:
+    def test_digest_independent_of_worker_count(self, factory, spec):
+        sequential = ServiceLoadDriver(factory, max_workers=1).run(spec)
+        parallel = ServiceLoadDriver(factory, max_workers=8).run(spec)
+        assert sequential.canonical_log() == parallel.canonical_log()
+        assert sequential.digest() == parallel.digest()
+
+    def test_replay_verifies_determinism(self, factory, spec):
+        driver = ServiceLoadDriver(factory, max_workers=6)
+        digests = driver.verify_determinism(spec, runs=2)
+        assert len(set(digests)) == 1
+
+    def test_canonical_order_and_structure(self, factory, spec):
+        result = ServiceLoadDriver(factory, max_workers=4).run(spec)
+        keys = [(record["user"], record["seq"]) for record in result.records]
+        assert keys == sorted(keys)
+        # open + (search + feedback) * queries + close, per user.
+        per_user = 2 * spec.queries_per_user + 2
+        assert len(result.records) == spec.users * per_user
+        assert result.request_count == spec.users * (2 * spec.queries_per_user + 1)
+        actions = {record["action"] for record in result.records}
+        assert actions == {"open", "search", "feedback", "close"}
+        searches = [r for r in result.records if r["action"] == "search"]
+        assert all(record["results"] > 0 for record in searches)
+        assert result.throughput_rps > 0
+
+    def test_write_log_round_trip(self, factory, spec, tmp_path):
+        driver = ServiceLoadDriver(factory, max_workers=3)
+        first = driver.run(spec).write_log(tmp_path / "a" / "run.jsonl")
+        second = driver.run(spec).write_log(tmp_path / "b" / "run.jsonl")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_sessions_closed_after_run(self, factory, spec):
+        service_holder = []
+
+        def counting_factory():
+            service = factory()
+            service_holder.append(service)
+            return service
+
+        ServiceLoadDriver(counting_factory, max_workers=4).run(spec)
+        assert service_holder[0].session_count == 0
+
+    def test_open_sessions_kept_when_requested(self, factory, spec):
+        service_holder = []
+
+        def counting_factory():
+            service = factory()
+            service_holder.append(service)
+            return service
+
+        ServiceLoadDriver(counting_factory, max_workers=4).run(
+            spec.with_overrides(close_sessions=False)
+        )
+        assert service_holder[0].session_count == spec.users
+
+
+@pytest.mark.concurrency
+class TestLoadtestCli:
+    @pytest.fixture()
+    def corpus_dir(self, small_corpus, tmp_path):
+        directory = tmp_path / "corpus"
+        save_corpus(small_corpus, directory)
+        return str(directory)
+
+    def test_loadtest_twice_byte_identical_logs(self, corpus_dir, tmp_path):
+        logs = [tmp_path / "run1.jsonl", tmp_path / "run2.jsonl"]
+        for log in logs:
+            out = io.StringIO()
+            code = cli_main(
+                ["loadtest", "--corpus", corpus_dir, "--users", "4",
+                 "--queries", "2", "--workers", "6", "--seed", "7",
+                 "--log", str(log)],
+                out=out,
+            )
+            assert code == 0
+            assert "canonical log digest:" in out.getvalue()
+        assert logs[0].read_bytes() == logs[1].read_bytes()
+
+    def test_loadtest_verify_flag(self, corpus_dir):
+        out = io.StringIO()
+        code = cli_main(
+            ["loadtest", "--corpus", corpus_dir, "--users", "3",
+             "--queries", "1", "--workers", "4", "--seed", "11", "--verify"],
+            out=out,
+        )
+        assert code == 0
+        assert "deterministic" in out.getvalue()
+
+    def test_loadtest_rejects_unknown_policy(self, corpus_dir):
+        code = cli_main(
+            ["loadtest", "--corpus", corpus_dir, "--policy", "telepathy"],
+            out=io.StringIO(),
+        )
+        assert code == 2
