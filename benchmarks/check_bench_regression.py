@@ -1,0 +1,143 @@
+"""Benchmark regression guard: smoke throughput vs committed baselines.
+
+Runs the E12 (scoring kernel) and E13 (concurrent service) benchmarks in
+their smoke configurations and fails if any guarded throughput metric
+drops more than ``BENCH_REGRESSION_TOLERANCE`` (default 30%) below the
+``smoke_baseline`` section committed in ``BENCH_e12.json`` /
+``BENCH_e13.json``.  Every equivalence assertion inside the benches still
+runs, so a ranking regression fails before a throughput one.
+
+Absolute throughput depends on the host, so the committed baselines are
+deliberately coarse (smoke corpora, small round counts) and the tolerance
+is wide; on sufficiently different hardware, loosen it via the
+environment variable rather than silencing the guard::
+
+    BENCH_REGRESSION_TOLERANCE=0.5 python benchmarks/check_bench_regression.py
+
+``--update`` re-measures and rewrites the ``smoke_baseline`` sections
+(run it on the reference hardware when a PR legitimately shifts the
+floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_e12_scoring_kernel as e12  # noqa: E402
+import bench_e13_concurrent_service as e13  # noqa: E402
+
+DEFAULT_TOLERANCE = 0.30
+
+#: Guarded metrics per baseline file: {path: {metric: extractor}}.
+_SMOKE_ROUNDS_E12 = 6
+_SMOKE_USERS_E13 = 8
+_SMOKE_ROUNDS_E13 = 3
+
+
+def _smoke_corpus():
+    from repro.collection import CollectionConfig, generate_corpus
+
+    return generate_corpus(
+        seed=7, config=CollectionConfig(days=4, stories_per_day=5, topic_count=6)
+    )
+
+
+def measure_e12(corpus):
+    """E12 smoke metrics (kernel + batch throughput, equivalence verified)."""
+    scorer_rows = e12._text_scorer_rows(corpus, rounds=_SMOKE_ROUNDS_E12, verify=True)
+    batch_row = e12._batch_row(corpus, rounds=3)
+    metrics = {
+        f"{row['scorer']}_qps": row["qps"]
+        for row in scorer_rows
+        if row["scorer"] in ("bm25", "tfidf", "lm")
+    }
+    metrics["service_batch_qps"] = batch_row["qps"]
+    return metrics
+
+
+def measure_e13(corpus):
+    """E13 smoke metrics (parallel batch throughput, rankings verified)."""
+    rows = e13._batch_rows(corpus, users=_SMOKE_USERS_E13, rounds=_SMOKE_ROUNDS_E13)
+    by_key = {(row["workload"], row["workers"]): row for row in rows}
+    return {
+        "cpu_parallel_qps": by_key[("cpu", e13.PARALLEL_WORKERS)]["qps"],
+        "iostall_parallel_qps": by_key[("iostall", e13.PARALLEL_WORKERS)]["qps"],
+        "iostall_speedup": by_key[("iostall", e13.PARALLEL_WORKERS)]["speedup"],
+    }
+
+
+def _check(name, baseline_path, measured, tolerance):
+    payload = json.loads(baseline_path.read_text())
+    baseline = payload.get("smoke_baseline")
+    if not baseline:
+        print(f"{name}: no smoke_baseline committed in {baseline_path.name}; "
+              f"run with --update to create one")
+        return []
+    failures = []
+    for metric, measured_value in measured.items():
+        baseline_value = baseline.get(metric)
+        if baseline_value is None:
+            continue
+        floor = (1.0 - tolerance) * baseline_value
+        status = "ok" if measured_value >= floor else "REGRESSION"
+        print(
+            f"{name}.{metric}: measured {measured_value:.1f} vs baseline "
+            f"{baseline_value:.1f} (floor {floor:.1f}) -> {status}"
+        )
+        if measured_value < floor:
+            failures.append(
+                f"{name}.{metric} dropped to {measured_value:.1f} "
+                f"(< {floor:.1f}, baseline {baseline_value:.1f})"
+            )
+    return failures
+
+
+def _update(baseline_path, measured):
+    payload = json.loads(baseline_path.read_text())
+    payload["smoke_baseline"] = {
+        **measured,
+        "note": (
+            "Smoke-configuration throughput on the baseline hardware; the "
+            "regression guard (check_bench_regression.py) fails when a "
+            "metric drops more than the tolerance below these values."
+        ),
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"smoke_baseline updated in {baseline_path.name}")
+
+
+def main(argv):
+    update = "--update" in argv
+    tolerance = float(os.environ.get("BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE))
+    corpus = _smoke_corpus()
+    suites = (
+        ("e12", BENCH_DIR / "BENCH_e12.json", measure_e12),
+        ("e13", BENCH_DIR / "BENCH_e13.json", measure_e13),
+    )
+    failures = []
+    for name, path, measure in suites:
+        measured = measure(corpus)
+        if update:
+            _update(path, measured)
+        else:
+            failures.extend(_check(name, path, measured, tolerance))
+    if failures:
+        print("\nbenchmark regression guard FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\nbenchmark regression guard ok"
+        + ("" if update else f" (tolerance {tolerance:.0%})")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

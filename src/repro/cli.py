@@ -119,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="client-side thread count")
     loadtest.add_argument("--policy", default="combined",
                           help="registered adaptation policy name (default: combined)")
+    loadtest.add_argument("--mix", choices=("balanced", "adaptive-heavy"),
+                          default="balanced",
+                          help="workload mix: 'balanced' pairs each search with one "
+                               "feedback step; 'adaptive-heavy' sends three feedback "
+                               "steps per search (exercises the adaptation fast path)")
+    loadtest.add_argument("--feedback-per-query", type=int, default=None,
+                          help="feedback steps per search step (overrides --mix)")
     loadtest.add_argument("--seed", type=int, default=97)
     loadtest.add_argument("--log", default=None,
                           help="file to write the canonical event log to")
@@ -322,9 +329,13 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     def factory() -> RetrievalService:
         return RetrievalService.from_corpus(stored)
 
+    feedback_per_query = args.feedback_per_query
+    if feedback_per_query is None:
+        feedback_per_query = 3 if args.mix == "adaptive-heavy" else 1
     spec = WorkloadSpec(
         users=args.users,
         queries_per_user=args.queries,
+        feedback_per_query=feedback_per_query,
         policy=args.policy,
         seed=args.seed,
     )
@@ -333,6 +344,7 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     digest = result.digest()
     print(
         f"loadtest: {spec.users} users x {spec.queries_per_user} queries "
+        f"x {spec.feedback_per_query} feedback "
         f"({args.workers} workers, policy {spec.policy}, seed {spec.seed}): "
         f"{result.request_count} requests in {result.wall_seconds:.3f}s "
         f"({result.throughput_rps:.1f} req/s)",

@@ -8,6 +8,12 @@
     room beneath that facade.
 """
 
+from repro.core.adaptation_kernel import (
+    DenseScratch,
+    SharedAdaptationState,
+    profile_affinity_shared,
+    rerank_and_demote,
+)
 from repro.core.adaptive import (
     AdaptiveSession,
     AdaptiveVideoRetrievalSystem,
@@ -44,6 +50,10 @@ __all__ = [
     "AdaptiveSession",
     "AdaptiveVideoRetrievalSystem",
     "QueryIteration",
+    "DenseScratch",
+    "SharedAdaptationState",
+    "profile_affinity_shared",
+    "rerank_and_demote",
     "COMBINATION_STRATEGIES",
     "CombinationConfig",
     "EvidenceCombiner",

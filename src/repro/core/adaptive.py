@@ -36,6 +36,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.collection.documents import Collection
+from repro.core.adaptation_kernel import (
+    DenseScratch,
+    SharedAdaptationState,
+    profile_affinity_shared,
+    rerank_and_demote,
+)
 from repro.core.combination import CombinationConfig, EvidenceCombiner
 from repro.core.feedback_model import ImplicitFeedbackModel
 from repro.core.policies import AdaptationPolicy, baseline_policy
@@ -64,7 +70,18 @@ class QueryIteration:
 
 
 class AdaptiveSession:
-    """Per-user, per-task adaptive search session."""
+    """Per-user, per-task adaptive search session.
+
+    Construction is O(1): every corpus-derived lookup (shot durations,
+    categories, concepts) comes from the system's shared
+    :class:`~repro.core.adaptation_kernel.SharedAdaptationState`, built
+    once and handed to sessions by reference.  With ``fast_path=False``
+    the session runs the retained naive implementations instead — a
+    per-session O(corpus) duration build, full-recompute ostensive
+    evidence, un-memoised feedback derivations and the two-stage reference
+    re-ranking fold — which is what the equivalence tests and the E14
+    bench compare against (rankings are bit-identical by construction).
+    """
 
     def __init__(
         self,
@@ -74,25 +91,36 @@ class AdaptiveSession:
         scheme: Optional[WeightingScheme] = None,
         topic_id: Optional[str] = None,
         result_limit: int = 50,
+        fast_path: bool = True,
     ) -> None:
         self._system = system
         self._profile = profile
         self._policy = policy
         self._topic_id = topic_id
         self._result_limit = result_limit
+        self._fast_path = fast_path
         decay = 1.0
         if policy.use_implicit and policy.ostensive_profile == "exponential":
             decay = policy.ostensive_base
-        shot_durations = {
-            shot.shot_id: shot.duration for shot in system.collection.iter_shots()
-        }
+        if fast_path:
+            shot_durations: "Dict[str, float]" = system.shared_state.shot_durations
+        else:
+            shot_durations = {
+                shot.shot_id: shot.duration for shot in system.collection.iter_shots()
+            }
         self._accumulator = EvidenceAccumulator(
             scheme=scheme or heuristic_scheme(),
             decay=decay,
             shot_durations=shot_durations,
+            discount_profile=policy.ostensive_profile if policy.use_implicit else None,
+            horizon=policy.ostensive_horizon,
+            reference=not fast_path,
         )
         self._explicit = ExplicitFeedbackStore()
-        self._seen_shots: List[str] = []
+        # Order-preserving seen set: dict keys keep first-touch order while
+        # membership tests stay O(1).
+        self._seen_shots: Dict[str, None] = {}
+        self._scratch = DenseScratch()
         self._iterations: List[QueryIteration] = []
         self._last_query_text: str = ""
 
@@ -123,6 +151,11 @@ class AdaptiveSession:
         """Number of query iterations so far."""
         return len(self._iterations)
 
+    @property
+    def is_fast_path(self) -> bool:
+        """True when the session runs the incremental/dense fast path."""
+        return self._fast_path
+
     def seen_shots(self) -> List[str]:
         """Shots the user has interacted with, in first-touch order."""
         return list(self._seen_shots)
@@ -142,9 +175,10 @@ class AdaptiveSession:
         events = list(events)
         if not events:
             return
+        seen = self._seen_shots
         for event in events:
-            if event.shot_id is not None and event.shot_id not in self._seen_shots:
-                self._seen_shots.append(event.shot_id)
+            if event.shot_id is not None and event.shot_id not in seen:
+                seen[event.shot_id] = None
         if self._policy.use_implicit:
             self._accumulator.observe_batch(events)
         if self._policy.use_explicit:
@@ -161,7 +195,7 @@ class AdaptiveSession:
         the ranking while letting well-supported evidence act at full
         strength.
         """
-        mass = sum(self._accumulator.positive_evidence().values())
+        mass = self._accumulator.positive_mass()
         mass += float(len(self._explicit.relevant_shots())) if self._policy.use_explicit else 0.0
         return mass / (mass + 2.0)
 
@@ -172,9 +206,16 @@ class AdaptiveSession:
         if self._policy.use_profile:
             query = self._system.profile_reranker.personalise_query(query, self._profile)
         if self._policy.use_implicit:
-            expansion = self._system.feedback_model(self._policy).expansion_term_weights(
-                self._accumulator.evidence()
-            )
+            model = self._system.feedback_model(self._policy)
+            if self._fast_path:
+                expansion = model.expansion_term_weights(
+                    self._accumulator.evidence_view(),
+                    digest=self._accumulator.evidence_digest(),
+                )
+            else:
+                expansion = model.expansion_term_weights_uncached(
+                    self._accumulator.evidence()
+                )
             if expansion:
                 confidence = self._evidence_confidence()
                 merged = dict(query.term_weights)
@@ -191,21 +232,44 @@ class AdaptiveSession:
 
     def _evidence_scores(self, results: ResultList) -> Dict[str, float]:
         collection = self._system.collection
+        fast = self._fast_path
+        shared = self._system.shared_state if fast else None
         profile_scores: Dict[str, float] = {}
         implicit_scores: Dict[str, float] = {}
         if self._policy.use_profile and not self._profile.is_empty():
-            profile_scores = EvidenceCombiner.profile_affinity(
-                self._profile, collection, results.shot_ids()
-            )
+            if fast:
+                profile_scores = profile_affinity_shared(
+                    self._profile, shared, results.shot_ids()
+                )
+            else:
+                profile_scores = EvidenceCombiner.profile_affinity(
+                    self._profile, collection, results.shot_ids()
+                )
         if self._policy.use_implicit:
-            implicit_scores = self._system.feedback_model(self._policy).rerank_scores(
-                self._accumulator.evidence()
-            )
+            model = self._system.feedback_model(self._policy)
+            if fast:
+                # The memoised map is handed out as an owned copy, so the
+                # explicit-evidence fold below cannot corrupt the cache.
+                implicit_scores = model.rerank_scores(
+                    self._accumulator.evidence_view(),
+                    digest=self._accumulator.evidence_digest(),
+                )
+            else:
+                implicit_scores = model.rerank_scores_uncached(
+                    self._accumulator.evidence()
+                )
         if self._policy.use_explicit:
             for shot_id, value in self._explicit.evidence_map().items():
                 implicit_scores[shot_id] = implicit_scores.get(shot_id, 0.0) + value
         if not profile_scores and not implicit_scores:
             return {}
+        if fast:
+            return self._system.combiner.combine(
+                profile_scores,
+                implicit_scores,
+                profile=self._profile,
+                category_lookup=shared.shot_categories,
+            )
         return self._system.combiner.combine(
             profile_scores,
             implicit_scores,
@@ -229,20 +293,34 @@ class AdaptiveSession:
             adapted_query, limit=limit or self._result_limit
         )
         evidence = self._evidence_scores(results)
-        if evidence:
-            results = rerank_with_scores(
-                results,
-                evidence,
-                self._adaptation_weight(),
-                collection=self._system.collection,
-            )
-        if self._policy.demote_seen > 0 and self._seen_shots:
-            results = demote_seen_shots(
-                results,
-                self._seen_shots,
-                penalty=self._policy.demote_seen,
-                collection=self._system.collection,
-            )
+        demote = self._policy.demote_seen if self._seen_shots else 0.0
+        if self._fast_path:
+            if evidence or demote > 0:
+                results = rerank_and_demote(
+                    results,
+                    evidence,
+                    self._adaptation_weight() if evidence else 0.0,
+                    self._seen_shots,
+                    demote,
+                    collection=self._system.collection,
+                    index=self._system.engine.inverted_index,
+                    scratch=self._scratch,
+                )
+        else:
+            if evidence:
+                results = rerank_with_scores(
+                    results,
+                    evidence,
+                    self._adaptation_weight(),
+                    collection=self._system.collection,
+                )
+            if demote > 0:
+                results = demote_seen_shots(
+                    results,
+                    self._seen_shots,
+                    penalty=demote,
+                    collection=self._system.collection,
+                )
         iteration = QueryIteration(
             query_text=query_text,
             adapted_query=adapted_query,
@@ -274,7 +352,12 @@ class AdaptiveSession:
                 evidence[shot_id] = evidence.get(shot_id, 0.0) + 1.0
         if not evidence:
             return ResultList(query_text="recommendations", items=[])
-        scores = self._system.feedback_model(self._policy).rerank_scores(evidence)
+        # Uncached on purpose: the evidence mapping here is rebuilt per call
+        # (positive slice plus explicit bonuses), so memoising it would only
+        # churn one-shot keys through the model's shared LRU and evict the
+        # digest-keyed entries the search path reuses.
+        model = self._system.feedback_model(self._policy)
+        scores = model.rerank_scores_uncached(evidence)
         for shot_id in self._seen_shots:
             scores.pop(shot_id, None)
         return ResultList.from_scores(
@@ -312,6 +395,8 @@ class AdaptiveVideoRetrievalSystem:
         )
         self._feedback_models: Dict[str, ImplicitFeedbackModel] = {}
         self._feedback_models_lock = threading.Lock()
+        self._shared_state: Optional[SharedAdaptationState] = None
+        self._shared_state_lock = threading.Lock()
 
     # -- shared components -------------------------------------------------------------
 
@@ -339,6 +424,24 @@ class AdaptiveVideoRetrievalSystem:
     def profile_reranker(self) -> ProfileReranker:
         """The profile personalisation component."""
         return self._profile_reranker
+
+    @property
+    def shared_state(self) -> SharedAdaptationState:
+        """Corpus-derived immutables shared by every session (built once).
+
+        One O(corpus) pass on first access; after that, handing the state
+        to a new session is a reference copy, which is what keeps
+        :meth:`create_session` O(1) under the service's LRU session churn.
+        Thread-safe (double-checked under its own lock).
+        """
+        state = self._shared_state
+        if state is None:
+            with self._shared_state_lock:
+                state = self._shared_state
+                if state is None:
+                    state = SharedAdaptationState.build(self._engine.collection)
+                    self._shared_state = state
+        return state
 
     def feedback_model(self, policy: AdaptationPolicy) -> ImplicitFeedbackModel:
         """The implicit feedback model configured for a policy (cached).
@@ -370,12 +473,16 @@ class AdaptiveVideoRetrievalSystem:
         scheme: Optional[WeightingScheme] = None,
         topic_id: Optional[str] = None,
         result_limit: int = 50,
+        fast_path: bool = True,
     ) -> AdaptiveSession:
         """Start a new adaptive session for a user.
 
         With no profile and the default (baseline) policy the session
         behaves exactly like the plain retrieval engine, which is how the
         non-adaptive baselines of the experiments are run.
+        ``fast_path=False`` selects the retained naive implementations
+        (for equivalence testing and benchmarking); rankings are identical
+        either way.
         """
         return AdaptiveSession(
             system=self,
@@ -384,4 +491,5 @@ class AdaptiveVideoRetrievalSystem:
             scheme=scheme,
             topic_id=topic_id,
             result_limit=result_limit,
+            fast_path=fast_path,
         )

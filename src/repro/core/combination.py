@@ -85,14 +85,25 @@ class EvidenceCombiner:
         implicit_scores: Mapping[str, float],
         collection: Optional[Collection] = None,
         profile: Optional[UserProfile] = None,
+        category_lookup: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, float]:
-        """Combine the two evidence maps according to the configured strategy."""
+        """Combine the two evidence maps according to the configured strategy.
+
+        ``category_lookup`` is an optional prebuilt ``{shot_id: category}``
+        mapping (see :class:`~repro.core.adaptation_kernel.
+        SharedAdaptationState`); when provided, the ``profile_gate``
+        strategy reads categories from it instead of dereferencing
+        ``collection`` shot objects — same categories, same result, no
+        per-shot object traffic.
+        """
         strategy = self._config.strategy
         if strategy == "linear":
             return self._linear(profile_scores, implicit_scores)
         if strategy == "cold_start":
             return self._cold_start(profile_scores, implicit_scores)
-        return self._profile_gate(profile_scores, implicit_scores, collection, profile)
+        return self._profile_gate(
+            profile_scores, implicit_scores, collection, profile, category_lookup
+        )
 
     def _linear(
         self, profile_scores: Mapping[str, float], implicit_scores: Mapping[str, float]
@@ -130,6 +141,7 @@ class EvidenceCombiner:
         implicit_scores: Mapping[str, float],
         collection: Optional[Collection],
         profile: Optional[UserProfile],
+        category_lookup: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, float]:
         """Scale implicit evidence by the profile's interest in the shot's category."""
         combined: Dict[str, float] = {}
@@ -137,9 +149,16 @@ class EvidenceCombiner:
             combined[shot_id] = combined.get(shot_id, 0.0) + self._config.profile_weight * score
         for shot_id, score in implicit_scores.items():
             gate = 1.0
-            if collection is not None and profile is not None and collection.has_shot(shot_id):
-                category = collection.shot(shot_id).category
-                gate = max(self._config.gate_floor, profile.interest_in_category(category))
+            if profile is not None:
+                category = None
+                if category_lookup is not None:
+                    category = category_lookup.get(shot_id)
+                elif collection is not None and collection.has_shot(shot_id):
+                    category = collection.shot(shot_id).category
+                if category is not None:
+                    gate = max(
+                        self._config.gate_floor, profile.interest_in_category(category)
+                    )
             combined[shot_id] = combined.get(shot_id, 0.0) + (
                 self._config.implicit_weight * gate * score
             )

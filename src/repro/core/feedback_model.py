@@ -8,16 +8,35 @@ accumulator) into the two things the retrieval engine can actually use:
 * a *re-ranking score map* over shots, optionally propagated to visually
   similar shots (a user who liked a shot probably also likes shots that look
   like it — the video-specific twist implicit feedback gains over text).
+
+Both derivations are **memoised** on an evidence digest plus the index
+generation counters: between two queries whose evidence did not change —
+the common case whenever a user reformulates, pages or refreshes without
+giving new feedback — the model costs two dictionary lookups instead of a
+term extraction and a similarity walk.  The digest preserves evidence
+*insertion order* (see :meth:`~repro.feedback.accumulator.
+EvidenceAccumulator.evidence_digest`) because the folds below are
+order-sensitive in the last ulp; a generation bump on either index
+invalidates every affected entry.  The cache is bounded, LRU and
+thread-safe (one model instance is shared by all sessions under the same
+policy).  The un-memoised derivations are retained as
+:meth:`expansion_term_weights_uncached` / :meth:`rerank_scores_uncached`;
+the equivalence tests pin the memoised results bit-identical to them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+import threading
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.index.inverted_index import InvertedIndex
 from repro.index.visual import VisualIndex
 from repro.retrieval.expansion import extract_key_terms
 from repro.utils.validation import ensure_in_range, ensure_positive
+
+#: Digest type: evidence items in insertion order.
+EvidenceDigest = Tuple[Tuple[str, float], ...]
 
 
 class ImplicitFeedbackModel:
@@ -30,6 +49,7 @@ class ImplicitFeedbackModel:
         expansion_terms: int = 10,
         visual_propagation: float = 0.2,
         propagation_neighbours: int = 5,
+        cache_size: int = 128,
     ) -> None:
         self._index = inverted_index
         self._visual = visual_index
@@ -38,13 +58,73 @@ class ImplicitFeedbackModel:
             visual_propagation, 0.0, 1.0, "visual_propagation"
         )
         self._neighbours = ensure_positive(propagation_neighbours, "propagation_neighbours")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Tuple, Dict[str, float]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+
+    # -- memoisation ------------------------------------------------------------
+
+    def _generations(self) -> Tuple[int, int]:
+        return (
+            self._index.generation,
+            self._visual.generation if self._visual is not None else -1,
+        )
+
+    def _memoised(
+        self,
+        kind: str,
+        shot_evidence: Mapping[str, float],
+        digest: Optional[EvidenceDigest],
+        compute,
+    ) -> Dict[str, float]:
+        if self._cache_size == 0:
+            return compute(shot_evidence)
+        if digest is None:
+            digest = tuple(shot_evidence.items())
+        key = (kind, digest, self._generations())
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                # Callers mutate the returned map (explicit-evidence folds,
+                # seen-shot pops), so hand out a copy, never the cache entry.
+                return dict(cached)
+        result = compute(shot_evidence)
+        with self._cache_lock:
+            self._cache[key] = dict(result)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def cache_info(self) -> Dict[str, int]:
+        """Current memo-cache occupancy (for tests and reports)."""
+        with self._cache_lock:
+            return {"entries": len(self._cache), "capacity": self._cache_size}
 
     # -- query expansion --------------------------------------------------------
 
     def expansion_term_weights(
+        self,
+        shot_evidence: Mapping[str, float],
+        digest: Optional[EvidenceDigest] = None,
+    ) -> Dict[str, float]:
+        """Weighted expansion terms from positively-judged shots (memoised).
+
+        ``digest`` is an optional precomputed evidence digest (the
+        accumulator maintains one); without it the digest is derived from
+        the mapping's items in iteration order.
+        """
+        return self._memoised(
+            "expansion", shot_evidence, digest, self.expansion_term_weights_uncached
+        )
+
+    def expansion_term_weights_uncached(
         self, shot_evidence: Mapping[str, float]
     ) -> Dict[str, float]:
-        """Weighted expansion terms from positively-judged shots.
+        """The un-memoised expansion derivation (reference path).
 
         Terms are extracted with evidence-weighted TF-IDF offer weights; the
         number of terms is bounded by the model's ``expansion_terms``.
@@ -67,8 +147,24 @@ class ImplicitFeedbackModel:
 
     # -- re-ranking evidence ---------------------------------------------------------
 
-    def rerank_scores(self, shot_evidence: Mapping[str, float]) -> Dict[str, float]:
-        """Per-shot re-ranking scores derived from the evidence.
+    def rerank_scores(
+        self,
+        shot_evidence: Mapping[str, float],
+        digest: Optional[EvidenceDigest] = None,
+    ) -> Dict[str, float]:
+        """Per-shot re-ranking scores derived from the evidence (memoised).
+
+        The returned mapping is the caller's to mutate; see
+        :meth:`rerank_scores_uncached` for the derivation.
+        """
+        return self._memoised(
+            "rerank", shot_evidence, digest, self.rerank_scores_uncached
+        )
+
+    def rerank_scores_uncached(
+        self, shot_evidence: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """The un-memoised re-ranking derivation (reference path).
 
         Positive evidence is propagated to visually similar shots with the
         configured propagation weight; negative evidence stays on the shot
@@ -99,4 +195,5 @@ class ImplicitFeedbackModel:
             "visual_propagation": self._propagation,
             "propagation_neighbours": self._neighbours,
             "has_visual_index": self._visual is not None,
+            "cache_size": self._cache_size,
         }

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
+from repro.core.ostensive import DISCOUNT_PROFILES
 from repro.utils.validation import ensure_in_range, ensure_positive
 
 
@@ -33,9 +34,10 @@ class AdaptationPolicy:
     expansion_terms:
         How many key terms extracted from positively-judged shots are added
         to the query on each iteration (0 disables implicit expansion).
-    ostensive_profile / ostensive_base:
+    ostensive_profile / ostensive_base / ostensive_horizon:
         The ostensive discount applied to implicit evidence across query
-        iterations ("uniform" reproduces static accumulation).
+        iterations ("uniform" reproduces static accumulation; ``base``
+        parameterises the exponential profile, ``horizon`` the linear one).
     visual_propagation:
         Weight with which implicit evidence spreads to visually similar
         shots (0 disables propagation).
@@ -52,6 +54,7 @@ class AdaptationPolicy:
     expansion_terms: int = 10
     ostensive_profile: str = "exponential"
     ostensive_base: float = 0.7
+    ostensive_horizon: int = 6
     visual_propagation: float = 0.2
     demote_seen: float = 0.0
 
@@ -61,6 +64,12 @@ class AdaptationPolicy:
         ensure_in_range(self.visual_propagation, 0.0, 1.0, "visual_propagation")
         ensure_in_range(self.demote_seen, 0.0, 1.0, "demote_seen")
         ensure_in_range(self.ostensive_base, 0.0, 1.0, "ostensive_base")
+        ensure_positive(self.ostensive_horizon, "ostensive_horizon")
+        if self.ostensive_profile not in DISCOUNT_PROFILES:
+            raise ValueError(
+                f"unknown ostensive profile {self.ostensive_profile!r}; "
+                f"expected one of {DISCOUNT_PROFILES}"
+            )
         if self.expansion_terms < 0:
             raise ValueError("expansion_terms must be non-negative")
 
@@ -80,6 +89,7 @@ class AdaptationPolicy:
             "expansion_terms": self.expansion_terms,
             "ostensive_profile": self.ostensive_profile,
             "ostensive_base": self.ostensive_base,
+            "ostensive_horizon": self.ostensive_horizon,
             "visual_propagation": self.visual_propagation,
             "demote_seen": self.demote_seen,
         }

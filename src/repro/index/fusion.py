@@ -18,15 +18,21 @@ from repro.utils.validation import ensure_non_empty
 ScoreMap = Mapping[str, float]
 
 
-def normalisation_bounds(scores: ScoreMap) -> tuple:
-    """``(low, span)`` of a score map for min-max normalisation.
+def normalisation_bounds_of_values(values) -> tuple:
+    """``(low, span)`` of an iterable of scores for min-max normalisation.
 
     ``span`` is 0.0 for constant inputs, which normalise to 1.0 by
-    convention.  Shared by every operator (and the engine's single-source
-    fast path) so the convention lives in exactly one place.
+    convention.  Shared by every operator, the engine's single-source fast
+    path and the adaptation kernel, so the convention lives in exactly one
+    place.  ``values`` may be any re-iterable container (list, dict view).
     """
-    low = min(scores.values())
-    return low, max(scores.values()) - low
+    low = min(values)
+    return low, max(values) - low
+
+
+def normalisation_bounds(scores: ScoreMap) -> tuple:
+    """``(low, span)`` of a score map for min-max normalisation."""
+    return normalisation_bounds_of_values(scores.values())
 
 
 def min_max_normalise(scores: ScoreMap) -> Dict[str, float]:

@@ -237,6 +237,15 @@ class InvertedIndex:
         """Document id at a dense index."""
         return self._doc_ids[doc_index]
 
+    def doc_index_get(self, document_id: str, default: Optional[int] = None):
+        """Dense integer index of a document id, or ``default`` if absent.
+
+        The non-raising companion of :meth:`doc_index_of`, used by kernels
+        that intern externally-supplied ids (e.g. feedback on shots that
+        were never indexed) in a single lookup.
+        """
+        return self._doc_index.get(document_id, default)
+
     def dense_document_ids(self) -> List[str]:
         """The id table in dense-index order — the index's own list, read-only."""
         return self._doc_ids

@@ -99,7 +99,10 @@ class NewsRecommender:
         if not shot_evidence:
             return {}
         if self._feedback_model is not None:
-            shot_scores = self._feedback_model.rerank_scores(dict(shot_evidence))
+            # Uncached on purpose: the evidence mapping is rebuilt per call,
+            # so memoising it would churn one-shot keys through the model's
+            # shared LRU without ever hitting.
+            shot_scores = self._feedback_model.rerank_scores_uncached(shot_evidence)
         else:
             shot_scores = dict(shot_evidence)
         story_scores = story_scores_from_shots(

@@ -4,6 +4,12 @@ Both personalisation (static profiles) and implicit feedback ultimately act
 by *re-ranking*: producing a score map over shots and folding it into the
 engine's original ranking.  The helpers here perform that fold and the
 story-level aggregation used by the news recommender.
+
+These are the **reference** implementations of the adaptation fold: the
+adaptive session's serving path runs the fused dense equivalent in
+:func:`repro.core.adaptation_kernel.rerank_and_demote`, and the
+equivalence tests pin that kernel bit-identical to the
+``rerank_with_scores`` → ``demote_seen_shots`` composition below.
 """
 
 from __future__ import annotations

@@ -104,8 +104,10 @@ def generate_workload(
     Users come from the population generator (personas cycled, behavioural
     jitter applied), each is assigned one topic aligned with their profile
     where possible, and each script interleaves ``queries_per_user`` search
-    steps with a feedback step after every search.  The result is a pure
-    function of ``(spec, topics, personas, strategy)``.
+    steps with ``feedback_per_query`` feedback steps after every search
+    (values above 1 give the adaptation-heavy mix: every extra feedback
+    step re-enters the session's evidence fold without a new query).  The
+    result is a pure function of ``(spec, topics, personas, strategy)``.
     """
     strategy = strategy or TitleQueryStrategy()
     members = generate_population(
@@ -128,7 +130,8 @@ def generate_workload(
         steps: List[WorkloadStep] = []
         for query in queries:
             steps.append(WorkloadStep(kind=SEARCH, step=len(steps), query=query))
-            steps.append(WorkloadStep(kind=FEEDBACK, step=len(steps)))
+            for _ in range(spec.feedback_per_query):
+                steps.append(WorkloadStep(kind=FEEDBACK, step=len(steps)))
         workloads.append(
             UserWorkload(
                 user_id=user_id,

@@ -30,9 +30,16 @@ class WorkloadSpec:
         the same distributions as the paper's simulated studies.
     queries_per_user:
         Query iterations per user.  Each iteration is a search step
-        followed by a feedback step, so a user contributes
-        ``2 * queries_per_user + 2`` canonical log records (open/close
-        included).
+        followed by ``feedback_per_query`` feedback steps, so a user
+        contributes ``(1 + feedback_per_query) * queries_per_user + 2``
+        canonical log records (open/close included).
+    feedback_per_query:
+        Feedback steps after every search step.  The default of 1 is the
+        classic search/judge loop; higher values model a user who keeps
+        interacting with the same result page (an adaptation-heavy mix
+        that hammers the session's evidence fold far more often than its
+        query path).  Each feedback step draws from its own labelled RNG
+        stream, so the mix stays deterministic at any worker count.
     feedback_top_k:
         How deep into each result list the user's feedback pass looks.
     policy:
@@ -48,6 +55,7 @@ class WorkloadSpec:
 
     users: int = 8
     queries_per_user: int = 3
+    feedback_per_query: int = 1
     feedback_top_k: int = 5
     policy: str = "combined"
     seed: int = 97
@@ -56,6 +64,7 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         ensure_positive(self.users, "users")
         ensure_positive(self.queries_per_user, "queries_per_user")
+        ensure_positive(self.feedback_per_query, "feedback_per_query")
         ensure_positive(self.feedback_top_k, "feedback_top_k")
         if not self.policy:
             raise ValueError("policy must be non-empty")
