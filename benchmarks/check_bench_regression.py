@@ -1,11 +1,17 @@
 """Benchmark regression guard: smoke throughput vs committed baselines.
 
-Runs the E12 (scoring kernel) and E13 (concurrent service) benchmarks in
-their smoke configurations and fails if any guarded throughput metric
-drops more than ``BENCH_REGRESSION_TOLERANCE`` (default 30%) below the
-``smoke_baseline`` section committed in ``BENCH_e12.json`` /
-``BENCH_e13.json``.  Every equivalence assertion inside the benches still
-runs, so a ranking regression fails before a throughput one.
+Runs the E12 (scoring kernel), E13 (concurrent service) and E15 (sharded
+scatter-gather) benchmarks in their smoke configurations and fails if any
+guarded throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE``
+(default 30%) below the ``smoke_baseline`` section committed in
+``BENCH_e12.json`` / ``BENCH_e13.json`` / ``BENCH_e15.json``.  Every
+equivalence assertion inside the benches still runs, so a ranking
+regression fails before a throughput one.
+
+A committed BENCH json **must** carry a ``smoke_baseline`` section: a
+missing or malformed section is itself a guard failure (with a clear
+message naming the file and the ``--update`` remedy), never a silent pass
+or a ``KeyError``.
 
 Absolute throughput depends on the host, so the committed baselines are
 deliberately coarse (smoke corpora, small round counts) and the tolerance
@@ -31,6 +37,7 @@ sys.path.insert(0, str(BENCH_DIR))
 
 import bench_e12_scoring_kernel as e12  # noqa: E402
 import bench_e13_concurrent_service as e13  # noqa: E402
+import bench_e15_sharded_retrieval as e15  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -38,6 +45,7 @@ DEFAULT_TOLERANCE = 0.30
 _SMOKE_ROUNDS_E12 = 6
 _SMOKE_USERS_E13 = 8
 _SMOKE_ROUNDS_E13 = 3
+_SMOKE_ROUNDS_E15 = 3
 
 
 def _smoke_corpus():
@@ -72,17 +80,42 @@ def measure_e13(corpus):
     }
 
 
-def _check(name, baseline_path, measured, tolerance):
-    payload = json.loads(baseline_path.read_text())
-    baseline = payload.get("smoke_baseline")
-    if not baseline:
-        print(f"{name}: no smoke_baseline committed in {baseline_path.name}; "
-              f"run with --update to create one")
-        return []
+def measure_e15(corpus):
+    """E15 smoke metrics (scatter-gather speedup, rankings verified)."""
+    e15._assert_engine_equivalence(corpus)
+    rows = e15._scatter_rows(corpus, rounds=_SMOKE_ROUNDS_E15)
+    by_shards = {row["shards"]: row for row in rows}
+    return {
+        "iostall_single_qps": by_shards[1]["qps"],
+        "iostall_sharded_qps": by_shards[e15.BENCH_SHARDS]["qps"],
+        "iostall_sharded_speedup": by_shards[e15.BENCH_SHARDS]["speedup"],
+    }
+
+
+def check_baseline(name, payload, measured, tolerance):
+    """Compare measured metrics against a committed payload.
+
+    Returns a list of human-readable failure strings (empty when the
+    payload passes).  A payload without a well-formed ``smoke_baseline``
+    mapping is a failure in itself — committed benchmark files must carry
+    their baseline so a regression can never slip through as "nothing to
+    compare against".
+    """
+    baseline = payload.get("smoke_baseline") if isinstance(payload, dict) else None
+    if not isinstance(baseline, dict) or not baseline:
+        return [
+            f"{name}: committed benchmark json has no usable 'smoke_baseline' "
+            f"section; re-measure on the reference hardware with "
+            f"'python benchmarks/check_bench_regression.py --update'"
+        ]
     failures = []
     for metric, measured_value in measured.items():
         baseline_value = baseline.get(metric)
-        if baseline_value is None:
+        if not isinstance(baseline_value, (int, float)):
+            failures.append(
+                f"{name}.{metric}: no numeric baseline committed "
+                f"(found {baseline_value!r}); run --update"
+            )
             continue
         floor = (1.0 - tolerance) * baseline_value
         status = "ok" if measured_value >= floor else "REGRESSION"
@@ -98,8 +131,24 @@ def _check(name, baseline_path, measured, tolerance):
     return failures
 
 
+def load_payload(name, baseline_path):
+    """Parse a committed BENCH json; failures are messages, not exceptions."""
+    if not baseline_path.exists():
+        return None, [
+            f"{name}: committed baseline file {baseline_path.name} is missing; "
+            f"run --update to create it"
+        ]
+    try:
+        return json.loads(baseline_path.read_text()), []
+    except ValueError as error:
+        return None, [
+            f"{name}: committed baseline file {baseline_path.name} is not "
+            f"valid JSON ({error})"
+        ]
+
+
 def _update(baseline_path, measured):
-    payload = json.loads(baseline_path.read_text())
+    payload = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
     payload["smoke_baseline"] = {
         **measured,
         "note": (
@@ -119,14 +168,19 @@ def main(argv):
     suites = (
         ("e12", BENCH_DIR / "BENCH_e12.json", measure_e12),
         ("e13", BENCH_DIR / "BENCH_e13.json", measure_e13),
+        ("e15", BENCH_DIR / "BENCH_e15.json", measure_e15),
     )
     failures = []
     for name, path, measure in suites:
         measured = measure(corpus)
         if update:
             _update(path, measured)
-        else:
-            failures.extend(_check(name, path, measured, tolerance))
+            continue
+        payload, load_failures = load_payload(name, path)
+        if load_failures:
+            failures.extend(load_failures)
+            continue
+        failures.extend(check_baseline(name, payload, measured, tolerance))
     if failures:
         print("\nbenchmark regression guard FAILED:")
         for failure in failures:

@@ -42,6 +42,7 @@ from repro.core import (
     profile_only_policy,
 )
 from repro.retrieval import Query, ResultList, VideoRetrievalEngine
+from repro.sharding import ShardedEngine, ShardRouter
 from repro.service import (
     FeedbackBatch,
     RetrievalService,
@@ -92,6 +93,8 @@ __all__ = [
     "Query",
     "ResultList",
     "VideoRetrievalEngine",
+    "ShardRouter",
+    "ShardedEngine",
     # service facade
     "RetrievalService",
     "ServiceConfig",

@@ -126,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "steps per search (exercises the adaptation fast path)")
     loadtest.add_argument("--feedback-per-query", type=int, default=None,
                           help="feedback steps per search step (overrides --mix)")
+    loadtest.add_argument("--shards", type=int, default=1,
+                          help="index shards the service partitions the corpus "
+                               "over (1 = single engine; N > 1 scatter-gathers "
+                               "with rankings bit-identical to 1)")
     loadtest.add_argument("--seed", type=int, default=97)
     loadtest.add_argument("--log", default=None,
                           help="file to write the canonical event log to")
@@ -324,10 +328,16 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards < 1:
+        print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
     stored = load_corpus(args.corpus)
+    from repro.service import ServiceConfig
+
+    service_config = ServiceConfig(num_shards=args.shards)
 
     def factory() -> RetrievalService:
-        return RetrievalService.from_corpus(stored)
+        return RetrievalService.from_corpus(stored, config=service_config)
 
     feedback_per_query = args.feedback_per_query
     if feedback_per_query is None:
@@ -345,7 +355,8 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     print(
         f"loadtest: {spec.users} users x {spec.queries_per_user} queries "
         f"x {spec.feedback_per_query} feedback "
-        f"({args.workers} workers, policy {spec.policy}, seed {spec.seed}): "
+        f"({args.workers} workers, {args.shards} shard(s), policy "
+        f"{spec.policy}, seed {spec.seed}): "
         f"{result.request_count} requests in {result.wall_seconds:.3f}s "
         f"({result.throughput_rps:.1f} req/s)",
         file=out,

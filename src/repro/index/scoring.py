@@ -128,7 +128,10 @@ class TfIdfScorer(_CachedIdfMixin, TextScorer):
         index = self._index
         # A plain list is the fastest dense accumulator in CPython: reads
         # return the stored float object directly, with no array unboxing.
-        accumulator = [0.0] * index.document_count
+        # Sized by the dense table, not document_count: over a sharded
+        # stats view the count is global while postings indexes are
+        # shard-dense (identical on a monolithic index).
+        accumulator = [0.0] * len(index.document_lengths_array)
         candidates: set = set()
         for term, query_weight in weights.items():
             if self._idf(term) == 0.0:
@@ -215,7 +218,10 @@ class Bm25Scorer(_CachedIdfMixin, TextScorer):
         index = self._index
         # A plain list is the fastest dense accumulator in CPython: reads
         # return the stored float object directly, with no array unboxing.
-        accumulator = [0.0] * index.document_count
+        # Sized by the dense table, not document_count: over a sharded
+        # stats view the count is global while postings indexes are
+        # shard-dense (identical on a monolithic index).
+        accumulator = [0.0] * len(index.document_lengths_array)
         candidates: set = set()
         for term, query_weight in weights.items():
             if self._idf(term) == 0.0:

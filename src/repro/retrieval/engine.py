@@ -447,6 +447,14 @@ class VideoRetrievalEngine:
             )
         return reranked
 
+    def close(self) -> None:
+        """Release auxiliary resources (a no-op for the in-process engine).
+
+        Subclasses that own background machinery — the sharded engine's
+        scatter-gather pool — override this; callers can therefore close
+        any engine uniformly when tearing a service down.
+        """
+
     def expand_query(
         self,
         query: Query,

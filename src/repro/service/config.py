@@ -45,6 +45,13 @@ class ServiceConfig:
         Capacity of the engine's persistent query-result LRU cache
         (``0`` disables it); benchmark and equivalence harnesses disable
         it to measure genuine evaluations.
+    num_shards:
+        How many index shards the service's engine partitions the corpus
+        over.  The default of ``1`` builds today's single
+        :class:`~repro.retrieval.engine.VideoRetrievalEngine` (zero
+        behaviour change); values above 1 build a
+        :class:`~repro.sharding.ShardedEngine` whose scatter-gather merge
+        is bit-identical to the single engine.  Must be positive.
     """
 
     scorer: str = "bm25"
@@ -59,10 +66,12 @@ class ServiceConfig:
     bm25_b: float = 0.75
     lm_mu: float = 300.0
     result_cache_size: int = 256
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")
         ensure_positive(self.max_sessions, "max_sessions")
+        ensure_positive(self.num_shards, "num_shards")
         if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
             raise ValueError("fusion weights must be non-negative")
         if self.result_cache_size < 0:

@@ -62,6 +62,7 @@ from repro.profiles.ontology import InterestOntology
 from repro.profiles.profile import UserProfile
 from repro.retrieval.engine import VideoRetrievalEngine
 from repro.service.config import ServiceConfig
+from repro.sharding.engine import ShardedEngine
 from repro.service.registry import (
     create_policy,
     create_scorer,
@@ -114,18 +115,36 @@ class RetrievalService:
         self._topics = topics
         self._qrels = qrels
         tokenizer = Tokenizer()
-        inverted_index = InvertedIndex.from_collection(collection, tokenizer=tokenizer)
-        # Resolving through the registry (rather than EngineConfig's own
-        # string switch) is what lets register_scorer() extensions work and
-        # makes unknown names fail with the registered alternatives listed.
-        scorer = create_scorer(self._config.scorer, inverted_index, self._config)
-        self._engine = VideoRetrievalEngine(
-            collection,
-            inverted_index=inverted_index,
-            config=self._config.engine_config(),
-            tokenizer=tokenizer,
-            text_scorer=scorer,
-        )
+        if self._config.num_shards > 1:
+            # Sharded substrate: scatter-gather engine whose merged rankings
+            # are bit-identical to the single engine below.  Each shard's
+            # scorer is resolved through the same registry, built over a
+            # global-statistics view of that shard.
+            service_config = self._config
+            self._engine: VideoRetrievalEngine = ShardedEngine(
+                collection,
+                config=self._config.engine_config(),
+                tokenizer=tokenizer,
+                num_shards=self._config.num_shards,
+                shard_scorer_factory=lambda view: create_scorer(
+                    service_config.scorer, view, service_config
+                ),
+            )
+        else:
+            inverted_index = InvertedIndex.from_collection(
+                collection, tokenizer=tokenizer
+            )
+            # Resolving through the registry (rather than EngineConfig's own
+            # string switch) is what lets register_scorer() extensions work and
+            # makes unknown names fail with the registered alternatives listed.
+            scorer = create_scorer(self._config.scorer, inverted_index, self._config)
+            self._engine = VideoRetrievalEngine(
+                collection,
+                inverted_index=inverted_index,
+                config=self._config.engine_config(),
+                tokenizer=tokenizer,
+                text_scorer=scorer,
+            )
         self._system = AdaptiveVideoRetrievalSystem(self._engine, ontology=ontology)
         self._sessions = SessionManager(self._config.max_sessions)
 
@@ -546,6 +565,24 @@ class RetrievalService:
         return self.submit_feedback(
             FeedbackBatch(user_id=user_id, events=tuple(events), session_id=session_id)
         )
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's auxiliary resources (idempotent).
+
+        For a sharded service this shuts the scatter-gather thread pool
+        down; the service remains usable afterwards (gathers then run
+        inline), so closing is safe even with sessions still open.  The
+        service is also a context manager: ``with RetrievalService...``.
+        """
+        self._engine.close()
+
+    def __enter__(self) -> "RetrievalService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- corpus mutation (exclusive writer path) -------------------------------------------
 

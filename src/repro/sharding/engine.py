@@ -1,0 +1,172 @@
+"""Scatter-gather retrieval over hash-partitioned index shards.
+
+:class:`ShardedEngine` is a :class:`~repro.retrieval.engine.
+VideoRetrievalEngine` whose substrate is partitioned: documents and shots
+are hash-routed onto N per-shard indexes, every text query scatters to one
+scorer per shard (each built over a :class:`~repro.sharding.global_stats.
+GlobalStatsView`, so idf / average-length / collection-probability inputs
+are global), and the gathered partial score maps are merged into exactly
+the score map the monolithic engine computes.  Because the merge happens
+*before* fusion, the engine's inherited fusion, normalisation, top-k
+selection, result caches and read/write locking all run unchanged — the
+sharded ranking is bit-identical to the unsharded one by construction, a
+property pinned by ``tests/test_sharding_equivalence.py``.
+
+Writes inherit the engine's exclusive-writer discipline: ``index_document``
+/ ``index_documents`` / ``index_shot`` drain in-flight searches, route each
+id to its owning shard, and bump that shard's generation — which moves the
+facades' combined generation and invalidates every derived cache (global
+df/cf sums, per-shard norm tables, scorer term caches, engine result
+caches) in one stroke.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.collection.documents import Collection
+from repro.index.language_model import DirichletLanguageModelScorer
+from repro.index.scoring import Bm25Scorer, QueryTerms, TextScorer, TfIdfScorer
+from repro.index.tokenizer import Tokenizer
+from repro.retrieval.engine import EngineConfig, VideoRetrievalEngine
+from repro.sharding.global_stats import GlobalStatsView
+from repro.sharding.router import ShardRouter
+from repro.sharding.views import ShardedInvertedIndex, ShardedVisualIndex
+from repro.utils.concurrency import ScatterGather
+
+#: ``factory(stats_view) -> TextScorer`` building one shard's scorer.
+ShardScorerFactory = Callable[[GlobalStatsView], TextScorer]
+
+
+class ShardedTextScorer(TextScorer):
+    """Scatter a text query across per-shard scorers and merge the maps.
+
+    Shards partition the document space, so the per-shard ``{doc_id:
+    score}`` maps are disjoint and the merge is a plain union — no score
+    arithmetic happens at the gather, which is what keeps merged scores
+    bit-identical to the monolithic evaluation (each shard already scored
+    its documents with global statistics).
+
+    ``shard_scorers`` is exposed as the live list so the fault-injection
+    suite can wrap or replace individual shards.
+    """
+
+    def __init__(
+        self, shard_scorers: Sequence[TextScorer], gather: ScatterGather
+    ) -> None:
+        self._scorers = list(shard_scorers)
+        self._gather = gather
+
+    @property
+    def shard_scorers(self) -> List[TextScorer]:
+        """The live per-shard scorer list (mutable, for fault injection)."""
+        return self._scorers
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """Gathered scores for all matching documents across shards."""
+        partials = self._gather.map(
+            lambda scorer: scorer.score(query_terms), self._scorers
+        )
+        merged: Dict[str, float] = {}
+        for partial in partials:
+            merged.update(partial)
+        return merged
+
+
+def _shard_scorer_from_config(
+    view: GlobalStatsView, config: EngineConfig
+) -> TextScorer:
+    """The built-in scorer named by an engine config, over one shard view."""
+    if config.scorer == "bm25":
+        return Bm25Scorer(view, k1=config.bm25_k1, b=config.bm25_b)
+    if config.scorer == "tfidf":
+        return TfIdfScorer(view)
+    return DirichletLanguageModelScorer(view, mu=config.lm_mu)
+
+
+class ShardedEngine(VideoRetrievalEngine):
+    """Multimodal search scatter-gathered over N index shards.
+
+    Construction partitions the collection (text and visual evidence route
+    by shot id, so a shot's transcript and keyframe always share a shard)
+    and builds one text scorer per shard over a global-statistics view.
+    ``shard_scorer_factory`` lets the service build registry-resolved
+    scorers per shard; by default the engine config's built-in scorer name
+    is used.  ``parallel=False`` forces inline (sequential) gathering,
+    which the equivalence suite uses to separate merge correctness from
+    scheduling.
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        config: EngineConfig = EngineConfig(),
+        tokenizer: Optional[Tokenizer] = None,
+        num_shards: int = 2,
+        router: Optional[ShardRouter] = None,
+        shard_scorer_factory: Optional[ShardScorerFactory] = None,
+        parallel: bool = True,
+    ) -> None:
+        router = router or ShardRouter(num_shards)
+        tokenizer = tokenizer or Tokenizer()
+        gather = ScatterGather(
+            router.num_shards if parallel else 1, thread_name_prefix="shard"
+        )
+        text_index = ShardedInvertedIndex.from_collection(
+            collection, router, tokenizer=tokenizer
+        )
+        visual_index = ShardedVisualIndex.from_collection(
+            collection, router, gather=gather
+        )
+        factory = shard_scorer_factory or (
+            lambda view: _shard_scorer_from_config(view, config)
+        )
+        shard_scorers = [
+            factory(GlobalStatsView(shard, text_index.stats))
+            for shard in text_index.shard_indexes
+        ]
+        super().__init__(
+            collection,
+            inverted_index=text_index,
+            visual_index=visual_index,
+            config=config,
+            tokenizer=tokenizer,
+            text_scorer=ShardedTextScorer(shard_scorers, gather),
+        )
+        self._router = router
+        self._gather = gather
+
+    # -- sharding accessors -------------------------------------------------------
+
+    @property
+    def router(self) -> ShardRouter:
+        """The id router shared by the text and visual substrates."""
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the substrate is partitioned into."""
+        return self._router.num_shards
+
+    @property
+    def text_scorer(self) -> ShardedTextScorer:
+        """The scatter-gather text scorer (per-shard list is mutable)."""
+        return self._text_scorer
+
+    @property
+    def sharded_inverted_index(self) -> ShardedInvertedIndex:
+        """The text facade, typed (same object as :attr:`inverted_index`)."""
+        return self._inverted_index
+
+    @property
+    def sharded_visual_index(self) -> ShardedVisualIndex:
+        """The visual facade, typed (same object as :attr:`visual_index`)."""
+        return self._visual_index
+
+    def shard_document_counts(self) -> List[int]:
+        """Documents per text shard (balance reporting, benchmarks)."""
+        return self._inverted_index.shard_document_counts()
+
+    def close(self) -> None:
+        """Shut down the scatter-gather pool (gathers then run inline)."""
+        self._gather.close()

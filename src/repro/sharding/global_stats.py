@@ -1,0 +1,254 @@
+"""Global collection statistics over a set of index shards.
+
+Partitioned scoring is only exact if every shard ranks with **collection**
+statistics, not shard statistics: BM25/TF-IDF idf needs the global document
+count and document frequency, BM25 length normalisation needs the global
+average document length, and language-model smoothing needs the global
+collection frequency and total term count.  Two classes provide that:
+
+* :class:`GlobalTextStats` aggregates document frequency / collection
+  frequency / document count / total terms across all shards, with per-term
+  caches invalidated through a **combined generation** counter (the sum of
+  the shard generations — a valid logical clock because all index mutation
+  is serialised behind the engine's exclusive writer, so every add bumps
+  exactly one shard generation by one and the sum strictly increases).
+
+* :class:`GlobalStatsView` is what a per-shard scorer is built over: it
+  quacks like an :class:`~repro.index.inverted_index.InvertedIndex` whose
+  postings/lengths/id-table are one shard's but whose statistics are
+  global.  An unmodified :class:`~repro.index.scoring.Bm25Scorer` /
+  :class:`~repro.index.scoring.TfIdfScorer` /
+  :class:`~repro.index.language_model.DirichletLanguageModelScorer` (or any
+  registry-registered scorer that sticks to the index API) therefore
+  produces, for the documents of its shard, bit-identical scores to the
+  same scorer over the monolithic index — the property the cross-shard
+  equivalence suite pins.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.index.inverted_index import InvertedIndex, Posting
+from repro.index.tokenizer import Tokenizer
+
+
+class GlobalTextStats:
+    """Aggregated collection statistics across text shards.
+
+    Per-term sums are cached and swapped out wholesale whenever the
+    combined generation moves, so interleaved writes can never serve stale
+    global statistics.  Reads are lock-free: the cache triple is replaced
+    atomically, racing readers at worst rebuild identical values.
+    """
+
+    def __init__(self, shard_indexes: Sequence[InvertedIndex]) -> None:
+        self._shards = list(shard_indexes)
+        # (generation, {term: df}, {term: cf}) — replaced as one object.
+        self._cache: Tuple[int, Dict[str, int], Dict[str, int]] = (-1, {}, {})
+
+    @property
+    def shard_indexes(self) -> Tuple[InvertedIndex, ...]:
+        """The shard indexes being aggregated."""
+        return tuple(self._shards)
+
+    @property
+    def generation(self) -> int:
+        """Combined mutation clock: the sum of the shard generations."""
+        return sum(shard.generation for shard in self._shards)
+
+    @property
+    def document_count(self) -> int:
+        """Total documents across all shards."""
+        return sum(shard.document_count for shard in self._shards)
+
+    @property
+    def total_terms(self) -> int:
+        """Total term occurrences across all shards."""
+        return sum(shard.total_terms for shard in self._shards)
+
+    @property
+    def average_document_length(self) -> float:
+        """Global mean document length (0.0 for an empty collection)."""
+        documents = self.document_count
+        if not documents:
+            return 0.0
+        return self.total_terms / documents
+
+    def _term_caches(self) -> Tuple[int, Dict[str, int], Dict[str, int]]:
+        caches = self._cache
+        if caches[0] != self.generation:
+            caches = (self.generation, {}, {})
+            self._cache = caches
+        return caches
+
+    def document_frequency(self, term: str) -> int:
+        """Global document frequency of a term (cached per generation)."""
+        _, df_cache, _ = self._term_caches()
+        cached = df_cache.get(term)
+        if cached is None:
+            cached = sum(shard.document_frequency(term) for shard in self._shards)
+            df_cache[term] = cached
+        return cached
+
+    def collection_frequency(self, term: str) -> int:
+        """Global collection frequency of a term (cached per generation)."""
+        _, _, cf_cache = self._term_caches()
+        cached = cf_cache.get(term)
+        if cached is None:
+            cached = sum(shard.collection_frequency(term) for shard in self._shards)
+            cf_cache[term] = cached
+        return cached
+
+
+class GlobalStatsView:
+    """One shard's postings behind the global statistics of all shards.
+
+    The view implements the read API scorers use: statistics
+    (``document_count``, ``document_frequency``, ``collection_frequency``,
+    ``total_terms``, ``average_document_length``, ``generation``) are
+    global, while postings columns, the dense id table, document lengths
+    and per-document vectors are the shard's own.  ``bm25_norms`` is
+    recomputed here because its value couples both: per-document lengths
+    (shard-local) normalised by the average document length (global).
+
+    ``generation`` is the combined clock, so a scorer's per-term caches
+    invalidate when *any* shard is written — global idf moves even when the
+    write landed on a different shard.
+    """
+
+    def __init__(self, shard_index: InvertedIndex, stats: GlobalTextStats) -> None:
+        self._shard = shard_index
+        self._stats = stats
+        self._bm25_norms_cache: Dict[Tuple[float, float], Tuple[int, array]] = {}
+
+    # -- global statistics -------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Combined mutation clock of all shards (see module docstring)."""
+        return self._stats.generation
+
+    @property
+    def document_count(self) -> int:
+        """Global document count (idf must see the whole collection)."""
+        return self._stats.document_count
+
+    @property
+    def total_terms(self) -> int:
+        """Global total term occurrences."""
+        return self._stats.total_terms
+
+    @property
+    def average_document_length(self) -> float:
+        """Global mean document length."""
+        return self._stats.average_document_length
+
+    def document_frequency(self, term: str) -> int:
+        """Global document frequency."""
+        return self._stats.document_frequency(term)
+
+    def collection_frequency(self, term: str) -> int:
+        """Global collection frequency."""
+        return self._stats.collection_frequency(term)
+
+    # -- shard-local payload -----------------------------------------------------
+
+    @property
+    def shard_index(self) -> InvertedIndex:
+        """The underlying shard index."""
+        return self._shard
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The shared tokenizer."""
+        return self._shard.tokenizer
+
+    def postings_arrays(self, term: str) -> Tuple[array, array]:
+        """The shard's postings columns for a term."""
+        return self._shard.postings_arrays(term)
+
+    def postings(self, term: str) -> List[Posting]:
+        """The shard's object-view postings for a term."""
+        return self._shard.postings(term)
+
+    def dense_document_ids(self) -> List[str]:
+        """The shard's id table in dense-index order."""
+        return self._shard.dense_document_ids()
+
+    @property
+    def document_lengths_array(self) -> array:
+        """The shard's document lengths in dense-index order."""
+        return self._shard.document_lengths_array
+
+    def doc_index_of(self, document_id: str) -> int:
+        """Shard-dense index of a document id."""
+        return self._shard.doc_index_of(document_id)
+
+    def doc_index_get(self, document_id: str, default: Optional[int] = None):
+        """Shard-dense index of a document id, or ``default``."""
+        return self._shard.doc_index_get(document_id, default)
+
+    def doc_id_at(self, doc_index: int) -> str:
+        """Document id at a shard-dense index."""
+        return self._shard.doc_id_at(doc_index)
+
+    def has_document(self, document_id: str) -> bool:
+        """True if this shard holds the document."""
+        return self._shard.has_document(document_id)
+
+    def document_length(self, document_id: str) -> int:
+        """Length of one of the shard's documents."""
+        return self._shard.document_length(document_id)
+
+    def document_vector(self, document_id: str) -> Dict[str, int]:
+        """Term-frequency vector of one of the shard's documents (a copy)."""
+        return self._shard.document_vector(document_id)
+
+    def document_vector_view(self, document_id: str) -> Mapping[str, int]:
+        """No-copy term-frequency vector of one of the shard's documents."""
+        return self._shard.document_vector_view(document_id)
+
+    def term_frequency(self, term: str, document_id: str) -> int:
+        """Frequency of ``term`` in one of the shard's documents."""
+        return self._shard.term_frequency(term, document_id)
+
+    def terms(self) -> List[str]:
+        """The shard's index terms."""
+        return self._shard.terms()
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._shard
+
+    # -- derived normalisation tables --------------------------------------------
+
+    def tfidf_norms(self) -> array:
+        """Per-document cosine norms (purely length-local, so shard-owned)."""
+        return self._shard.tfidf_norms()
+
+    def bm25_norms(self, k1: float, b: float) -> array:
+        """Shard documents' BM25 denominators under the **global** average.
+
+        Evaluates ``k1 * (1 - b + b * length / global_average_length)`` with
+        the same expression (and the same ``max(1.0, ...)`` floor) as the
+        monolithic index, so each document's denominator is bit-identical to
+        what the unsharded engine computes for it.  Cached per ``(k1, b)``
+        and keyed on the combined generation: a write to *any* shard moves
+        the global average and invalidates every shard's table.
+        """
+        key = (k1, b)
+        generation = self._stats.generation
+        cached = self._bm25_norms_cache.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        average_length = max(1.0, self._stats.average_document_length)
+        norms = array(
+            "d",
+            (
+                k1 * (1.0 - b + b * length / average_length)
+                for length in self._shard.document_lengths_array
+            ),
+        )
+        self._bm25_norms_cache[key] = (generation, norms)
+        return norms

@@ -6,13 +6,25 @@ discipline — any number of readers proceed together without blocking each
 other, while a writer (corpus/index mutation) waits for in-flight readers to
 drain and then runs exclusively.  Writers are preferred once waiting, so a
 steady stream of searches cannot starve an index update.
+
+:class:`ScatterGather` is the fan-out side of the same serving story: a
+partitioned operation (one sub-task per index shard) runs every sub-task on
+a small persistent thread pool and collects the results back in sub-task
+order, so callers see a deterministic gather regardless of completion
+order.
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+from repro.utils.validation import ensure_positive
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
 
 
 class ReadWriteLock:
@@ -109,3 +121,76 @@ class ReadWriteLock:
         """Whether a thread currently holds the exclusive side."""
         with self._condition:
             return self._writer_active
+
+
+class ScatterGather:
+    """Scatter one callable over a list of items and gather results in order.
+
+    Built for per-shard fan-out on the search path: the pool is created
+    lazily and reused across calls (a search must not pay thread start-up
+    costs), results come back in **item order** (never completion order, so
+    merges are deterministic), and the first sub-task exception propagates
+    to the caller unchanged.  With ``max_workers`` of 1 — or a single item —
+    everything runs inline on the calling thread, which keeps the
+    one-shard configuration free of any threading overhead.
+
+    Worker threads never take engine locks (shard sub-tasks are pure reads
+    over the shard's own structures), so scattering from inside the
+    engine's shared read scope cannot deadlock against a waiting writer.
+    """
+
+    def __init__(self, max_workers: int, thread_name_prefix: str = "scatter") -> None:
+        ensure_positive(max_workers, "max_workers")
+        self._max_workers = max_workers
+        self._thread_name_prefix = thread_name_prefix
+        self._pool: "ThreadPoolExecutor | None" = None
+        self._closed = False
+        self._pool_lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        """Upper bound on concurrent sub-tasks."""
+        return self._max_workers
+
+    def _acquire_pool(self) -> "ThreadPoolExecutor | None":
+        """The pool to scatter on, or ``None`` to run inline.
+
+        Checked and (lazily) created under the lock so a ``map`` racing
+        :meth:`close` can never resurrect a pool after shutdown — once
+        closed, every map runs inline, permanently.
+        """
+        with self._pool_lock:
+            if self._closed or self._max_workers <= 1:
+                return None
+            pool = self._pool
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix=self._thread_name_prefix,
+                )
+                self._pool = pool
+            return pool
+
+    def map(
+        self, task: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        """``[task(item) for item in items]``, fanned out over the pool.
+
+        Results are returned in item order; the first failing sub-task's
+        exception is re-raised (remaining sub-tasks still run to completion
+        on the pool, but their results are discarded).
+        """
+        items = list(items)
+        pool = self._acquire_pool() if len(items) > 1 else None
+        if pool is None:
+            return [task(item) for item in items]
+        futures = [pool.submit(task, item) for item in items]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); subsequent maps run inline."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -324,15 +324,21 @@ class ServiceLoadDriver:
             return requests
 
         start = time.perf_counter()
-        if self._max_workers == 1 or len(workloads) == 1:
-            request_counts = [drive_user(workload) for workload in workloads]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(self._max_workers, len(workloads)),
-                thread_name_prefix="loadtest",
-            ) as pool:
-                request_counts = list(pool.map(drive_user, workloads))
-        wall_seconds = time.perf_counter() - start
+        try:
+            if self._max_workers == 1 or len(workloads) == 1:
+                request_counts = [drive_user(workload) for workload in workloads]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self._max_workers, len(workloads)),
+                    thread_name_prefix="loadtest",
+                ) as pool:
+                    request_counts = list(pool.map(drive_user, workloads))
+            wall_seconds = time.perf_counter() - start
+        finally:
+            # Release engine machinery (e.g. a sharded service's scatter
+            # pool) outside the timed region; sessions left open by
+            # close_sessions=False survive (close only stops the pool).
+            service.close()
 
         records = [
             record

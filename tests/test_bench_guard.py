@@ -1,0 +1,120 @@
+"""Unit tests for the benchmark regression guard's comparison logic.
+
+``check_bench_regression.py`` must fail with a clear, actionable message —
+never a ``KeyError`` — when a committed BENCH json lacks (or mangles) its
+``smoke_baseline`` section, and must flag any guarded metric that drops
+more than the tolerance below its committed baseline.  These tests drive
+the pure comparison functions directly; the heavy measurement paths are
+exercised by the benches themselves in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import check_bench_regression as guard  # noqa: E402
+
+
+class TestCheckBaseline:
+    def test_missing_smoke_baseline_is_a_clear_failure(self):
+        failures = guard.check_baseline(
+            "e99", {"scatter": []}, {"qps": 100.0}, tolerance=0.3
+        )
+        assert len(failures) == 1
+        assert "smoke_baseline" in failures[0]
+        assert "--update" in failures[0]
+
+    @pytest.mark.parametrize("bad_section", (None, [], "fast", 7, {}))
+    def test_malformed_smoke_baseline_is_a_clear_failure(self, bad_section):
+        failures = guard.check_baseline(
+            "e99", {"smoke_baseline": bad_section}, {"qps": 100.0}, tolerance=0.3
+        )
+        assert len(failures) == 1
+        assert "smoke_baseline" in failures[0]
+
+    def test_non_dict_payload_never_raises_key_error(self):
+        for payload in (None, [], "not-json-object"):
+            failures = guard.check_baseline("e99", payload, {"qps": 1.0}, 0.3)
+            assert failures and "smoke_baseline" in failures[0]
+
+    def test_drop_beyond_tolerance_fails_with_metric_name(self):
+        payload = {"smoke_baseline": {"bm25_qps": 1000.0, "lm_qps": 500.0}}
+        measured = {"bm25_qps": 650.0, "lm_qps": 495.0}  # 35% and 1% drops
+        failures = guard.check_baseline("e12", payload, measured, tolerance=0.3)
+        assert len(failures) == 1
+        assert "e12.bm25_qps" in failures[0]
+        assert "650.0" in failures[0]
+
+    def test_drop_within_tolerance_passes(self):
+        payload = {"smoke_baseline": {"bm25_qps": 1000.0, "note": "text is fine"}}
+        failures = guard.check_baseline(
+            "e12", payload, {"bm25_qps": 701.0}, tolerance=0.3
+        )
+        assert failures == []
+
+    def test_measured_value_exactly_at_floor_passes(self):
+        payload = {"smoke_baseline": {"qps": 1000.0}}
+        assert guard.check_baseline("e15", payload, {"qps": 700.0}, 0.3) == []
+
+    def test_guarded_metric_missing_from_baseline_fails(self):
+        payload = {"smoke_baseline": {"old_qps": 1000.0}}
+        failures = guard.check_baseline(
+            "e15", payload, {"new_qps": 900.0}, tolerance=0.3
+        )
+        assert len(failures) == 1
+        assert "e15.new_qps" in failures[0]
+        assert "--update" in failures[0] or "run --update" in failures[0]
+
+    def test_non_numeric_baseline_value_fails_not_raises(self):
+        payload = {"smoke_baseline": {"qps": "fast"}}
+        failures = guard.check_baseline("e15", payload, {"qps": 10.0}, 0.3)
+        assert len(failures) == 1
+        assert "qps" in failures[0]
+
+
+class TestLoadPayload:
+    def test_missing_file_is_a_clear_failure(self, tmp_path):
+        payload, failures = guard.load_payload("e99", tmp_path / "BENCH_e99.json")
+        assert payload is None
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+        assert "--update" in failures[0]
+
+    def test_invalid_json_is_a_clear_failure(self, tmp_path):
+        path = tmp_path / "BENCH_e99.json"
+        path.write_text("{not json")
+        payload, failures = guard.load_payload("e99", path)
+        assert payload is None
+        assert len(failures) == 1
+        assert "not" in failures[0] and "JSON" in failures[0]
+
+    def test_valid_json_loads_without_failures(self, tmp_path):
+        path = tmp_path / "BENCH_e99.json"
+        path.write_text(json.dumps({"smoke_baseline": {"qps": 1.0}}))
+        payload, failures = guard.load_payload("e99", path)
+        assert failures == []
+        assert payload["smoke_baseline"]["qps"] == 1.0
+
+
+class TestCommittedBaselines:
+    @pytest.mark.parametrize("name", ("e12", "e13", "e15"))
+    def test_committed_bench_jsons_carry_usable_smoke_baselines(self, name):
+        """The repo's own BENCH files must satisfy the guard's contract."""
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        payload, failures = guard.load_payload(name, path)
+        assert failures == []
+        section = payload["smoke_baseline"]
+        assert isinstance(section, dict) and section
+        numeric = {
+            key: value
+            for key, value in section.items()
+            if isinstance(value, (int, float))
+        }
+        assert numeric, f"{path.name} smoke_baseline has no numeric metrics"

@@ -480,3 +480,104 @@ class TestWriterPath:
             after = engine.search_text(query, limit=200)
         assert not any(item.shot_id == "MUTDOC001" for item in before)
         assert any(item.shot_id == "MUTDOC001" for item in after)
+
+
+class TestShardedConcurrentServing:
+    """Concurrent serving over the sharded engine, with randomized queries.
+
+    Reuses the seeded property-style generators from ``conftest`` (shared
+    with the sharding-equivalence suite): many threads fire randomized
+    multimodal queries at a sharded service while the single-engine service
+    answers the same queries sequentially; every response pair must be
+    bit-identical, and the scatter-gather pool must never deadlock against
+    the session or engine locks.
+    """
+
+    def test_concurrent_randomized_queries_match_unsharded(
+        self, sharding_corpus, make_random_queries
+    ):
+        random_queries = make_random_queries
+        baseline = RetrievalService.from_corpus(
+            sharding_corpus, config=ServiceConfig(result_cache_size=0)
+        )
+        sharded = RetrievalService.from_corpus(
+            sharding_corpus,
+            config=ServiceConfig(result_cache_size=0, num_shards=3),
+        )
+        queries = random_queries(sharding_corpus, seed=424_242, count=24)
+        expected = [
+            baseline.engine.search(query, limit=20) for query in queries
+        ]
+
+        results: Dict[int, object] = {}
+        errors: List[BaseException] = []
+
+        def worker(worker_index: int) -> None:
+            try:
+                for query_index in range(worker_index, len(queries), 8):
+                    results[query_index] = sharded.engine.search(
+                        queries[query_index], limit=20
+                    )
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        _run_threads(
+            [
+                threading.Thread(target=worker, args=(index,), name=f"shard-q{index}")
+                for index in range(8)
+            ]
+        )
+        assert errors == []
+        assert len(results) == len(queries)
+        for query_index, expected_list in enumerate(expected):
+            actual = results[query_index]
+            assert actual.shot_ids() == expected_list.shot_ids()
+            assert [item.score for item in actual.items] == [
+                item.score for item in expected_list.items
+            ]
+
+    def test_sharded_writer_path_under_concurrent_searches(self, sharding_corpus):
+        """Writes route to owning shards while searches hammer the engine."""
+        service = RetrievalService.from_corpus(
+            sharding_corpus, config=ServiceConfig(num_shards=4)
+        )
+        _topic, query = _topic_query(sharding_corpus)
+        stop = threading.Event()
+        errors: List[BaseException] = []
+
+        def searcher(worker_index: int) -> None:
+            try:
+                while not stop.is_set():
+                    service.engine.search_text(query, limit=20)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        searchers = [
+            threading.Thread(target=searcher, args=(index,), name=f"sreader-{index}")
+            for index in range(6)
+        ]
+        for thread in searchers:
+            thread.start()
+        try:
+            generation_before = service.engine.inverted_index.generation
+            for round_index in range(5):
+                service.index_documents(
+                    {f"SHARDDOC{round_index:04d}": f"{query} sharded update"}
+                )
+            assert (
+                service.engine.inverted_index.generation == generation_before + 5
+            )
+        finally:
+            stop.set()
+            for thread in searchers:
+                thread.join(timeout=JOIN_TIMEOUT)
+        assert errors == []
+        hits = service.engine.search_text(query, limit=200)
+        assert any(item.shot_id.startswith("SHARDDOC") for item in hits)
+        # Every written document landed on exactly the shard the router names.
+        index = service.engine.sharded_inverted_index
+        for round_index in range(5):
+            document_id = f"SHARDDOC{round_index:04d}"
+            owner = index.router.shard_of(document_id)
+            for shard_number, shard in enumerate(index.shard_indexes):
+                assert shard.has_document(document_id) == (shard_number == owner)

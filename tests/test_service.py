@@ -491,3 +491,69 @@ class TestServiceConstruction:
         # Custom scorer names fall back to a builtin placeholder; the real
         # scorer instance is injected from the registry.
         assert ServiceConfig(scorer="custom").engine_config().scorer == "bm25"
+
+
+class TestErrorPaths:
+    """Error paths the rest of the suite only exercises incidentally."""
+
+    def test_num_shards_validation(self):
+        with pytest.raises(ValueError, match="num_shards must be positive"):
+            ServiceConfig(num_shards=0)
+        with pytest.raises(ValueError, match="num_shards must be positive"):
+            ServiceConfig(num_shards=-4)
+        assert ServiceConfig(num_shards=1).num_shards == 1
+        assert ServiceConfig(num_shards=8).num_shards == 8
+
+    def test_session_expired_error_through_search_batch(self, small_corpus):
+        from repro.service import SessionExpiredError
+
+        service = RetrievalService.from_corpus(
+            small_corpus, config=ServiceConfig(max_sessions=1)
+        )
+        _topic, query = _topic_query(small_corpus)
+        evicted = service.open_session("alice").session_id
+        service.open_session("bob")  # capacity 1: evicts alice's session
+        batch = [
+            SearchRequest(user_id="bob", query=query),
+            SearchRequest(user_id="alice", query=query, session_id=evicted),
+        ]
+        with pytest.raises(SessionExpiredError):
+            service.search_batch(batch, max_workers=4)
+        # Sequential search surfaces the identical error type.
+        with pytest.raises(SessionExpiredError):
+            service.search(
+                SearchRequest(user_id="alice", query=query, session_id=evicted)
+            )
+
+    @pytest.mark.parametrize("num_shards", (1, 2))
+    def test_unknown_scorer_key_fails_at_construction(self, small_corpus, num_shards):
+        with pytest.raises(UnknownComponentError) as excinfo:
+            RetrievalService.from_corpus(
+                small_corpus,
+                config=ServiceConfig(scorer="no-such-scorer",
+                                     num_shards=num_shards),
+            )
+        message = str(excinfo.value)
+        assert "no-such-scorer" in message
+        for name in ("bm25", "tfidf", "lm"):
+            assert name in message
+
+    def test_unknown_default_policy_key_fails_at_first_use(self, small_corpus):
+        # A bad *default* policy name passes construction (policies resolve
+        # lazily) and must fail loudly on the first session open — both the
+        # explicit and the implicit (auto-open via search) paths.
+        service = RetrievalService.from_corpus(
+            small_corpus, config=ServiceConfig(policy="no-such-policy")
+        )
+        _topic, query = _topic_query(small_corpus)
+        with pytest.raises(UnknownComponentError, match="no-such-policy"):
+            service.open_session("alice")
+        with pytest.raises(UnknownComponentError, match="no-such-policy"):
+            service.search(SearchRequest(user_id="alice", query=query))
+
+    def test_unknown_weighting_scheme_key_fails_at_first_use(self, small_corpus):
+        service = RetrievalService.from_corpus(
+            small_corpus, config=ServiceConfig(weighting_scheme="no-such-scheme")
+        )
+        with pytest.raises(UnknownComponentError, match="no-such-scheme"):
+            service.open_session("alice")

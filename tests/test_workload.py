@@ -207,3 +207,63 @@ class TestLoadtestCli:
             out=io.StringIO(),
         )
         assert code == 2
+
+    def test_loadtest_rejects_non_positive_shards(self, corpus_dir):
+        code = cli_main(
+            ["loadtest", "--corpus", corpus_dir, "--shards", "0"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+
+@pytest.mark.shard
+class TestShardedWorkloadEquivalence:
+    """Replaying one workload script sharded vs unsharded is byte-identical.
+
+    The canonical event log records query texts, iteration counts, feedback
+    event kinds and the top ranked ``(shot_id, score)`` pairs — so digest
+    equality means the sharded scatter-gather serving path reproduced every
+    adapted ranking of the single-engine path bit for bit, across the whole
+    search/feedback/close lifecycle.
+    """
+
+    def test_sharded_and_unsharded_digests_identical(self, small_corpus, spec):
+        from repro.service import ServiceConfig
+        from repro.workload import generate_workload
+
+        # One pre-generated script replayed against both services, so any
+        # divergence is attributable to the serving path alone.
+        workloads = generate_workload(spec, small_corpus.topics)
+        baseline = ServiceLoadDriver(
+            lambda: RetrievalService.from_corpus(small_corpus), max_workers=4
+        ).run(spec, workloads)
+        sharded = ServiceLoadDriver(
+            lambda: RetrievalService.from_corpus(
+                small_corpus, config=ServiceConfig(num_shards=3)
+            ),
+            max_workers=4,
+        ).run(spec, workloads)
+        assert baseline.canonical_log() == sharded.canonical_log()
+        assert baseline.digest() == sharded.digest()
+
+    @pytest.mark.parametrize("num_shards", (2, 4))
+    def test_sharded_loadtest_cli_digest_matches_unsharded(
+        self, small_corpus, tmp_path, num_shards
+    ):
+        from repro.collection import save_corpus
+
+        directory = tmp_path / "corpus"
+        save_corpus(small_corpus, directory)
+        logs = {}
+        for shards in (1, num_shards):
+            log = tmp_path / f"shards{shards}.jsonl"
+            out = io.StringIO()
+            code = cli_main(
+                ["loadtest", "--corpus", str(directory), "--users", "4",
+                 "--queries", "2", "--workers", "4", "--seed", "7",
+                 "--shards", str(shards), "--log", str(log)],
+                out=out,
+            )
+            assert code == 0
+            logs[shards] = log.read_bytes()
+        assert logs[1] == logs[num_shards]
