@@ -1,0 +1,307 @@
+"""E16 — Durability tier: WAL write-path cost, write amplification, recovery.
+
+Three questions, answered with the state digest as the correctness oracle
+before anything is timed:
+
+* **Write-path cost** — ingest throughput (ops/s) of a durable service
+  under each fsync policy (``never`` / ``interval`` / ``always``) against
+  the in-memory service on the same deterministic op stream.  The
+  ``never`` and ``interval`` rows should stay within a small factor of
+  memory speed (the WAL append is one buffered write); ``always`` pays a
+  real fsync per op and is reported honestly, not asserted.
+
+* **Write amplification** — durable bytes (WAL appends + live snapshot
+  chain) per logical payload byte, and WAL bytes per op.  Recorded for
+  trajectory, never guarded: amplification is a property of the format
+  and the snapshot cadence, not of host speed.
+
+* **Recovery speed** — ops/s at which ``RecoveryManager`` restores the
+  directory (snapshot load + WAL replay + digest), after asserting the
+  recovered digest equals the live service's digest at close.
+
+``BENCH_e16.json`` next to this file records baselines plus the
+``smoke_baseline`` section guarded by ``check_bench_regression.py``
+(guarded metrics: ``ingest_never_ops_per_s``, ``recovery_ops_per_s`` —
+the CI-stable higher-is-better pair; fsync rows depend on device sync
+latency and stay unguarded).  Run with ``--write-baseline`` to refresh,
+``--smoke`` for the CI sanity check.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from _common import print_table
+except ImportError:  # script mode: python benchmarks/bench_e16_durability.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import print_table
+
+from repro.durability import RecoveryManager, engine_state_digest
+from repro.durability.wal import encode_op
+from repro.service import RetrievalService, ServiceConfig
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_e16.json"
+
+#: Snapshot cadence of the bench runs: low enough that compaction and
+#: incremental deltas happen mid-run, so their cost is in the numbers.
+SNAPSHOT_INTERVAL = 32
+
+INGEST_SEED = 2008
+
+
+def _ops(service, count):
+    return synthetic_ingest_ops(
+        count, seed=INGEST_SEED, feature_dim=service_feature_dim(service)
+    )
+
+
+def _logical_bytes(ops):
+    """Payload bytes of the op stream as the WAL would encode it."""
+    from repro.index.tokenizer import Tokenizer
+
+    tokenizer = Tokenizer()
+    total = 0
+    for op in ops:
+        if op[0] == "doc":
+            record = {
+                "op": "doc",
+                "id": op[1],
+                "tf": dict(tokenizer.term_frequencies(op[2])),
+            }
+        else:
+            record = {
+                "op": "shot",
+                "id": op[1],
+                "features": list(op[2]),
+                "concepts": dict(op[3]),
+            }
+        total += len(encode_op(record))
+    return total
+
+
+def _directory_snapshot_bytes(directory):
+    """Bytes of the incremental snapshot chain (bootstrap excluded).
+
+    Checkpoint 0 snapshots the corpus-built state and its size tracks the
+    collection, not the ingest stream, so it would swamp a per-op metric.
+    """
+    bootstrap = ("checkpoint-000000.json", "delta-cp000000-")
+    return sum(
+        path.stat().st_size
+        for pattern in ("checkpoint-*.json", "delta-*.json")
+        for path in Path(directory).glob(pattern)
+        if path.name != bootstrap[0] and not path.name.startswith(bootstrap[1])
+    )
+
+
+def _ingest_row(corpus, count, fsync_policy, workdir):
+    """One durable ingest run: throughput + WAL/snapshot accounting."""
+    directory = Path(workdir) / f"fsync-{fsync_policy}"
+    service = RetrievalService(
+        corpus.collection,
+        config=ServiceConfig(
+            durability_dir=str(directory),
+            fsync_policy=fsync_policy,
+            snapshot_interval_ops=SNAPSHOT_INTERVAL,
+            result_cache_size=0,
+        ),
+    )
+    ops = _ops(service, count)
+    start = time.perf_counter()
+    apply_ingest(service, ops)
+    elapsed = time.perf_counter() - start
+    digest = engine_state_digest(service.engine)
+    stats = service.engine.durability.statistics()
+    service.close()
+
+    state = RecoveryManager(directory).recover()
+    assert state.state_digest() == digest, (
+        f"fsync={fsync_policy}: recovered digest diverged from live state"
+    )
+    assert state.ingested_ops == count
+
+    logical = _logical_bytes(ops)
+    durable_bytes = stats["wal_bytes"] + _directory_snapshot_bytes(directory)
+    return {
+        "mode": f"durable-{fsync_policy}",
+        "ops": count,
+        "seconds": elapsed,
+        "ops_per_s": count / elapsed if elapsed else 0.0,
+        "wal_bytes_per_op": stats["wal_bytes"] / count if count else 0.0,
+        "write_amplification": durable_bytes / logical if logical else 0.0,
+        "checkpoints": int(stats["checkpoints"]),
+    }
+
+
+def _memory_row(corpus, count):
+    service = RetrievalService(
+        corpus.collection, config=ServiceConfig(result_cache_size=0)
+    )
+    ops = _ops(service, count)
+    start = time.perf_counter()
+    apply_ingest(service, ops)
+    elapsed = time.perf_counter() - start
+    service.close()
+    return {
+        "mode": "memory",
+        "ops": count,
+        "seconds": elapsed,
+        "ops_per_s": count / elapsed if elapsed else 0.0,
+        "wal_bytes_per_op": 0.0,
+        "write_amplification": 0.0,
+        "checkpoints": 0,
+    }
+
+
+def _recovery_row(corpus, count, workdir, repeats=3):
+    """Recovery throughput over a directory with snapshots + a WAL tail."""
+    directory = Path(workdir) / "recovery"
+    service = RetrievalService(
+        corpus.collection,
+        config=ServiceConfig(
+            durability_dir=str(directory),
+            fsync_policy="never",
+            snapshot_interval_ops=SNAPSHOT_INTERVAL,
+            result_cache_size=0,
+        ),
+    )
+    apply_ingest(service, _ops(service, count))
+    digest = engine_state_digest(service.engine)
+    service.close()
+
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        state = RecoveryManager(directory).recover()
+        recovered_digest = state.state_digest()
+        elapsed = time.perf_counter() - start
+        assert recovered_digest == digest, "recovered digest diverged"
+        best = elapsed if best is None else min(best, elapsed)
+    total_items = state.text_count + state.shot_count
+    return {
+        "mode": "recover",
+        "ops": count,
+        "seconds": best,
+        "recovery_ops_per_s": count / best if best else 0.0,
+        "items_restored": total_items,
+        "wal_tail_ops": state.wal_index_ops,
+    }
+
+
+def _sanity_check(ingest_rows, recovery_row):
+    by_mode = {row["mode"]: row for row in ingest_rows}
+    for row in ingest_rows:
+        assert row["ops_per_s"] > 0, f"{row['mode']}: no throughput measured"
+    # Compaction must actually have run, or the amplification number is
+    # measuring an empty snapshot chain.
+    assert by_mode["durable-never"]["checkpoints"] >= 1
+    assert recovery_row["recovery_ops_per_s"] > 0
+
+
+def run_experiment(bench_corpus, count=256, repeats=3):
+    workdir = tempfile.mkdtemp(prefix="bench-e16-")
+    try:
+        ingest_rows = [_memory_row(bench_corpus, count)]
+        for policy in ("never", "interval", "always"):
+            ingest_rows.append(_ingest_row(bench_corpus, count, policy, workdir))
+        memory_qps = ingest_rows[0]["ops_per_s"]
+        for row in ingest_rows:
+            row["slowdown_vs_memory"] = (
+                memory_qps / row["ops_per_s"] if row["ops_per_s"] else 0.0
+            )
+        recovery_row = _recovery_row(bench_corpus, count, workdir, repeats=repeats)
+        return ingest_rows, recovery_row
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_e16_durability(benchmark, bench_corpus):
+    ingest_rows, recovery_row = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("E16a: durable ingest write path (digest-verified)", ingest_rows)
+    print_table("E16b: crash recovery (snapshot + WAL replay)", [recovery_row])
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        print_table(
+            "E16 baseline (from BENCH_e16.json, for trajectory — not asserted)",
+            baseline.get("ingest", []),
+        )
+    _sanity_check(ingest_rows, recovery_row)
+
+
+def _main(argv):
+    smoke = "--smoke" in argv
+    write_baseline = "--write-baseline" in argv
+    from repro.collection import CollectionConfig, generate_corpus
+
+    if smoke:
+        corpus = generate_corpus(
+            seed=7,
+            config=CollectionConfig(days=4, stories_per_day=5, topic_count=6),
+        )
+        count, repeats = 128, 2
+    else:
+        corpus = generate_corpus(
+            seed=2008,
+            config=CollectionConfig(
+                days=24, stories_per_day=9, topic_count=16, min_stories_per_topic=3
+            ),
+        )
+        count, repeats = 512, 3
+    ingest_rows, recovery_row = run_experiment(corpus, count=count, repeats=repeats)
+    print_table("E16a: durable ingest write path (digest-verified)", ingest_rows)
+    print_table("E16b: crash recovery (snapshot + WAL replay)", [recovery_row])
+    _sanity_check(ingest_rows, recovery_row)
+    if write_baseline:
+        # The guarded smoke_baseline section is refreshed through
+        # check_bench_regression.py --update, not here.
+        smoke_baseline = None
+        if BASELINE_PATH.exists():
+            smoke_baseline = json.loads(BASELINE_PATH.read_text()).get(
+                "smoke_baseline"
+            )
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    **({"smoke_baseline": smoke_baseline} if smoke_baseline else {}),
+                    "corpus": "smoke" if smoke else "bench standard (seed 2008)",
+                    "ops": count,
+                    "snapshot_interval_ops": SNAPSHOT_INTERVAL,
+                    "note": (
+                        "Every durable row recovers its directory and "
+                        "asserts the recovered digest equals the live "
+                        "engine's before reporting numbers. "
+                        "write_amplification = (WAL appends + live snapshot "
+                        "chain) / logical op payload bytes at the bench's "
+                        "snapshot cadence; fsync=always depends on device "
+                        "sync latency and is recorded, never guarded."
+                    ),
+                    "ingest": ingest_rows,
+                    "recovery": recovery_row,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+    print(
+        "e16 ok: durable ingest digest-verified under all fsync policies; "
+        "recovery restored the byte-identical state"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

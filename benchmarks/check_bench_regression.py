@@ -1,10 +1,11 @@
 """Benchmark regression guard: smoke throughput vs committed baselines.
 
-Runs the E12 (scoring kernel), E13 (concurrent service) and E15 (sharded
-scatter-gather) benchmarks in their smoke configurations and fails if any
-guarded throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE``
-(default 30%) below the ``smoke_baseline`` section committed in
-``BENCH_e12.json`` / ``BENCH_e13.json`` / ``BENCH_e15.json``.  Every
+Runs the E12 (scoring kernel), E13 (concurrent service), E15 (sharded
+scatter-gather) and E16 (durability) benchmarks in their smoke
+configurations and fails if any guarded throughput metric drops more than
+``BENCH_REGRESSION_TOLERANCE`` (default 30%) below the ``smoke_baseline``
+section committed in ``BENCH_e12.json`` / ``BENCH_e13.json`` /
+``BENCH_e15.json`` / ``BENCH_e16.json``.  Every
 equivalence assertion inside the benches still runs, so a ranking
 regression fails before a throughput one.
 
@@ -38,6 +39,7 @@ sys.path.insert(0, str(BENCH_DIR))
 import bench_e12_scoring_kernel as e12  # noqa: E402
 import bench_e13_concurrent_service as e13  # noqa: E402
 import bench_e15_sharded_retrieval as e15  # noqa: E402
+import bench_e16_durability as e16  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -46,6 +48,7 @@ _SMOKE_ROUNDS_E12 = 6
 _SMOKE_USERS_E13 = 8
 _SMOKE_ROUNDS_E13 = 3
 _SMOKE_ROUNDS_E15 = 3
+_SMOKE_OPS_E16 = 128
 
 
 def _smoke_corpus():
@@ -89,6 +92,24 @@ def measure_e15(corpus):
         "iostall_single_qps": by_shards[1]["qps"],
         "iostall_sharded_qps": by_shards[e15.BENCH_SHARDS]["qps"],
         "iostall_sharded_speedup": by_shards[e15.BENCH_SHARDS]["speedup"],
+    }
+
+
+def measure_e16(corpus):
+    """E16 smoke metrics (durable ingest + recovery, digests verified).
+
+    Only the host-stable higher-is-better pair is guarded: ingest under
+    ``fsync=never`` (no device sync latency in the number) and recovery
+    throughput.  Write amplification and the fsync'd rows are recorded in
+    ``BENCH_e16.json`` for trajectory but never guarded.
+    """
+    ingest_rows, recovery_row = e16.run_experiment(
+        corpus, count=_SMOKE_OPS_E16, repeats=2
+    )
+    by_mode = {row["mode"]: row for row in ingest_rows}
+    return {
+        "ingest_never_ops_per_s": by_mode["durable-never"]["ops_per_s"],
+        "recovery_ops_per_s": recovery_row["recovery_ops_per_s"],
     }
 
 
@@ -169,6 +190,7 @@ def main(argv):
         ("e12", BENCH_DIR / "BENCH_e12.json", measure_e12),
         ("e13", BENCH_DIR / "BENCH_e13.json", measure_e13),
         ("e15", BENCH_DIR / "BENCH_e15.json", measure_e15),
+        ("e16", BENCH_DIR / "BENCH_e16.json", measure_e16),
     )
     failures = []
     for name, path, measure in suites:

@@ -21,7 +21,14 @@ writing Python:
 ``repro loadtest``
     Drive N concurrent simulated users through a live service and print the
     canonical event-log digest; the same seed always yields the same digest
-    (``--verify`` re-runs the workload and checks).
+    (``--verify`` re-runs the workload and checks).  With ``--durable DIR``
+    the service write-ahead-logs every mutation into ``DIR`` (plus optional
+    ``--ingest-ops`` deterministic index writes before the workload) and
+    prints the canonical index state digest.
+``repro recover``
+    Recover a durability directory (snapshot chain + WAL tail) and print
+    the recovered counts and canonical state digest — the oracle the
+    crash-recovery smoke compares against a clean run.
 
 Every command takes ``--seed`` so runs are reproducible.  Invoke as
 ``repro <command> ...`` (installed entry point) or ``python -m repro ...``.
@@ -34,6 +41,7 @@ experiment runner share.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -135,6 +143,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="file to write the canonical event log to")
     loadtest.add_argument("--verify", action="store_true",
                           help="run the workload twice and require identical digests")
+    loadtest.add_argument("--durable", default=None, metavar="DIR",
+                          help="durability directory: WAL every index mutation "
+                               "into DIR and print the canonical state digest")
+    loadtest.add_argument("--fsync", choices=("always", "interval", "never"),
+                          default="interval",
+                          help="WAL fsync policy for --durable (default: interval)")
+    loadtest.add_argument("--snapshot-interval", type=int, default=256,
+                          help="index ops between incremental snapshots "
+                               "(default: 256)")
+    loadtest.add_argument("--ingest-ops", type=int, default=0,
+                          help="deterministic synthetic index writes (docs and "
+                               "shots) applied before the workload phase")
+    loadtest.add_argument("--ingest-pause", type=float, default=0.0,
+                          help="seconds to sleep between ingest ops (stretches "
+                               "the crash window for the recovery smoke)")
+
+    recover = subparsers.add_parser(
+        "recover", help="recover a durability directory and print its digest"
+    )
+    recover.add_argument("directory",
+                         help="durability directory written by a --durable service")
 
     return parser
 
@@ -331,10 +360,26 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     if args.shards < 1:
         print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
         return 2
+    if args.durable and args.verify:
+        print(
+            "--verify re-runs the workload against a fresh service, which a "
+            "durability directory already holding state would refuse; use "
+            "--verify without --durable",
+            file=sys.stderr,
+        )
+        return 2
     stored = load_corpus(args.corpus)
     from repro.service import ServiceConfig
 
-    service_config = ServiceConfig(num_shards=args.shards)
+    if args.durable:
+        service_config = ServiceConfig(
+            num_shards=args.shards,
+            durability_dir=args.durable,
+            fsync_policy=args.fsync,
+            snapshot_interval_ops=args.snapshot_interval,
+        )
+    else:
+        service_config = ServiceConfig(num_shards=args.shards)
 
     def factory() -> RetrievalService:
         return RetrievalService.from_corpus(stored, config=service_config)
@@ -350,7 +395,28 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
         seed=args.seed,
     )
     driver = ServiceLoadDriver(factory, max_workers=args.workers)
-    result = driver.run(spec)
+
+    prelude = epilogue = None
+    if args.durable or args.ingest_ops:
+        from repro.durability import engine_state_digest
+        from repro.workload.ingest import (
+            apply_ingest,
+            service_feature_dim,
+            synthetic_ingest_ops,
+        )
+
+        def prelude(service: RetrievalService) -> None:
+            ops = synthetic_ingest_ops(
+                args.ingest_ops,
+                seed=args.seed,
+                feature_dim=service_feature_dim(service),
+            )
+            apply_ingest(service, ops, pause=args.ingest_pause)
+
+        def epilogue(service: RetrievalService):
+            return {"state_digest": engine_state_digest(service.engine)}
+
+    result = driver.run(spec, prelude=prelude, epilogue=epilogue)
     digest = result.digest()
     print(
         f"loadtest: {spec.users} users x {spec.queries_per_user} queries "
@@ -362,6 +428,8 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(f"canonical log digest: {digest}", file=out)
+    if "state_digest" in result.extras:
+        print(f"state-digest: {result.extras['state_digest']}", file=out)
     if args.log:
         path = result.write_log(args.log)
         print(f"canonical log written to {path}", file=out)
@@ -378,6 +446,38 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_recover(args: argparse.Namespace, out) -> int:
+    from repro.durability import RecoveryError, RecoveryManager
+
+    try:
+        state = RecoveryManager(args.directory).recover()
+    except RecoveryError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"recovered {args.directory}: checkpoint {state.checkpoint_id} "
+        f"(snapshot lsn {state.snapshot_lsn}), applied lsn {state.applied_lsn}",
+        file=out,
+    )
+    print(
+        f"WAL replay: {state.wal_index_ops} index ops, "
+        f"{state.wal_feedback_ops} feedback batches, "
+        f"{state.wal_skipped_duplicates} duplicates skipped, "
+        f"{state.wal_dropped_records} records beyond the durable prefix",
+        file=out,
+    )
+    for segment, error in sorted(state.tail_errors.items()):
+        print(f"torn tail on {segment}: {error}", file=out)
+    print(
+        f"state: {state.text_count} documents, {state.shot_count} shots "
+        f"({state.num_shards} shard(s))",
+        file=out,
+    )
+    print(f"ingested-ops: {state.ingested_ops}", file=out)
+    print(f"state-digest: {state.state_digest()}", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -390,8 +490,17 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "experiment": _command_experiment,
         "analyse-logs": _command_analyse_logs,
         "loadtest": _command_loadtest,
+        "recover": _command_recover,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    except BrokenPipeError:
+        # The reader (e.g. `repro recover | grep -q ...`) closed the pipe
+        # early; the conventional quiet exit, not a traceback.  Detach
+        # stdout so interpreter shutdown does not raise again on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

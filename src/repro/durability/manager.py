@@ -1,0 +1,301 @@
+"""The durability manager: what a live engine calls on every mutation.
+
+:class:`DurabilityManager` owns one durability directory — the WAL
+segments, the snapshot chain, and the header — and exposes exactly the
+hooks the engine's write path needs:
+
+* ``log_document`` / ``log_shot`` append an op record to the owning
+  shard's WAL segment *before* the in-memory index mutates (called inside
+  the engine's ``exclusive_writer()``, so WAL order is the serialization
+  order);
+* ``log_feedback`` appends interaction batches to the meta segment (these
+  serialise behind the WAL's LSN lock; they do not affect index state but
+  make the full write history replayable, e.g. by a follower);
+* ``should_checkpoint`` / ``checkpoint`` implement the snapshot cadence:
+  every ``snapshot_interval_ops`` index mutations, the engine state is
+  checkpointed and the WAL compacted up to the checkpoint's watermark.
+
+Lifecycle: :meth:`create` initialises a fresh directory around a live
+engine (writing a **bootstrap checkpoint** covering the corpus-built
+state, so recovery never needs the corpus files); :meth:`attach` resumes
+an existing directory from a :class:`~repro.durability.recovery.
+RecoveredState`, repairing the WAL past the recovered prefix before any
+new append.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.durability.digest import engine_text_items, engine_visual_items
+from repro.durability.recovery import (
+    DURABILITY_FORMAT,
+    HEADER_FILENAME,
+    RecoveredState,
+    RecoveryError,
+    read_header,
+)
+from repro.durability.snapshots import SnapshotStore, _write_json_atomic
+from repro.durability.wal import META_SEGMENT, WriteAheadLog
+from repro.sharding.router import ShardRouter
+from repro.utils.serialization import PathLike
+
+
+def _index_generations(index) -> List[int]:
+    """Per-shard generation clocks of a (possibly sharded) index."""
+    shards = getattr(index, "shard_indexes", None)
+    if shards is not None:
+        return [shard.generation for shard in shards]
+    return [index.generation]
+
+
+class DurabilityManager:
+    """Owns one durability directory on behalf of one live engine."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        num_shards: int,
+        fsync_policy: str = "interval",
+        snapshot_interval_ops: int = 256,
+        fsync_interval_ops: int = 64,
+        next_lsn: int = 1,
+    ) -> None:
+        if snapshot_interval_ops < 1:
+            raise ValueError(
+                f"snapshot_interval_ops must be positive, got {snapshot_interval_ops}"
+            )
+        self._directory = Path(directory)
+        self._router = ShardRouter(num_shards)
+        self._wal = WriteAheadLog(
+            self._directory,
+            num_shards,
+            fsync_policy=fsync_policy,
+            fsync_interval_ops=fsync_interval_ops,
+            next_lsn=next_lsn,
+        )
+        self._snapshots = SnapshotStore(self._directory, num_shards)
+        self._snapshot_interval_ops = snapshot_interval_ops
+        self._ops_since_checkpoint = 0
+        self._checkpoints_written = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @staticmethod
+    def has_state(directory: PathLike) -> bool:
+        """True when ``directory`` already holds a durability header."""
+        return (Path(directory) / HEADER_FILENAME).exists()
+
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        engine,
+        num_shards: int,
+        fsync_policy: str = "interval",
+        snapshot_interval_ops: int = 256,
+        fsync_interval_ops: int = 64,
+    ) -> "DurabilityManager":
+        """Initialise a fresh durability directory around a live engine.
+
+        Writes the header and a bootstrap checkpoint (id 0, ``wal_lsn`` 0)
+        that snapshots the engine's corpus-built state, so a recovery of
+        this directory is self-contained from its very first op.
+        """
+        directory = Path(directory)
+        if cls.has_state(directory):
+            raise RecoveryError(
+                f"{directory} already holds durable state; recover it (or "
+                f"point the service at a fresh directory) instead of "
+                f"re-initialising over it"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(
+            directory / HEADER_FILENAME,
+            {
+                "format": DURABILITY_FORMAT,
+                "num_shards": num_shards,
+                "fsync_policy": fsync_policy,
+            },
+        )
+        manager = cls(
+            directory,
+            num_shards,
+            fsync_policy=fsync_policy,
+            snapshot_interval_ops=snapshot_interval_ops,
+            fsync_interval_ops=fsync_interval_ops,
+        )
+        manager._write_checkpoint(engine)
+        return manager
+
+    @classmethod
+    def attach(
+        cls,
+        directory: PathLike,
+        recovered: RecoveredState,
+        fsync_policy: str = "interval",
+        snapshot_interval_ops: int = 256,
+        fsync_interval_ops: int = 64,
+    ) -> "DurabilityManager":
+        """Resume an existing directory from its recovered state.
+
+        Repairs the WAL first: any record past the recovered gap-free
+        prefix (torn tails, records stranded beyond a hole) is physically
+        dropped, so appends resume from exactly the state the engine was
+        rebuilt to.
+        """
+        header = read_header(directory)
+        if int(header["num_shards"]) != recovered.num_shards:
+            raise RecoveryError(
+                f"durability directory has {header['num_shards']} shards "
+                f"but the recovered state was built for "
+                f"{recovered.num_shards}"
+            )
+        manager = cls(
+            directory,
+            recovered.num_shards,
+            fsync_policy=fsync_policy,
+            snapshot_interval_ops=snapshot_interval_ops,
+            fsync_interval_ops=fsync_interval_ops,
+            next_lsn=recovered.applied_lsn + 1,
+        )
+        manager._wal.repair_to(recovered.applied_lsn)
+        # The WAL tail already holds this many index ops past the last
+        # checkpoint; count them toward the next snapshot so an attach/crash
+        # loop cannot defer compaction forever.
+        manager._ops_since_checkpoint = recovered.wal_index_ops
+        return manager
+
+    def close(self) -> None:
+        """Sync and close the WAL (idempotent)."""
+        self._wal.close()
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The durability directory."""
+        return self._directory
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log."""
+        return self._wal
+
+    @property
+    def snapshots(self) -> SnapshotStore:
+        """The snapshot store."""
+        return self._snapshots
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the WAL routing and snapshot lineage."""
+        return self._router.num_shards
+
+    @property
+    def snapshot_interval_ops(self) -> int:
+        """Index mutations between automatic checkpoints."""
+        return self._snapshot_interval_ops
+
+    @property
+    def ops_since_checkpoint(self) -> int:
+        """Index mutations logged since the last checkpoint."""
+        return self._ops_since_checkpoint
+
+    @property
+    def checkpoints_written(self) -> int:
+        """Checkpoints written through this manager instance."""
+        return self._checkpoints_written
+
+    def statistics(self) -> Dict[str, float]:
+        """Write-path counters for benchmarks and reports."""
+        return {
+            "wal_records": float(self._wal.records_appended),
+            "wal_bytes": float(self._wal.bytes_appended),
+            "last_lsn": float(self._wal.last_lsn),
+            "checkpoints": float(self._checkpoints_written),
+            "ops_since_checkpoint": float(self._ops_since_checkpoint),
+        }
+
+    # -- write-path hooks (called under the engine's exclusive writer) -------------
+
+    def log_document(self, document_id: str, frequencies: Dict[str, int]) -> int:
+        """WAL one ``index_document`` op on its owning shard's segment."""
+        lsn = self._wal.append(
+            self._router.shard_of(document_id),
+            {"op": "doc", "id": document_id, "tf": dict(frequencies)},
+        )
+        self._ops_since_checkpoint += 1
+        return lsn
+
+    def log_shot(
+        self,
+        shot_id: str,
+        features: Sequence[float],
+        concept_scores: Optional[Dict[str, float]] = None,
+    ) -> int:
+        """WAL one ``index_shot`` op on its owning shard's segment."""
+        lsn = self._wal.append(
+            self._router.shard_of(shot_id),
+            {
+                "op": "shot",
+                "id": shot_id,
+                "features": [float(value) for value in features],
+                "concepts": dict(concept_scores or {}),
+            },
+        )
+        self._ops_since_checkpoint += 1
+        return lsn
+
+    def log_feedback(
+        self, user_id: str, session_id: str, events: Sequence
+    ) -> int:
+        """WAL one feedback batch on the meta segment."""
+        return self._wal.append(
+            META_SEGMENT,
+            {
+                "op": "feedback",
+                "user": user_id,
+                "session": session_id,
+                "events": [event.as_dict() for event in events],
+            },
+        )
+
+    # -- checkpoints ---------------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        """True when the snapshot cadence says it is time to checkpoint."""
+        return self._ops_since_checkpoint >= self._snapshot_interval_ops
+
+    def checkpoint(self, engine) -> Dict[str, object]:
+        """Snapshot the engine state and compact the WAL behind it.
+
+        Must run under the engine's exclusive writer (the engine's
+        ``maybe_checkpoint`` hook does), so the snapshot is a consistent
+        cut at ``wal.last_lsn``.  The WAL is synced before the manifest is
+        written and truncated only after — a crash at any point leaves
+        either the old chain + full WAL, or the new chain + (possibly
+        partially) compacted WAL, both of which recover to the same state.
+        """
+        return self._write_checkpoint(engine)
+
+    def maybe_checkpoint(self, engine) -> Optional[Dict[str, object]]:
+        """Checkpoint if the cadence is due; returns the manifest if so."""
+        if not self.should_checkpoint():
+            return None
+        return self._write_checkpoint(engine)
+
+    def _write_checkpoint(self, engine) -> Dict[str, object]:
+        self._wal.sync()
+        manifest = self._snapshots.write_checkpoint(
+            text_items=list(engine_text_items(engine)),
+            visual_items=list(engine_visual_items(engine)),
+            wal_lsn=self._wal.last_lsn,
+            text_generations=_index_generations(engine.inverted_index),
+            visual_generations=_index_generations(engine.visual_index),
+        )
+        self._wal.truncate_through(int(manifest["wal_lsn"]))
+        self._ops_since_checkpoint = 0
+        self._checkpoints_written += 1
+        return manifest

@@ -1,0 +1,250 @@
+"""Crash recovery: snapshot chain + gap-free WAL tail → identical state.
+
+:class:`RecoveryManager` rebuilds the index state a durable service held at
+its last durable write, from nothing but the durability directory:
+
+1. read the directory header (shard count, format),
+2. restore the snapshot chain (:class:`~repro.durability.snapshots.
+   SnapshotStore.load_base`), which covers the log through ``wal_lsn``,
+3. scan every WAL segment tolerantly, merge records by LSN, and apply the
+   **maximal gap-free prefix** starting at ``wal_lsn + 1``.
+
+The gap-free rule is load-bearing: dense interning order — and therefore
+every score the adaptation kernel and the tie-breaks produce — is defined
+by *insertion order*.  Applying a subsequence with a hole (a record lost to
+a torn tail on one segment while later records survived on another) would
+silently shift every subsequent dense index.  Stopping at the first gap
+instead guarantees the recovered state is a true prefix of the write
+history, which is exactly the crash-consistency contract the fault
+injection suite pins.
+
+Replay is idempotent: records whose id is already present (because a crash
+landed between a checkpoint's manifest rename and its WAL truncation) are
+skipped, so recovering twice — or recovering a directory whose compaction
+was interrupted — converges to the same digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.durability.digest import state_digest
+from repro.durability.snapshots import SnapshotError, SnapshotStore
+from repro.durability.wal import WriteAheadLog
+from repro.utils.serialization import PathLike, read_json
+
+#: Directory header naming the layout parameters recovery needs.
+HEADER_FILENAME = "DURABILITY.json"
+
+#: On-disk format version of the durability directory as a whole.
+DURABILITY_FORMAT = 1
+
+
+class RecoveryError(ValueError):
+    """The durability directory cannot be recovered to a consistent state."""
+
+
+def read_header(directory: PathLike) -> Dict[str, object]:
+    """Read and validate a durability directory's header."""
+    path = Path(directory) / HEADER_FILENAME
+    try:
+        header = read_json(path)
+    except FileNotFoundError:
+        raise RecoveryError(
+            f"{path} is missing — not a durability directory"
+        ) from None
+    except ValueError as error:
+        raise RecoveryError(f"durability header {path}: {error}") from None
+    if not isinstance(header, dict) or "num_shards" not in header:
+        raise RecoveryError(f"durability header {path} is malformed")
+    if int(header.get("format", -1)) != DURABILITY_FORMAT:
+        raise RecoveryError(
+            f"durability header {path} has format {header.get('format')!r}; "
+            f"this build reads format {DURABILITY_FORMAT}"
+        )
+    return header
+
+
+@dataclass
+class RecoveredState:
+    """Everything recovery restored, plus how it got there.
+
+    ``documents`` and ``shots`` are in global insertion order — feeding
+    them, in order, into fresh (sharded or monolithic) indexes reproduces
+    the original dense interning exactly.  ``applied_lsn`` is the LSN the
+    state is current through; a reopened WAL must repair past it before
+    appending.
+    """
+
+    num_shards: int
+    documents: List[Tuple[str, Dict[str, int]]] = field(default_factory=list)
+    shots: List[Tuple[str, List[float], Dict[str, float]]] = field(default_factory=list)
+    applied_lsn: int = 0
+    checkpoint_id: int = -1
+    snapshot_lsn: int = 0
+    wal_index_ops: int = 0
+    wal_feedback_ops: int = 0
+    wal_skipped_duplicates: int = 0
+    wal_dropped_records: int = 0
+    tail_errors: Dict[str, str] = field(default_factory=dict)
+    baseline_text_count: int = 0
+    baseline_shot_count: int = 0
+
+    @property
+    def text_count(self) -> int:
+        """Documents in the recovered state."""
+        return len(self.documents)
+
+    @property
+    def shot_count(self) -> int:
+        """Shots in the recovered state."""
+        return len(self.shots)
+
+    @property
+    def ingested_ops(self) -> int:
+        """Index mutations beyond the bootstrap (checkpoint-0) state."""
+        return (self.text_count - self.baseline_text_count) + (
+            self.shot_count - self.baseline_shot_count
+        )
+
+    def state_digest(self) -> str:
+        """Canonical digest of the recovered index state."""
+        return state_digest(
+            iter(self.documents),
+            ((shot_id, features, concepts) for shot_id, features, concepts in self.shots),
+        )
+
+
+class RecoveryManager:
+    """Restores a durability directory to its last durable index state."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self._directory = Path(directory)
+        self._header = read_header(self._directory)
+        self._num_shards = int(self._header["num_shards"])
+
+    @property
+    def directory(self) -> Path:
+        """The durability directory being recovered."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count the directory was written with."""
+        return self._num_shards
+
+    @property
+    def header(self) -> Dict[str, object]:
+        """The directory header."""
+        return dict(self._header)
+
+    def recover(self) -> RecoveredState:
+        """Snapshot chain + gap-free WAL prefix → :class:`RecoveredState`."""
+        store = SnapshotStore(self._directory, self._num_shards)
+        try:
+            base = store.load_base()
+        except SnapshotError as error:
+            raise RecoveryError(str(error)) from None
+        wal = WriteAheadLog(self._directory, self._num_shards)
+        try:
+            records, tail_errors = wal.scan_all()
+        finally:
+            wal.close()
+
+        state = RecoveredState(
+            num_shards=self._num_shards,
+            documents=list(base.documents),
+            shots=list(base.shots),
+            applied_lsn=base.wal_lsn,
+            checkpoint_id=base.checkpoint_id,
+            snapshot_lsn=base.wal_lsn,
+            tail_errors=tail_errors,
+            baseline_text_count=base.baseline_text_count,
+            baseline_shot_count=base.baseline_shot_count,
+        )
+        documents_seen = {document_id for document_id, _ in state.documents}
+        shots_seen = {shot_id for shot_id, _, _ in state.shots}
+
+        tail = [record for record in records if int(record["lsn"]) > base.wal_lsn]
+        if tail and base.checkpoint_id < 0 and int(tail[0]["lsn"]) != 1:
+            raise RecoveryError(
+                f"WAL begins at lsn {int(tail[0]['lsn'])} but no snapshot "
+                f"covers the preceding records — the snapshot chain is "
+                f"missing"
+            )
+        expected = base.wal_lsn + 1
+        for record in tail:
+            lsn = int(record["lsn"])
+            if lsn != expected:
+                # A hole: a record on some segment was lost (torn tail or
+                # corruption).  Everything from here on is beyond the
+                # durable prefix, however intact it looks.
+                state.wal_dropped_records += len(tail) - state.wal_index_ops - state.wal_feedback_ops
+                break
+            expected += 1
+            state.applied_lsn = lsn
+            op = record.get("op")
+            if op == "doc":
+                state.wal_index_ops += 1
+                document_id = str(record["id"])
+                if document_id in documents_seen:
+                    state.wal_skipped_duplicates += 1
+                else:
+                    documents_seen.add(document_id)
+                    state.documents.append(
+                        (document_id, {str(t): int(f) for t, f in record["tf"].items()})
+                    )
+            elif op == "shot":
+                state.wal_index_ops += 1
+                shot_id = str(record["id"])
+                if shot_id in shots_seen:
+                    state.wal_skipped_duplicates += 1
+                else:
+                    shots_seen.add(shot_id)
+                    state.shots.append(
+                        (
+                            shot_id,
+                            [float(value) for value in record["features"]],
+                            {str(c): float(s) for c, s in record["concepts"].items()},
+                        )
+                    )
+            elif op == "feedback":
+                state.wal_feedback_ops += 1
+            else:
+                raise RecoveryError(f"unknown WAL op {op!r} at lsn {lsn}")
+        return state
+
+
+def build_monolithic_indexes(state: RecoveredState, tokenizer=None):
+    """Rebuild ``(InvertedIndex, VisualIndex)`` from a recovered state."""
+    from repro.index.inverted_index import InvertedIndex
+    from repro.index.visual import VisualIndex
+
+    text_index = InvertedIndex(tokenizer=tokenizer)
+    for document_id, vector in state.documents:
+        text_index.add_document_frequencies(document_id, vector)
+    visual_index = VisualIndex()
+    for shot_id, features, concepts in state.shots:
+        visual_index.add_shot(shot_id, features, concepts)
+    return text_index, visual_index
+
+
+def build_sharded_indexes(state: RecoveredState, router, tokenizer=None):
+    """Rebuild sharded facades from a recovered state.
+
+    Feeding the global insertion sequence through the facades routes every
+    id back onto the shard the router originally placed it on, and rebuilds
+    the same global dense interning — so the facades are indistinguishable
+    from the pre-crash ones.
+    """
+    from repro.sharding.views import ShardedInvertedIndex, ShardedVisualIndex
+
+    text_index = ShardedInvertedIndex(router, tokenizer=tokenizer)
+    for document_id, vector in state.documents:
+        text_index.add_document_frequencies(document_id, vector)
+    visual_index = ShardedVisualIndex(router)
+    for shot_id, features, concepts in state.shots:
+        visual_index.add_shot(shot_id, features, concepts)
+    return text_index, visual_index

@@ -1,0 +1,329 @@
+"""Per-shard incremental snapshots chained by checkpoint manifests.
+
+A checkpoint is the durable image of the index state at one WAL watermark.
+Rather than rewriting the whole index every time, a checkpoint writes one
+**delta file per shard that changed** since its parent checkpoint — change
+detection keys off the shard indexes' existing ``generation`` clocks, and
+the per-shard split uses the same :class:`~repro.sharding.router.
+ShardRouter` hash that placed the documents, so a shard's snapshot lineage
+is exactly its own mutation history.
+
+Because both indexes are append-only, a delta is simply the suffix of the
+global insertion sequence since the parent checkpoint.  Every entry carries
+its **global sequence number** (the dense interning index), so recovery can
+merge the per-shard delta files of the whole manifest chain back into the
+exact global insertion order — which is what makes the rebuilt dense id
+tables, and therefore scores, byte-identical.
+
+Crash safety: delta files are written first, then the manifest, each
+through ``tmp + fsync + os.replace``.  A manifest therefore never names a
+delta that is not fully on disk, and a crash mid-checkpoint leaves the
+previous manifest as the durable tip (the orphaned delta files are inert).
+WAL compaction — truncating records at or below the manifest's watermark —
+only runs after the manifest rename, so the WAL always covers everything
+the snapshot chain does not.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sharding.router import ShardRouter
+from repro.utils.serialization import PathLike, read_json
+
+#: On-disk format version of manifests and delta files.
+SNAPSHOT_FORMAT = 1
+
+_MANIFEST_PREFIX = "checkpoint-"
+_MANIFEST_SUFFIX = ".json"
+
+
+class SnapshotError(ValueError):
+    """The snapshot chain is unusable (missing or inconsistent files)."""
+
+
+def manifest_filename(checkpoint_id: int) -> str:
+    """File name of a checkpoint manifest: ``checkpoint-000003.json``."""
+    return f"{_MANIFEST_PREFIX}{checkpoint_id:06d}{_MANIFEST_SUFFIX}"
+
+
+def delta_filename(checkpoint_id: int, shard: int) -> str:
+    """File name of one shard's delta: ``delta-cp000003-shard0001.json``."""
+    return f"delta-cp{checkpoint_id:06d}-shard{shard:04d}.json"
+
+
+def _write_json_atomic(path: Path, payload: object) -> None:
+    """Write a JSON document durably: tmp file, fsync, atomic rename."""
+    import json
+
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+@dataclass
+class SnapshotBase:
+    """The state a loaded snapshot chain restores (before WAL replay).
+
+    ``documents`` and ``shots`` are in global insertion (dense interning)
+    order; ``wal_lsn`` is the watermark the tip manifest covers through.
+    ``baseline_text_count`` / ``baseline_shot_count`` are the root
+    (bootstrap) checkpoint's counts — everything beyond them was ingested
+    after the service first came up.
+    """
+
+    documents: List[Tuple[str, Dict[str, int]]] = field(default_factory=list)
+    shots: List[Tuple[str, List[float], Dict[str, float]]] = field(default_factory=list)
+    wal_lsn: int = 0
+    checkpoint_id: int = -1
+    baseline_text_count: int = 0
+    baseline_shot_count: int = 0
+
+    @property
+    def text_count(self) -> int:
+        """Documents restored by the chain."""
+        return len(self.documents)
+
+    @property
+    def shot_count(self) -> int:
+        """Shots restored by the chain."""
+        return len(self.shots)
+
+
+class SnapshotStore:
+    """Reads and writes one directory's checkpoint chain.
+
+    The store keeps the latest manifest in memory so an incremental
+    checkpoint knows the previous global counts and per-shard generations
+    without re-reading the chain.
+    """
+
+    def __init__(self, directory: PathLike, num_shards: int) -> None:
+        if num_shards < 1:
+            raise SnapshotError(f"num_shards must be positive, got {num_shards}")
+        self._directory = Path(directory)
+        self._router = ShardRouter(num_shards)
+        self._latest: Optional[Dict[str, object]] = self._read_latest_manifest()
+
+    @property
+    def directory(self) -> Path:
+        """The durability directory the chain lives in."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the snapshot lineage is partitioned over."""
+        return self._router.num_shards
+
+    @property
+    def latest_manifest(self) -> Optional[Dict[str, object]]:
+        """The tip manifest, or ``None`` before the first checkpoint."""
+        return self._latest
+
+    @property
+    def latest_wal_lsn(self) -> int:
+        """The WAL watermark the tip manifest covers through (0 if none)."""
+        if self._latest is None:
+            return 0
+        return int(self._latest["wal_lsn"])
+
+    # -- reading -----------------------------------------------------------------
+
+    def manifest_ids(self) -> List[int]:
+        """Checkpoint ids present on disk, ascending."""
+        if not self._directory.exists():
+            return []
+        ids = []
+        for entry in self._directory.iterdir():
+            name = entry.name
+            if name.startswith(_MANIFEST_PREFIX) and name.endswith(_MANIFEST_SUFFIX):
+                stem = name[len(_MANIFEST_PREFIX) : -len(_MANIFEST_SUFFIX)]
+                if stem.isdigit():
+                    ids.append(int(stem))
+        return sorted(ids)
+
+    def _read_manifest(self, checkpoint_id: int) -> Dict[str, object]:
+        path = self._directory / manifest_filename(checkpoint_id)
+        try:
+            manifest = read_json(path)
+        except FileNotFoundError:
+            raise SnapshotError(
+                f"checkpoint manifest {path.name} is missing from the chain"
+            ) from None
+        except ValueError as error:
+            raise SnapshotError(f"checkpoint manifest {path.name}: {error}") from None
+        if not isinstance(manifest, dict) or "wal_lsn" not in manifest:
+            raise SnapshotError(f"checkpoint manifest {path.name} is malformed")
+        return manifest
+
+    def _read_latest_manifest(self) -> Optional[Dict[str, object]]:
+        ids = self.manifest_ids()
+        if not ids:
+            return None
+        return self._read_manifest(ids[-1])
+
+    def manifest_chain(self) -> List[Dict[str, object]]:
+        """The manifests from the root to the tip, parent-linked.
+
+        Raises :class:`SnapshotError` when a link of the chain is missing —
+        the chain is only as durable as its weakest manifest.
+        """
+        tip = self._read_latest_manifest()
+        if tip is None:
+            return []
+        chain = [tip]
+        while chain[-1]["parent"] is not None:
+            chain.append(self._read_manifest(int(chain[-1]["parent"])))
+        chain.reverse()
+        return chain
+
+    def load_base(self) -> SnapshotBase:
+        """Restore the snapshot chain into one :class:`SnapshotBase`.
+
+        Merges every delta of every manifest (root first) and re-sorts by
+        global sequence number, verifying the sequence is dense — a missing
+        delta file or a hole in the sequence raises :class:`SnapshotError`
+        rather than silently recovering a state with shifted interning.
+        """
+        chain = self.manifest_chain()
+        if not chain:
+            return SnapshotBase()
+        documents: List[Tuple[int, str, Dict[str, int]]] = []
+        shots: List[Tuple[int, str, List[float], Dict[str, float]]] = []
+        for manifest in chain:
+            for delta_name in manifest["deltas"]:
+                path = self._directory / str(delta_name)
+                try:
+                    delta = read_json(path)
+                except FileNotFoundError:
+                    raise SnapshotError(
+                        f"snapshot delta {path.name} named by "
+                        f"{manifest_filename(int(manifest['checkpoint_id']))} "
+                        f"is missing"
+                    ) from None
+                except ValueError as error:
+                    raise SnapshotError(f"snapshot delta {path.name}: {error}") from None
+                for seq, document_id, vector in delta.get("documents", []):
+                    documents.append((int(seq), document_id, dict(vector)))
+                for seq, shot_id, features, concepts in delta.get("shots", []):
+                    shots.append(
+                        (int(seq), shot_id, list(features), dict(concepts))
+                    )
+        documents.sort(key=lambda entry: entry[0])
+        shots.sort(key=lambda entry: entry[0])
+        tip = chain[-1]
+        for kind, entries, expected in (
+            ("document", documents, int(tip["text_count"])),
+            ("shot", shots, int(tip["shot_count"])),
+        ):
+            if len(entries) != expected or any(
+                entry[0] != seq for seq, entry in enumerate(entries)
+            ):
+                raise SnapshotError(
+                    f"snapshot chain {kind} sequence is not dense: "
+                    f"{len(entries)} entries for {expected} expected — a "
+                    f"delta file is missing or corrupt"
+                )
+        root = chain[0]
+        return SnapshotBase(
+            documents=[(doc_id, vector) for _, doc_id, vector in documents],
+            shots=[
+                (shot_id, features, concepts)
+                for _, shot_id, features, concepts in shots
+            ],
+            wal_lsn=int(tip["wal_lsn"]),
+            checkpoint_id=int(tip["checkpoint_id"]),
+            baseline_text_count=int(root["text_count"]),
+            baseline_shot_count=int(root["shot_count"]),
+        )
+
+    # -- writing -----------------------------------------------------------------
+
+    def write_checkpoint(
+        self,
+        text_items: Sequence[Tuple[str, Dict[str, int]]],
+        visual_items: Sequence[Tuple[str, Sequence[float], Dict[str, float]]],
+        wal_lsn: int,
+        text_generations: Sequence[int],
+        visual_generations: Sequence[int],
+    ) -> Dict[str, object]:
+        """Write an incremental checkpoint covering the log through ``wal_lsn``.
+
+        ``text_items`` / ``visual_items`` are the *full* current state in
+        global insertion order (cheap views — nothing is copied until the
+        suffix split); only the suffix past the parent checkpoint's counts
+        is written, and only for shards whose generation clock moved.
+        Returns the new manifest.
+        """
+        parent = self._latest
+        parent_text = int(parent["text_count"]) if parent else 0
+        parent_shot = int(parent["shot_count"]) if parent else 0
+        parent_text_gens = list(parent["text_generations"]) if parent else [0] * self.num_shards
+        parent_visual_gens = list(parent["visual_generations"]) if parent else [0] * self.num_shards
+        checkpoint_id = int(parent["checkpoint_id"]) + 1 if parent else 0
+        if len(text_items) < parent_text or len(visual_items) < parent_shot:
+            raise SnapshotError(
+                "index state shrank below the parent checkpoint — snapshots "
+                "assume append-only indexes"
+            )
+
+        per_shard_docs: Dict[int, List[list]] = {}
+        for seq in range(parent_text, len(text_items)):
+            document_id, vector = text_items[seq]
+            shard = self._router.shard_of(document_id)
+            per_shard_docs.setdefault(shard, []).append(
+                [seq, document_id, dict(vector)]
+            )
+        per_shard_shots: Dict[int, List[list]] = {}
+        for seq in range(parent_shot, len(visual_items)):
+            shot_id, features, concepts = visual_items[seq]
+            shard = self._router.shard_of(shot_id)
+            per_shard_shots.setdefault(shard, []).append(
+                [seq, shot_id, [float(value) for value in features], dict(concepts)]
+            )
+
+        self._directory.mkdir(parents=True, exist_ok=True)
+        delta_names: List[str] = []
+        for shard in range(self.num_shards):
+            changed = (
+                text_generations[shard] != parent_text_gens[shard]
+                or visual_generations[shard] != parent_visual_gens[shard]
+            )
+            if not changed:
+                continue
+            name = delta_filename(checkpoint_id, shard)
+            _write_json_atomic(
+                self._directory / name,
+                {
+                    "format": SNAPSHOT_FORMAT,
+                    "checkpoint_id": checkpoint_id,
+                    "shard": shard,
+                    "documents": per_shard_docs.get(shard, []),
+                    "shots": per_shard_shots.get(shard, []),
+                },
+            )
+            delta_names.append(name)
+
+        manifest: Dict[str, object] = {
+            "format": SNAPSHOT_FORMAT,
+            "checkpoint_id": checkpoint_id,
+            "parent": int(parent["checkpoint_id"]) if parent else None,
+            "wal_lsn": int(wal_lsn),
+            "text_count": len(text_items),
+            "shot_count": len(visual_items),
+            "text_generations": list(text_generations),
+            "visual_generations": list(visual_generations),
+            "deltas": delta_names,
+        }
+        _write_json_atomic(
+            self._directory / manifest_filename(checkpoint_id), manifest
+        )
+        self._latest = manifest
+        return manifest

@@ -1,0 +1,356 @@
+"""Append-only write-ahead log: per-shard segments with global LSNs.
+
+Every mutating operation against a durable engine — ``index_document``,
+``index_shot``, feedback/evidence writes — is framed (see
+:func:`repro.utils.serialization.encode_record`) and appended to a segment
+file before the in-memory state changes.  Records carry a **monotonic
+global log sequence number** allocated under one lock, so the WAL order is
+exactly the serialization order of the writes: index mutations append
+while holding the engine's exclusive writer, feedback appends serialise
+behind the same LSN lock.
+
+Segment layout
+--------------
+
+Index operations are routed onto one segment per shard by the same
+:class:`~repro.sharding.router.ShardRouter` hash the engine uses
+(``wal-shard-0000.log`` ...), so a shard's log is exactly the mutation
+history of that shard's index.  Feedback records — which are not addressed
+to a single shard — land in a dedicated ``wal-meta.log`` segment.  Because
+every record carries its global LSN, recovery merges all segments back
+into one totally ordered stream and applies the **maximal gap-free LSN
+prefix**: a lost or torn record on any segment ends the durable prefix, so
+the recovered state is always a clean prefix of the true write history
+(never a subsequence with holes, which would perturb dense interning
+order).
+
+Fsync policy
+------------
+
+``always`` flushes and fsyncs every append (crash-proof against OS
+failure), ``interval`` flushes every append and fsyncs every
+``fsync_interval_ops`` appends, ``never`` only flushes to the OS page
+cache.  All three survive a *process* crash (``kill -9``) for everything
+already appended, modulo a torn final record; only an OS/power failure can
+lose flushed-but-unsynced records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Tuple
+
+from repro.utils.serialization import (
+    PathLike,
+    RecordError,
+    encode_record,
+    scan_records,
+)
+
+#: Logical segment name for records that are not routed to an index shard.
+META_SEGMENT = "meta"
+
+#: Accepted fsync policies.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+class WalError(ValueError):
+    """The write-ahead log was used incorrectly or is unreadable."""
+
+
+def segment_filename(segment: "int | str") -> str:
+    """File name of a segment: ``wal-shard-0007.log`` / ``wal-meta.log``."""
+    if segment == META_SEGMENT:
+        return "wal-meta.log"
+    return f"wal-shard-{int(segment):04d}.log"
+
+
+def _decode_payload(payload: bytes) -> Dict[str, object]:
+    record = json.loads(payload.decode("utf-8"))
+    if not isinstance(record, dict) or "lsn" not in record:
+        raise RecordError(f"WAL payload is not an op record: {record!r}")
+    return record
+
+
+class WalSegment:
+    """One append-only segment file of framed, checksummed records."""
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._handle: Optional[IO[bytes]] = None
+        self._bytes_written = 0
+
+    @property
+    def path(self) -> Path:
+        """The segment file path."""
+        return self._path
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes appended through this handle (excludes pre-existing data)."""
+        return self._bytes_written
+
+    def _ensure_open(self) -> IO[bytes]:
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("ab")
+        return self._handle
+
+    def append(self, payload: bytes, fsync: bool, flush: bool = True) -> int:
+        """Append one framed record; returns the frame size in bytes."""
+        frame = encode_record(payload)
+        handle = self._ensure_open()
+        handle.write(frame)
+        if flush or fsync:
+            handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+        self._bytes_written += len(frame)
+        return len(frame)
+
+    def sync(self) -> None:
+        """Flush and fsync the segment (no-op when never written)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def scan(self) -> Tuple[List[Dict[str, object]], "RecordError | None"]:
+        """Decode the segment's clean record prefix (tolerates a torn tail).
+
+        Returns ``(records, tail_error)``; a missing file is simply an
+        empty segment.
+        """
+        if not self._path.exists():
+            return [], None
+        data = self._path.read_bytes()
+        payloads, _, tail_error = scan_records(data)
+        records = []
+        for payload in payloads:
+            try:
+                records.append(_decode_payload(payload))
+            except (RecordError, UnicodeDecodeError, json.JSONDecodeError) as error:
+                # An undecodable-but-checksummed payload means the writer
+                # was broken, not the disk; treat it like a torn tail so
+                # the durable prefix stays clean.
+                return records, RecordError(str(error))
+        return records, tail_error
+
+    def rewrite(self, records: List[Dict[str, object]]) -> None:
+        """Atomically replace the segment's contents with ``records``.
+
+        Used by compaction (drop records covered by a snapshot) and by
+        tail repair (drop records past the durable prefix).  The rewrite
+        goes through a temp file + fsync + rename so a crash mid-rewrite
+        leaves either the old or the new segment, never a mix.
+        """
+        self.close()
+        tmp_path = self._path.with_suffix(".log.tmp")
+        with tmp_path.open("wb") as handle:
+            for record in records:
+                handle.write(encode_record(encode_op(record)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._path)
+
+
+def encode_op(record: Dict[str, object]) -> bytes:
+    """Canonical payload bytes of one op record (sorted keys, compact)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class WriteAheadLog:
+    """Per-shard WAL segments sharing one monotonic LSN sequence.
+
+    ``append`` allocates the next LSN and writes the frame under one lock,
+    so per-segment record order is always LSN order and the union of all
+    segments is the total write order.  The log never *reads* its own
+    segments on the hot path; scans happen only at recovery/compaction.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        num_shards: int,
+        fsync_policy: str = "interval",
+        fsync_interval_ops: int = 64,
+        next_lsn: int = 1,
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync_policy!r}; "
+                f"expected one of {FSYNC_POLICIES}"
+            )
+        if num_shards < 1:
+            raise WalError(f"num_shards must be positive, got {num_shards}")
+        if fsync_interval_ops < 1:
+            raise WalError(
+                f"fsync_interval_ops must be positive, got {fsync_interval_ops}"
+            )
+        self._directory = Path(directory)
+        self._num_shards = num_shards
+        self._fsync_policy = fsync_policy
+        self._fsync_interval_ops = fsync_interval_ops
+        self._lock = threading.Lock()
+        self._next_lsn = next_lsn
+        self._appends_since_sync = 0
+        self._bytes_appended = 0
+        self._records_appended = 0
+        self._segments: Dict[str, WalSegment] = {}
+        for shard in range(num_shards):
+            self._segments[segment_filename(shard)] = WalSegment(
+                self._directory / segment_filename(shard)
+            )
+        self._segments[segment_filename(META_SEGMENT)] = WalSegment(
+            self._directory / segment_filename(META_SEGMENT)
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The durability directory holding the segments."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """How many index-shard segments the log routes over."""
+        return self._num_shards
+
+    @property
+    def fsync_policy(self) -> str:
+        """The configured fsync policy."""
+        return self._fsync_policy
+
+    @property
+    def last_lsn(self) -> int:
+        """The last allocated LSN (0 before the first append)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    @property
+    def bytes_appended(self) -> int:
+        """Total framed bytes appended through this log instance."""
+        with self._lock:
+            return self._bytes_appended
+
+    @property
+    def records_appended(self) -> int:
+        """Total records appended through this log instance."""
+        with self._lock:
+            return self._records_appended
+
+    def segments(self) -> List[WalSegment]:
+        """The live segment objects (shards first, meta last)."""
+        return list(self._segments.values())
+
+    # -- appending ---------------------------------------------------------------
+
+    def append(self, segment: "int | str", record: Dict[str, object]) -> int:
+        """Allocate the next LSN, stamp it into ``record``, append; return it.
+
+        ``segment`` is a shard number or :data:`META_SEGMENT`.  The record
+        must not carry an ``lsn`` of its own.
+        """
+        name = segment_filename(segment)
+        target = self._segments.get(name)
+        if target is None:
+            raise WalError(f"unknown WAL segment {segment!r}")
+        with self._lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            record = dict(record)
+            record["lsn"] = lsn
+            self._appends_since_sync += 1
+            fsync = self._fsync_policy == "always" or (
+                self._fsync_policy == "interval"
+                and self._appends_since_sync >= self._fsync_interval_ops
+            )
+            if fsync:
+                self._appends_since_sync = 0
+            self._bytes_appended += target.append(encode_op(record), fsync=fsync)
+            self._records_appended += 1
+            return lsn
+
+    def sync(self) -> None:
+        """Flush and fsync every segment."""
+        with self._lock:
+            for segment in self._segments.values():
+                segment.sync()
+            self._appends_since_sync = 0
+
+    def close(self) -> None:
+        """Sync and close every segment (idempotent)."""
+        with self._lock:
+            for segment in self._segments.values():
+                try:
+                    segment.sync()
+                finally:
+                    segment.close()
+
+    # -- scanning & rewriting ------------------------------------------------------
+
+    def scan_all(self) -> Tuple[List[Dict[str, object]], Dict[str, str]]:
+        """Every decodable record across all segments, sorted by LSN.
+
+        Returns ``(records, tail_errors)`` where ``tail_errors`` maps
+        segment file names to a description of the torn/corrupt tail that
+        ended that segment's clean prefix (empty when all segments are
+        clean).  Gap analysis over the merged stream is the recovery
+        manager's job, not this method's.
+        """
+        merged: List[Dict[str, object]] = []
+        tail_errors: Dict[str, str] = {}
+        for name, segment in self._segments.items():
+            records, tail_error = segment.scan()
+            merged.extend(records)
+            if tail_error is not None:
+                tail_errors[name] = str(tail_error)
+        merged.sort(key=lambda record: int(record["lsn"]))
+        return merged, tail_errors
+
+    def truncate_through(self, lsn: int) -> int:
+        """Drop every record with ``record.lsn <= lsn`` (log compaction).
+
+        Returns how many records were dropped.  Called after a checkpoint
+        whose snapshot covers the log up to ``lsn``; the rewrite is atomic
+        per segment, and a crash between segments only leaves extra
+        already-snapshotted records, which recovery skips idempotently.
+        """
+        with self._lock:
+            dropped = 0
+            for segment in self._segments.values():
+                records, tail_error = segment.scan()
+                keep = [record for record in records if int(record["lsn"]) > lsn]
+                if len(keep) != len(records) or tail_error is not None:
+                    dropped += len(records) - len(keep)
+                    segment.rewrite(keep)
+            return dropped
+
+    def repair_to(self, lsn: int) -> int:
+        """Physically drop every record with ``record.lsn > lsn``.
+
+        Called when reopening a log whose durable prefix ended at ``lsn``
+        (a torn tail, or records stranded past an LSN gap on another
+        segment): appending may only resume once nothing newer than the
+        recovered prefix remains on disk.  Returns how many records were
+        dropped.
+        """
+        with self._lock:
+            dropped = 0
+            for segment in self._segments.values():
+                records, tail_error = segment.scan()
+                keep = [record for record in records if int(record["lsn"]) <= lsn]
+                if len(keep) != len(records) or tail_error is not None:
+                    dropped += len(records) - len(keep)
+                    segment.rewrite(keep)
+            return dropped

@@ -105,6 +105,11 @@ class VideoRetrievalEngine:
         # block each other), index mutation takes the exclusive side and
         # bumps the generation counters that invalidate every derived cache.
         self._rw_lock = ReadWriteLock()
+        # Optional durability tier (attach_durability): when present, every
+        # mutation is WAL-logged before it is applied, and checkpoints run
+        # on the manager's cadence — all inside the exclusive writer, so
+        # WAL order is exactly the serialization order.
+        self._durability = None
 
     def _build_scorer(self, config: EngineConfig) -> TextScorer:
         if config.scorer == "bm25":
@@ -168,16 +173,52 @@ class VideoRetrievalEngine:
         with self._rw_lock.write_locked():
             yield
 
+    def attach_durability(self, manager) -> None:
+        """Attach a :class:`~repro.durability.manager.DurabilityManager`.
+
+        From this point on every ``index_document(s)`` / ``index_shot``
+        write-ahead-logs its operation before applying it, and snapshots
+        are taken on the manager's cadence.  Must be called before the
+        engine serves traffic (it is not itself synchronised).
+        """
+        self._durability = manager
+
+    @property
+    def durability(self):
+        """The attached durability manager, or ``None``."""
+        return self._durability
+
+    def _apply_document_locked(self, document_id: str, text: str) -> None:
+        """Log-then-apply one document under the already-held writer lock."""
+        durability = self._durability
+        if durability is None:
+            self._inverted_index.add_document(document_id, text)
+            return
+        # Pre-check so a rejected duplicate never lands in the WAL (a WAL
+        # record must always replay cleanly); tokenise through the index's
+        # own tokenizer so the logged frequencies match what is applied.
+        if self._inverted_index.has_document(document_id):
+            raise ValueError(f"document {document_id!r} already indexed")
+        frequencies = self._inverted_index.tokenizer.term_frequencies(text)
+        durability.log_document(document_id, frequencies)
+        self._inverted_index.add_document_frequencies(document_id, frequencies)
+
+    def _maybe_checkpoint_locked(self) -> None:
+        if self._durability is not None:
+            self._durability.maybe_checkpoint(self)
+
     def index_document(self, document_id: str, text: str) -> None:
         """Add (or extend) one transcript document through the writer path."""
         with self.exclusive_writer():
-            self._inverted_index.add_document(document_id, text)
+            self._apply_document_locked(document_id, text)
+            self._maybe_checkpoint_locked()
 
     def index_documents(self, documents: Mapping[str, str]) -> None:
         """Add several transcript documents in one exclusive writer scope."""
         with self.exclusive_writer():
             for document_id, text in documents.items():
-                self._inverted_index.add_document(document_id, text)
+                self._apply_document_locked(document_id, text)
+            self._maybe_checkpoint_locked()
 
     def index_shot(
         self,
@@ -187,7 +228,13 @@ class VideoRetrievalEngine:
     ) -> None:
         """Add one shot's visual evidence through the writer path."""
         with self.exclusive_writer():
+            durability = self._durability
+            if durability is not None:
+                if self._visual_index.has_shot(shot_id):
+                    raise ValueError(f"shot {shot_id!r} already in visual index")
+                durability.log_shot(shot_id, features, concept_scores)
             self._visual_index.add_shot(shot_id, features, concept_scores)
+            self._maybe_checkpoint_locked()
 
     # -- scoring -----------------------------------------------------------------
 
@@ -448,12 +495,14 @@ class VideoRetrievalEngine:
         return reranked
 
     def close(self) -> None:
-        """Release auxiliary resources (a no-op for the in-process engine).
+        """Release auxiliary resources (syncs and closes any durability tier).
 
         Subclasses that own background machinery — the sharded engine's
-        scatter-gather pool — override this; callers can therefore close
+        scatter-gather pool — extend this; callers can therefore close
         any engine uniformly when tearing a service down.
         """
+        if self._durability is not None:
+            self._durability.close()
 
     def expand_query(
         self,

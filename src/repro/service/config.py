@@ -11,7 +11,9 @@ sessions by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from repro.durability.wal import FSYNC_POLICIES
 from repro.retrieval.engine import EngineConfig
 from repro.utils.validation import ensure_positive
 
@@ -52,6 +54,22 @@ class ServiceConfig:
         behaviour change); values above 1 build a
         :class:`~repro.sharding.ShardedEngine` whose scatter-gather merge
         is bit-identical to the single engine.  Must be positive.
+    durability_dir:
+        When set, the service is durable: every index mutation is
+        write-ahead-logged into this directory before it is applied, and
+        incremental snapshots compact the log.  If the directory already
+        holds durable state the service **recovers** it (the collection
+        argument is used for result decoration only) instead of indexing
+        the collection afresh.  ``None`` (the default) keeps the service
+        purely in-memory.
+    fsync_policy:
+        WAL sync discipline: ``"always"`` fsyncs every append,
+        ``"interval"`` (default) fsyncs every 64 appends, ``"never"`` only
+        flushes to the OS page cache.  All three survive a process kill
+        for every flushed record; see :mod:`repro.durability.wal`.
+    snapshot_interval_ops:
+        Index mutations between automatic incremental snapshots (each
+        snapshot also truncates the WAL behind its watermark).
     """
 
     scorer: str = "bm25"
@@ -67,11 +85,20 @@ class ServiceConfig:
     lm_mu: float = 300.0
     result_cache_size: int = 256
     num_shards: int = 1
+    durability_dir: Optional[str] = None
+    fsync_policy: str = "interval"
+    snapshot_interval_ops: int = 256
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")
         ensure_positive(self.max_sessions, "max_sessions")
         ensure_positive(self.num_shards, "num_shards")
+        ensure_positive(self.snapshot_interval_ops, "snapshot_interval_ops")
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {self.fsync_policy!r}; expected one "
+                f"of {FSYNC_POLICIES}"
+            )
         if min(self.text_weight, self.visual_weight, self.concept_weight) < 0:
             raise ValueError("fusion weights must be non-negative")
         if self.result_cache_size < 0:

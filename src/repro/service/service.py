@@ -54,6 +54,13 @@ from repro.collection.storage import PathLike, StoredCorpus, load_corpus
 from repro.collection.topics import TopicSet
 from repro.core.adaptive import AdaptiveSession, AdaptiveVideoRetrievalSystem
 from repro.core.policies import AdaptationPolicy
+from repro.durability.manager import DurabilityManager
+from repro.durability.recovery import (
+    RecoveredState,
+    RecoveryManager,
+    build_monolithic_indexes,
+    build_sharded_indexes,
+)
 from repro.feedback.events import InteractionEvent
 from repro.feedback.weighting import WeightingScheme
 from repro.index.inverted_index import InvertedIndex
@@ -115,12 +122,40 @@ class RetrievalService:
         self._topics = topics
         self._qrels = qrels
         tokenizer = Tokenizer()
+
+        # Durable services recover existing state before building anything:
+        # the recovered insertion sequence replaces the collection as the
+        # index substrate (the collection then only decorates results).
+        recovered: Optional[RecoveredState] = None
+        durability_dir = self._config.durability_dir
+        if durability_dir is not None and DurabilityManager.has_state(durability_dir):
+            recovered = RecoveryManager(durability_dir).recover()
+            if recovered.num_shards != self._config.num_shards:
+                raise ValueError(
+                    f"durability directory {durability_dir!r} was written "
+                    f"with num_shards={recovered.num_shards} but the config "
+                    f"asks for num_shards={self._config.num_shards}"
+                )
+
         if self._config.num_shards > 1:
             # Sharded substrate: scatter-gather engine whose merged rankings
             # are bit-identical to the single engine below.  Each shard's
             # scorer is resolved through the same registry, built over a
             # global-statistics view of that shard.
             service_config = self._config
+            sharded_kwargs = {}
+            if recovered is not None:
+                from repro.sharding.router import ShardRouter
+
+                text_index, visual_index = build_sharded_indexes(
+                    recovered,
+                    ShardRouter(self._config.num_shards),
+                    tokenizer=tokenizer,
+                )
+                sharded_kwargs = {
+                    "text_index": text_index,
+                    "visual_index": visual_index,
+                }
             self._engine: VideoRetrievalEngine = ShardedEngine(
                 collection,
                 config=self._config.engine_config(),
@@ -129,11 +164,18 @@ class RetrievalService:
                 shard_scorer_factory=lambda view: create_scorer(
                     service_config.scorer, view, service_config
                 ),
+                **sharded_kwargs,
             )
         else:
-            inverted_index = InvertedIndex.from_collection(
-                collection, tokenizer=tokenizer
-            )
+            if recovered is not None:
+                inverted_index, visual_index = build_monolithic_indexes(
+                    recovered, tokenizer=tokenizer
+                )
+            else:
+                inverted_index = InvertedIndex.from_collection(
+                    collection, tokenizer=tokenizer
+                )
+                visual_index = None
             # Resolving through the registry (rather than EngineConfig's own
             # string switch) is what lets register_scorer() extensions work and
             # makes unknown names fail with the registered alternatives listed.
@@ -141,10 +183,30 @@ class RetrievalService:
             self._engine = VideoRetrievalEngine(
                 collection,
                 inverted_index=inverted_index,
+                visual_index=visual_index,
                 config=self._config.engine_config(),
                 tokenizer=tokenizer,
                 text_scorer=scorer,
             )
+
+        if durability_dir is not None:
+            if recovered is not None:
+                durability = DurabilityManager.attach(
+                    durability_dir,
+                    recovered,
+                    fsync_policy=self._config.fsync_policy,
+                    snapshot_interval_ops=self._config.snapshot_interval_ops,
+                )
+            else:
+                durability = DurabilityManager.create(
+                    durability_dir,
+                    self._engine,
+                    num_shards=self._config.num_shards,
+                    fsync_policy=self._config.fsync_policy,
+                    snapshot_interval_ops=self._config.snapshot_interval_ops,
+                )
+            self._engine.attach_durability(durability)
+
         self._system = AdaptiveVideoRetrievalSystem(self._engine, ontology=ontology)
         self._sessions = SessionManager(self._config.max_sessions)
 
@@ -553,6 +615,14 @@ class RetrievalService:
         with self._locked_entry(batch.user_id, batch.session_id) as entry:
             with self._engine.read_access():
                 entry.session.observe(batch.events)
+            durability = self._engine.durability
+            if durability is not None and batch.events:
+                # Feedback does not mutate the index, but a durable service
+                # logs it (meta WAL segment) so the full write history is
+                # replayable — e.g. by a follower rebuilding session state.
+                durability.log_feedback(
+                    batch.user_id, entry.session_id, batch.events
+                )
             return entry.info()
 
     def observe(
@@ -595,6 +665,19 @@ class RetrievalService:
         half-applied mutation.
         """
         self._engine.index_documents(documents)
+
+    def index_shot(
+        self,
+        shot_id: str,
+        features: Sequence[float],
+        concept_scores: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Add one shot's visual evidence to the live visual index.
+
+        Same exclusive-writer discipline (and, on a durable service, the
+        same WAL-before-apply ordering) as :meth:`index_documents`.
+        """
+        self._engine.index_shot(shot_id, features, concept_scores)
 
     # -- recommendations ------------------------------------------------------------------
 

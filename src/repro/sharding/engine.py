@@ -106,18 +106,30 @@ class ShardedEngine(VideoRetrievalEngine):
         router: Optional[ShardRouter] = None,
         shard_scorer_factory: Optional[ShardScorerFactory] = None,
         parallel: bool = True,
+        text_index: Optional[ShardedInvertedIndex] = None,
+        visual_index: Optional[ShardedVisualIndex] = None,
     ) -> None:
-        router = router or ShardRouter(num_shards)
+        if text_index is not None:
+            router = text_index.router
+        else:
+            router = router or ShardRouter(num_shards)
         tokenizer = tokenizer or Tokenizer()
         gather = ScatterGather(
             router.num_shards if parallel else 1, thread_name_prefix="shard"
         )
-        text_index = ShardedInvertedIndex.from_collection(
-            collection, router, tokenizer=tokenizer
-        )
-        visual_index = ShardedVisualIndex.from_collection(
-            collection, router, gather=gather
-        )
+        # Prebuilt facades (the crash-recovery path hands in indexes rebuilt
+        # from a snapshot + WAL replay) are used as-is; otherwise the
+        # substrate is partitioned from the collection.
+        if text_index is None:
+            text_index = ShardedInvertedIndex.from_collection(
+                collection, router, tokenizer=tokenizer
+            )
+        if visual_index is None:
+            visual_index = ShardedVisualIndex.from_collection(
+                collection, router, gather=gather
+            )
+        else:
+            visual_index.bind_gather(gather)
         factory = shard_scorer_factory or (
             lambda view: _shard_scorer_from_config(view, config)
         )
@@ -168,5 +180,6 @@ class ShardedEngine(VideoRetrievalEngine):
         return self._inverted_index.shard_document_counts()
 
     def close(self) -> None:
-        """Shut down the scatter-gather pool (gathers then run inline)."""
+        """Shut down the scatter-gather pool and any durability tier."""
+        super().close()
         self._gather.close()

@@ -303,6 +303,15 @@ class ShardedVisualIndex:
         """The id router deciding shard ownership."""
         return self._router
 
+    def bind_gather(self, gather: ScatterGather) -> None:
+        """Adopt an engine's scatter-gather executor.
+
+        A facade built standalone (e.g. rebuilt from a recovered snapshot)
+        gathers inline; the engine that adopts it rebinds it to the shared
+        shard pool here, before serving traffic.
+        """
+        self._gather = gather
+
     @property
     def shard_indexes(self) -> Tuple[VisualIndex, ...]:
         """The physical per-shard indexes."""

@@ -1,21 +1,35 @@
-"""JSON-lines serialization helpers for logs, runs and collection snapshots.
+"""Serialization helpers: JSON-lines artefacts and binary record framing.
 
-The library persists three kinds of artefacts:
+The library persists four kinds of artefacts:
 
 * interaction log files (one JSON object per event line),
-* TREC-style run and qrel files (whitespace-separated text), and
-* collection snapshots (JSON).
+* TREC-style run and qrel files (whitespace-separated text),
+* collection snapshots (JSON), and
+* write-ahead-log segments (binary, length-prefixed, checksummed records).
 
-Only the generic JSON-lines plumbing lives here; format-specific code lives
-next to the objects it serialises (``repro.interfaces.logging``,
-``repro.evaluation.trec``).
+Only the generic plumbing lives here; format-specific code lives next to
+the objects it serialises (``repro.interfaces.logging``,
+``repro.evaluation.trec``, ``repro.durability.wal``).
+
+Binary record framing
+---------------------
+
+A framed record is ``uvarint(len(payload)) + crc32(payload) (4 bytes,
+little-endian) + payload``.  The unsigned LEB128 varint keeps small records
+small; the CRC travels *ahead* of the payload so a torn tail (crash mid
+``write``) is detected either by the frame running past the end of the
+buffer (:class:`TruncatedRecordError`) or by the checksum disagreeing with
+whatever bytes did land (:class:`ChecksumMismatchError`).  Readers that
+tolerate torn tails — the WAL recovery scan — catch those two errors and
+treat the clean prefix as the durable content.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Union
+from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
 
 PathLike = Union[str, Path]
 
@@ -66,3 +80,125 @@ def read_json(path: PathLike) -> Any:
     """Read a JSON document."""
     with Path(path).open("r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# -- binary record framing (uvarint length prefix + CRC32) ------------------------
+
+
+class RecordError(ValueError):
+    """A framed record could not be decoded."""
+
+
+class TruncatedRecordError(RecordError):
+    """The buffer ends before the framed record does (a torn tail)."""
+
+
+class ChecksumMismatchError(RecordError):
+    """The payload's CRC32 disagrees with the frame header (corruption)."""
+
+
+#: Size of the fixed CRC32 field that follows the varint length prefix.
+_CRC_BYTES = 4
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode an unsigned LEB128 varint; returns ``(value, next_offset)``.
+
+    Raises :class:`TruncatedRecordError` if the buffer ends mid-varint.
+    """
+    value = 0
+    shift = 0
+    position = offset
+    length = len(data)
+    while True:
+        if position >= length:
+            raise TruncatedRecordError(
+                f"buffer ends mid-varint at offset {offset}"
+            )
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, position
+        shift += 7
+        if shift > 63:
+            raise RecordError(f"varint at offset {offset} exceeds 64 bits")
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame a payload: ``uvarint(length) + crc32(payload) + payload``."""
+    return (
+        encode_uvarint(len(payload))
+        + zlib.crc32(payload).to_bytes(_CRC_BYTES, "little")
+        + payload
+    )
+
+
+def decode_record(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode one framed record; returns ``(payload, next_offset)``.
+
+    Raises :class:`TruncatedRecordError` when the buffer ends before the
+    frame does, and :class:`ChecksumMismatchError` when the payload's CRC
+    disagrees with the header.
+    """
+    length, position = decode_uvarint(data, offset)
+    end = position + _CRC_BYTES + length
+    if end > len(data):
+        raise TruncatedRecordError(
+            f"record at offset {offset} needs {end - len(data)} more byte(s)"
+        )
+    expected = int.from_bytes(data[position : position + _CRC_BYTES], "little")
+    payload = data[position + _CRC_BYTES : end]
+    actual = zlib.crc32(payload)
+    if actual != expected:
+        raise ChecksumMismatchError(
+            f"record at offset {offset}: crc32 {actual:#010x} != stored "
+            f"{expected:#010x}"
+        )
+    return payload, end
+
+
+def iter_records(data: bytes) -> Iterator[bytes]:
+    """Yield every framed payload in a buffer (strict: errors propagate)."""
+    offset = 0
+    length = len(data)
+    while offset < length:
+        payload, offset = decode_record(data, offset)
+        yield payload
+
+
+def scan_records(data: bytes) -> Tuple[List[bytes], int, "RecordError | None"]:
+    """Decode the clean prefix of a record buffer, tolerating a broken tail.
+
+    Returns ``(payloads, clean_end_offset, tail_error)``: every record up
+    to the first torn or corrupt frame, the byte offset that prefix ends
+    at, and the error that stopped the scan (``None`` when the whole
+    buffer decoded).  This is the WAL recovery read: everything before the
+    damage is durable, everything at and after it is discarded.
+    """
+    payloads: List[bytes] = []
+    offset = 0
+    length = len(data)
+    while offset < length:
+        try:
+            payload, next_offset = decode_record(data, offset)
+        except RecordError as error:
+            return payloads, offset, error
+        payloads.append(payload)
+        offset = next_offset
+    return payloads, offset, None

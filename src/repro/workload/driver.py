@@ -57,6 +57,9 @@ class LoadResult:
     records: List[Dict[str, object]]
     wall_seconds: float
     request_count: int
+    #: Side-channel results from the run's prelude/epilogue hooks (e.g. the
+    #: durable state digest).  Never part of the canonical log or digest.
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -203,8 +206,18 @@ class ServiceLoadDriver:
         self,
         spec: WorkloadSpec,
         workloads: Optional[Sequence[UserWorkload]] = None,
+        prelude: Optional[Callable[[RetrievalService], None]] = None,
+        epilogue: Optional[Callable[[RetrievalService], Dict[str, object]]] = None,
     ) -> LoadResult:
-        """Execute one workload run against a fresh service."""
+        """Execute one workload run against a fresh service.
+
+        ``prelude`` runs against the fresh service *before* any session is
+        opened — the hook the durable loadtest uses for its deterministic
+        ingest phase (mutating the index mid-workload would perturb the
+        canonical log).  ``epilogue`` runs after the concurrent phase but
+        before the service is closed; whatever dictionary it returns is
+        surfaced as :attr:`LoadResult.extras`.
+        """
         service = self._service_factory()
         if spec.users > service.config.max_sessions:
             raise ValueError(
@@ -222,6 +235,13 @@ class ServiceLoadDriver:
         workloads = list(workloads)
         qrels = service.qrels
         feedback_root = RandomSource(spec.seed).spawn("feedback")
+        extras: Dict[str, object] = {}
+        if prelude is not None:
+            try:
+                prelude(service)
+            except BaseException:
+                service.close()
+                raise
 
         # Open every session sequentially so id allocation (a shared
         # counter) is deterministic; the concurrent phase then only ever
@@ -334,6 +354,8 @@ class ServiceLoadDriver:
                 ) as pool:
                     request_counts = list(pool.map(drive_user, workloads))
             wall_seconds = time.perf_counter() - start
+            if epilogue is not None:
+                extras = dict(epilogue(service) or {})
         finally:
             # Release engine machinery (e.g. a sharded service's scatter
             # pool) outside the timed region; sessions left open by
@@ -350,6 +372,7 @@ class ServiceLoadDriver:
             records=records,
             wall_seconds=wall_seconds,
             request_count=sum(request_counts),
+            extras=extras,
         )
 
     # -- determinism -----------------------------------------------------------

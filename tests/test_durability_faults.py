@@ -1,0 +1,219 @@
+"""Fault injection against the durability tier.
+
+The crash-consistency contract: whatever survives on disk, recovery
+restores a **true prefix** of the write history — byte-identical (same
+canonical digest) to the state an uninterrupted run held after that many
+ops — or refuses loudly (:class:`RecoveryError`) when the snapshot chain
+itself is damaged.  Injected faults: kill at every op boundary (directory
+copied mid-run), torn final record, checksum corruption mid-segment,
+orphaned delta files from an interrupted checkpoint, missing delta files,
+broken manifest chains, and a deleted snapshot chain.
+
+All tests carry the ``durability`` marker (``pytest -m durability``).
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.durability import RecoveryError, RecoveryManager, engine_state_digest
+from repro.durability.snapshots import _write_json_atomic
+from repro.durability.wal import WalSegment, segment_filename
+from repro.service import RetrievalService, ServiceConfig
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+pytestmark = pytest.mark.durability
+
+SEED = 13
+
+
+def _durable_config(directory, num_shards=1, interval=10_000) -> ServiceConfig:
+    return ServiceConfig(
+        num_shards=num_shards,
+        durability_dir=str(directory),
+        snapshot_interval_ops=interval,
+        fsync_policy="never",
+        result_cache_size=0,
+    )
+
+
+def _ops(service, count):
+    return synthetic_ingest_ops(
+        count, seed=SEED, feature_dim=service_feature_dim(service)
+    )
+
+
+def _prefix_digests(corpus, count, num_shards=1):
+    """Digest of an uninterrupted in-memory run after each op: index 0 is
+    the corpus-only state, index k the state after ops[:k]."""
+    service = RetrievalService(
+        corpus.collection,
+        config=ServiceConfig(num_shards=num_shards, result_cache_size=0),
+    )
+    digests = [engine_state_digest(service.engine)]
+    for op in _ops(service, count):
+        apply_ingest(service, [op])
+        digests.append(engine_state_digest(service.engine))
+    service.close()
+    return digests
+
+
+class TestKillAnywhere:
+    @pytest.mark.parametrize("num_shards", (1, 4))
+    def test_recovery_at_every_op_boundary(
+        self, analysed_corpus, tmp_path, num_shards
+    ):
+        # Simulate a kill after every single op by copying the durability
+        # directory as the run progresses; interval 4 makes the sweep
+        # cross two live compactions.  Every copy must recover to the
+        # reference prefix digest for its op count.
+        count = 12
+        references = _prefix_digests(analysed_corpus, count, num_shards)
+        live = tmp_path / "live"
+        service = RetrievalService(
+            analysed_corpus.collection,
+            config=_durable_config(live, num_shards, interval=4),
+        )
+        copies = [tmp_path / "kill-000"]
+        shutil.copytree(live, copies[0])
+        for index, op in enumerate(_ops(service, count), start=1):
+            apply_ingest(service, [op])
+            copy = tmp_path / f"kill-{index:03d}"
+            shutil.copytree(live, copy)
+            copies.append(copy)
+        service.close()
+
+        for index, copy in enumerate(copies):
+            state = RecoveryManager(copy).recover()
+            assert state.ingested_ops == index, copy.name
+            assert state.state_digest() == references[index], copy.name
+            assert state.wal_dropped_records == 0, copy.name
+
+
+class TestTornAndCorruptRecords:
+    def test_torn_final_record_drops_exactly_the_last_op(
+        self, analysed_corpus, tmp_path
+    ):
+        count = 8
+        references = _prefix_digests(analysed_corpus, count)
+        directory = tmp_path / "d"
+        service = RetrievalService(
+            analysed_corpus.collection, config=_durable_config(directory)
+        )
+        apply_ingest(service, _ops(service, count))
+        service.close()
+
+        # Tear bytes off the single WAL segment's tail: the final record
+        # no longer decodes, so the durable prefix is one op shorter.
+        segment = directory / segment_filename(0)
+        segment.write_bytes(segment.read_bytes()[:-3])
+        state = RecoveryManager(directory).recover()
+        assert state.tail_errors.keys() == {segment_filename(0)}
+        assert state.ingested_ops == count - 1
+        assert state.state_digest() == references[count - 1]
+
+        # A service reopened over the torn directory repairs the WAL and
+        # continues the stream from the recovered prefix.
+        reopened = RetrievalService(
+            analysed_corpus.collection, config=_durable_config(directory)
+        )
+        assert engine_state_digest(reopened.engine) == references[count - 1]
+        reopened.close()
+        repaired, tail_errors = WalSegment(segment).scan()
+        assert tail_errors is None
+        assert len(repaired) == count - 1
+
+    def test_corruption_cascades_across_segments(self, analysed_corpus, tmp_path):
+        # num_shards=2: flip a byte inside the FIRST record of shard 0's
+        # segment.  Its whole segment prefix dies at the corruption, and
+        # the gap-free rule must then also drop every *intact* record with
+        # a higher LSN on the other segments.
+        count = 12
+        references = _prefix_digests(analysed_corpus, count, num_shards=2)
+        directory = tmp_path / "d"
+        service = RetrievalService(
+            analysed_corpus.collection,
+            config=_durable_config(directory, num_shards=2),
+        )
+        apply_ingest(service, _ops(service, count))
+        service.close()
+
+        victim = directory / segment_filename(0)
+        victim_records, _ = WalSegment(victim).scan()
+        assert victim_records, "ingest stream left shard 0's segment empty"
+        first_lsn = int(victim_records[0]["lsn"])
+        assert first_lsn < count  # records with higher LSNs exist elsewhere
+        raw = bytearray(victim.read_bytes())
+        raw[8] ^= 0x40  # inside the first record's payload
+        victim.write_bytes(bytes(raw))
+
+        state = RecoveryManager(directory).recover()
+        assert state.applied_lsn == first_lsn - 1
+        assert state.ingested_ops == first_lsn - 1
+        assert state.state_digest() == references[first_lsn - 1]
+        assert state.wal_dropped_records > 0
+        assert segment_filename(0) in state.tail_errors
+
+
+class TestSnapshotChainDamage:
+    def _durable_run(self, corpus, directory, count=8, interval=3):
+        service = RetrievalService(
+            corpus.collection, config=_durable_config(directory, interval=interval)
+        )
+        apply_ingest(service, _ops(service, count))
+        digest = engine_state_digest(service.engine)
+        service.close()
+        return digest
+
+    def test_orphan_delta_from_interrupted_checkpoint_is_inert(
+        self, analysed_corpus, tmp_path
+    ):
+        # A crash between delta write and manifest rename leaves delta
+        # files no manifest names.  They must not affect recovery.
+        directory = tmp_path / "d"
+        digest = self._durable_run(analysed_corpus, directory)
+        _write_json_atomic(
+            directory / "delta-cp000099-shard0000.json",
+            {"documents": [[0, "ghost-doc", {"ghost": 1}]], "shots": []},
+        )
+        state = RecoveryManager(directory).recover()
+        assert state.state_digest() == digest
+
+    def test_missing_delta_is_refused(self, analysed_corpus, tmp_path):
+        directory = tmp_path / "d"
+        self._durable_run(analysed_corpus, directory)
+        deltas = sorted(directory.glob("delta-*.json"))
+        assert deltas, "expected incremental deltas on disk"
+        deltas[0].unlink()
+        with pytest.raises(RecoveryError, match="missing|not dense"):
+            RecoveryManager(directory).recover()
+
+    def test_broken_manifest_chain_is_refused(self, analysed_corpus, tmp_path):
+        # Deleting an intermediate manifest severs the parent chain even
+        # though the tip manifest is intact.
+        directory = tmp_path / "d"
+        self._durable_run(analysed_corpus, directory, count=8, interval=3)
+        manifests = sorted(directory.glob("checkpoint-*.json"))
+        assert len(manifests) >= 3  # bootstrap + at least two increments
+        manifests[1].unlink()
+        with pytest.raises(RecoveryError, match="missing"):
+            RecoveryManager(directory).recover()
+
+    def test_deleted_snapshot_chain_is_refused(self, analysed_corpus, tmp_path):
+        # With the whole chain gone, the WAL tail begins past lsn 1 —
+        # recovery must refuse rather than hand back a silently truncated
+        # state that pretends the compacted history never happened.
+        directory = tmp_path / "d"
+        self._durable_run(analysed_corpus, directory, count=6, interval=4)
+        for path in list(directory.glob("checkpoint-*.json")) + list(
+            directory.glob("delta-*.json")
+        ):
+            path.unlink()
+        with pytest.raises(RecoveryError, match="snapshot chain is missing"):
+            RecoveryManager(directory).recover()

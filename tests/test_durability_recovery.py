@@ -1,0 +1,250 @@
+"""Recovery edge cases and the recovered-state equivalence contract.
+
+Every test follows the same shape: build a durable service, mutate it,
+close it, and check that recovery — cold ``RecoveryManager.recover()``
+or a full service reopen — reproduces the **byte-identical** index state
+(same canonical digest, same rankings) that an uninterrupted in-memory
+run would have.  Covered edges: empty WAL, WAL-only (no post-bootstrap
+checkpoint), snapshot-only (fully compacted WAL), replay after
+compaction, replay-twice idempotence, feedback records, and reopening a
+recovered service to continue writing.
+
+All tests carry the ``durability`` marker (``pytest -m durability``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import RecoveryManager, engine_state_digest
+from repro.durability.digest import engine_text_items, engine_visual_items
+from repro.durability.manager import _index_generations
+from repro.feedback import EventKind, InteractionEvent
+from repro.retrieval import Query
+from repro.service import FeedbackBatch, RetrievalService, ServiceConfig
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+pytestmark = pytest.mark.durability
+
+
+def _durable_config(directory, num_shards=1, interval=10_000) -> ServiceConfig:
+    return ServiceConfig(
+        num_shards=num_shards,
+        durability_dir=str(directory),
+        snapshot_interval_ops=interval,
+        fsync_policy="never",
+        result_cache_size=0,
+    )
+
+
+def _memory_config(num_shards=1) -> ServiceConfig:
+    return ServiceConfig(num_shards=num_shards, result_cache_size=0)
+
+
+def _service(corpus, config) -> RetrievalService:
+    return RetrievalService(corpus.collection, config=config)
+
+
+def _ingest(service, count, seed=0):
+    ops = synthetic_ingest_ops(
+        count, seed=seed, feature_dim=service_feature_dim(service)
+    )
+    apply_ingest(service, ops)
+
+
+def assert_same_rankings(reference, candidate, queries):
+    for query in queries:
+        expected = reference.search(query, limit=None)
+        actual = candidate.search(query, limit=None)
+        assert expected.shot_ids() == actual.shot_ids(), query
+        assert [item.score for item in expected.items] == [
+            item.score for item in actual.items
+        ], query
+
+
+class TestRecoveryEdges:
+    def test_empty_wal_recovers_bootstrap_state(self, analysed_corpus, tmp_path):
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        live = engine_state_digest(service.engine)
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.applied_lsn == 0
+        assert state.checkpoint_id == 0
+        assert state.ingested_ops == 0
+        assert state.wal_index_ops == 0
+        assert state.tail_errors == {}
+
+    def test_wal_only_recovery(self, analysed_corpus, tmp_path):
+        # Interval far above the op count: nothing checkpoints after
+        # bootstrap, so recovery replays the entire WAL over it.
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        _ingest(service, 9)
+        live = engine_state_digest(service.engine)
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.checkpoint_id == 0
+        assert state.wal_index_ops == 9
+        assert state.ingested_ops == 9
+        assert state.wal_dropped_records == 0
+
+    def test_snapshot_only_recovery(self, analysed_corpus, tmp_path):
+        # Interval 1: every op checkpoints and compacts, so the WAL is
+        # empty at close and recovery is pure snapshot restoration.
+        service = _service(
+            analysed_corpus, _durable_config(tmp_path / "d", interval=1)
+        )
+        _ingest(service, 6)
+        live = engine_state_digest(service.engine)
+        durability = service.engine.durability
+        assert durability.wal.scan_all() == ([], {})
+        assert durability.checkpoints_written >= 6
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.wal_index_ops == 0
+        assert state.ingested_ops == 6
+
+    def test_replay_after_compaction(self, analysed_corpus, tmp_path):
+        # Interval 4 over 10 ops: checkpoints at op 4 and 8, then a
+        # two-record WAL tail that recovery must replay on top.
+        service = _service(
+            analysed_corpus, _durable_config(tmp_path / "d", interval=4)
+        )
+        _ingest(service, 10)
+        live = engine_state_digest(service.engine)
+        # Three checkpoints through this manager: bootstrap + ops 4 and 8.
+        assert service.engine.durability.checkpoints_written == 3
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.checkpoint_id == 2
+        assert state.wal_index_ops == 2
+        assert state.ingested_ops == 10
+
+    def test_replay_twice_is_idempotent(self, analysed_corpus, tmp_path):
+        # A checkpoint whose watermark understates the WAL (as if the
+        # process died between writing the manifest and compacting):
+        # recovery replays records the snapshot already contains and must
+        # skip them as duplicates rather than double-apply.
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        _ingest(service, 8)
+        live = engine_state_digest(service.engine)
+        durability = service.engine.durability
+        engine = service.engine
+        durability.snapshots.write_checkpoint(
+            text_items=list(engine_text_items(engine)),
+            visual_items=list(engine_visual_items(engine)),
+            wal_lsn=durability.wal.last_lsn - 3,
+            text_generations=_index_generations(engine.inverted_index),
+            visual_generations=_index_generations(engine.visual_index),
+        )
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.wal_skipped_duplicates == 3
+        assert state.ingested_ops == 8
+
+    def test_feedback_is_logged_but_does_not_change_state(
+        self, analysed_corpus, tmp_path
+    ):
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        _ingest(service, 4)
+        live = engine_state_digest(service.engine)
+        shot_id = analysed_corpus.collection.shot_ids()[0]
+        info = service.open_session("user-a")
+        service.submit_feedback(
+            FeedbackBatch(
+                user_id="user-a",
+                session_id=info.session_id,
+                events=(
+                    InteractionEvent(
+                        kind=EventKind.PLAY_CLICK, timestamp=1.0, shot_id=shot_id
+                    ),
+                ),
+            )
+        )
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.wal_feedback_ops == 1
+        assert state.wal_index_ops == 4
+        assert state.ingested_ops == 4
+
+
+class TestRecoveredServiceEquivalence:
+    @pytest.mark.parametrize("num_shards", (1, 4))
+    def test_reopened_service_matches_in_memory_reference(
+        self, analysed_corpus, make_random_queries, tmp_path, num_shards
+    ):
+        # The acceptance property: a service recovered from disk ranks
+        # bit-identically to an in-memory service fed the same ops.
+        directory = tmp_path / f"d{num_shards}"
+        durable = _service(
+            analysed_corpus, _durable_config(directory, num_shards, interval=5)
+        )
+        _ingest(durable, 12, seed=3)
+        live = engine_state_digest(durable.engine)
+        durable.close()
+
+        reference = _service(analysed_corpus, _memory_config(num_shards))
+        _ingest(reference, 12, seed=3)
+        assert engine_state_digest(reference.engine) == live
+
+        reopened = _service(analysed_corpus, _durable_config(directory, num_shards))
+        try:
+            assert engine_state_digest(reopened.engine) == live
+            queries = make_random_queries(analysed_corpus, seed=500, count=8)
+            queries.append(Query(text="ingest election flood summit"))
+            assert_same_rankings(reference.engine, reopened.engine, queries)
+        finally:
+            reopened.close()
+            reference.close()
+
+    def test_reopen_continues_the_op_stream(self, analysed_corpus, tmp_path):
+        # Crash/reopen mid-stream must be invisible: writing ops 0..5,
+        # reopening, then writing 6..13 lands in the same state as one
+        # uninterrupted durable run of 14 ops.
+        split = tmp_path / "split"
+        service = _service(analysed_corpus, _durable_config(split, interval=4))
+        ops = synthetic_ingest_ops(
+            14, seed=9, feature_dim=service_feature_dim(service)
+        )
+        apply_ingest(service, ops[:6])
+        service.close()
+        service = _service(analysed_corpus, _durable_config(split, interval=4))
+        apply_ingest(service, ops[6:])
+        split_digest = engine_state_digest(service.engine)
+        service.close()
+
+        whole = tmp_path / "whole"
+        service = _service(analysed_corpus, _durable_config(whole, interval=4))
+        apply_ingest(service, ops)
+        whole_digest = engine_state_digest(service.engine)
+        service.close()
+
+        assert split_digest == whole_digest
+        assert (
+            RecoveryManager(split).recover().state_digest()
+            == RecoveryManager(whole).recover().state_digest()
+            == whole_digest
+        )
+
+    def test_mono_and_sharded_recover_to_the_same_digest(
+        self, analysed_corpus, tmp_path
+    ):
+        digests = set()
+        for num_shards in (1, 4):
+            directory = tmp_path / f"n{num_shards}"
+            service = _service(
+                analysed_corpus, _durable_config(directory, num_shards, interval=3)
+            )
+            _ingest(service, 10, seed=5)
+            service.close()
+            digests.add(RecoveryManager(directory).recover().state_digest())
+        assert len(digests) == 1
