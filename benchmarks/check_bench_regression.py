@@ -1,11 +1,12 @@
 """Benchmark regression guard: smoke throughput vs committed baselines.
 
 Runs the E12 (scoring kernel), E13 (concurrent service), E15 (sharded
-scatter-gather) and E16 (durability) benchmarks in their smoke
-configurations and fails if any guarded throughput metric drops more than
-``BENCH_REGRESSION_TOLERANCE`` (default 30%) below the ``smoke_baseline``
-section committed in ``BENCH_e12.json`` / ``BENCH_e13.json`` /
-``BENCH_e15.json`` / ``BENCH_e16.json``.  Every
+scatter-gather), E16 (durability) and E17 (multi-process scatter)
+benchmarks in their smoke configurations and fails if any guarded
+throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE`` (default
+30%) below the ``smoke_baseline`` section committed in ``BENCH_e12.json``
+/ ``BENCH_e13.json`` / ``BENCH_e15.json`` / ``BENCH_e16.json`` /
+``BENCH_e17.json``.  Every
 equivalence assertion inside the benches still runs, so a ranking
 regression fails before a throughput one.
 
@@ -40,6 +41,7 @@ import bench_e12_scoring_kernel as e12  # noqa: E402
 import bench_e13_concurrent_service as e13  # noqa: E402
 import bench_e15_sharded_retrieval as e15  # noqa: E402
 import bench_e16_durability as e16  # noqa: E402
+import bench_e17_multiproc as e17  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -49,6 +51,7 @@ _SMOKE_USERS_E13 = 8
 _SMOKE_ROUNDS_E13 = 3
 _SMOKE_ROUNDS_E15 = 3
 _SMOKE_OPS_E16 = 128
+_SMOKE_ROUNDS_E17 = 3
 
 
 def _smoke_corpus():
@@ -113,11 +116,30 @@ def measure_e16(corpus):
     }
 
 
-def check_baseline(name, payload, measured, tolerance):
+def measure_e17(corpus):
+    """E17 smoke metrics (process-scatter speedup, rankings verified).
+
+    The guarded ``cpu_speedup_4workers`` is the 4-worker process-scatter
+    speedup over the single engine — relative, so it transfers across hosts
+    better than raw qps, but still core-count dependent: the committed
+    baseline records ``usable_cores`` and must be refreshed (--update) when
+    the reference hardware's core budget changes.
+    """
+    e17._assert_engine_equivalence(corpus)
+    rows = e17._cpu_rows(corpus, rounds=_SMOKE_ROUNDS_E17)
+    by_key = {(row["row"], row["workers"]): row for row in rows}
+    return {
+        "cpu_speedup_4workers": e17.cpu_speedup_4workers(rows),
+        "process_4worker_qps": by_key[("process", max(e17.WORKER_COUNTS))]["qps"],
+    }
+
+
+def check_baseline(name, baseline_path, payload, measured, tolerance):
     """Compare measured metrics against a committed payload.
 
     Returns a list of human-readable failure strings (empty when the
-    payload passes).  A payload without a well-formed ``smoke_baseline``
+    payload passes), each naming the committed BENCH file the failing
+    baseline lives in.  A payload without a well-formed ``smoke_baseline``
     mapping is a failure in itself — committed benchmark files must carry
     their baseline so a regression can never slip through as "nothing to
     compare against".
@@ -125,8 +147,9 @@ def check_baseline(name, payload, measured, tolerance):
     baseline = payload.get("smoke_baseline") if isinstance(payload, dict) else None
     if not isinstance(baseline, dict) or not baseline:
         return [
-            f"{name}: committed benchmark json has no usable 'smoke_baseline' "
-            f"section; re-measure on the reference hardware with "
+            f"{name} [{baseline_path}]: committed benchmark json has no "
+            f"usable 'smoke_baseline' section; re-measure on the reference "
+            f"hardware with "
             f"'python benchmarks/check_bench_regression.py --update'"
         ]
     failures = []
@@ -134,8 +157,8 @@ def check_baseline(name, payload, measured, tolerance):
         baseline_value = baseline.get(metric)
         if not isinstance(baseline_value, (int, float)):
             failures.append(
-                f"{name}.{metric}: no numeric baseline committed "
-                f"(found {baseline_value!r}); run --update"
+                f"{name}.{metric} [{baseline_path}]: no numeric baseline "
+                f"committed (found {baseline_value!r}); run --update"
             )
             continue
         floor = (1.0 - tolerance) * baseline_value
@@ -146,8 +169,9 @@ def check_baseline(name, payload, measured, tolerance):
         )
         if measured_value < floor:
             failures.append(
-                f"{name}.{metric} dropped to {measured_value:.1f} "
-                f"(< {floor:.1f}, baseline {baseline_value:.1f})"
+                f"{name}.{metric} [{baseline_path}] dropped to "
+                f"{measured_value:.1f} (< {floor:.1f}, baseline "
+                f"{baseline_value:.1f})"
             )
     return failures
 
@@ -156,14 +180,14 @@ def load_payload(name, baseline_path):
     """Parse a committed BENCH json; failures are messages, not exceptions."""
     if not baseline_path.exists():
         return None, [
-            f"{name}: committed baseline file {baseline_path.name} is missing; "
+            f"{name}: committed baseline file {baseline_path} is missing; "
             f"run --update to create it"
         ]
     try:
         return json.loads(baseline_path.read_text()), []
     except ValueError as error:
         return None, [
-            f"{name}: committed baseline file {baseline_path.name} is not "
+            f"{name}: committed baseline file {baseline_path} is not "
             f"valid JSON ({error})"
         ]
 
@@ -191,6 +215,7 @@ def main(argv):
         ("e13", BENCH_DIR / "BENCH_e13.json", measure_e13),
         ("e15", BENCH_DIR / "BENCH_e15.json", measure_e15),
         ("e16", BENCH_DIR / "BENCH_e16.json", measure_e16),
+        ("e17", BENCH_DIR / "BENCH_e17.json", measure_e17),
     )
     failures = []
     for name, path, measure in suites:
@@ -202,7 +227,9 @@ def main(argv):
         if load_failures:
             failures.extend(load_failures)
             continue
-        failures.extend(check_baseline(name, payload, measured, tolerance))
+        failures.extend(
+            check_baseline(name, path, payload, measured, tolerance)
+        )
     if failures:
         print("\nbenchmark regression guard FAILED:")
         for failure in failures:

@@ -138,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="index shards the service partitions the corpus "
                                "over (1 = single engine; N > 1 scatter-gathers "
                                "with rankings bit-identical to 1)")
+    loadtest.add_argument("--procs", type=int, default=0,
+                          help="shard-scoring worker processes (0 = thread "
+                               "executor; N > 0 scatters text scoring over N "
+                               "processes via shared-memory shard exports, "
+                               "digests stay byte-identical to thread runs)")
     loadtest.add_argument("--seed", type=int, default=97)
     loadtest.add_argument("--log", default=None,
                           help="file to write the canonical event log to")
@@ -360,6 +365,16 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     if args.shards < 1:
         print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
         return 2
+    if args.procs < 0:
+        print(f"--procs must be non-negative, got {args.procs}", file=sys.stderr)
+        return 2
+    if args.procs and args.shards < 2:
+        print(
+            "--procs needs --shards >= 2: a single-shard engine has no "
+            "scatter phase to run on worker processes",
+            file=sys.stderr,
+        )
+        return 2
     if args.durable and args.verify:
         print(
             "--verify re-runs the workload against a fresh service, which a "
@@ -371,15 +386,23 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     stored = load_corpus(args.corpus)
     from repro.service import ServiceConfig
 
+    executor = "process" if args.procs else "thread"
+    process_workers = args.procs or None
     if args.durable:
         service_config = ServiceConfig(
             num_shards=args.shards,
+            executor=executor,
+            process_workers=process_workers,
             durability_dir=args.durable,
             fsync_policy=args.fsync,
             snapshot_interval_ops=args.snapshot_interval,
         )
     else:
-        service_config = ServiceConfig(num_shards=args.shards)
+        service_config = ServiceConfig(
+            num_shards=args.shards,
+            executor=executor,
+            process_workers=process_workers,
+        )
 
     def factory() -> RetrievalService:
         return RetrievalService.from_corpus(stored, config=service_config)
@@ -418,10 +441,14 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
 
     result = driver.run(spec, prelude=prelude, epilogue=epilogue)
     digest = result.digest()
+    executor_label = (
+        f"process[{process_workers}]" if executor == "process" else "thread"
+    )
     print(
         f"loadtest: {spec.users} users x {spec.queries_per_user} queries "
         f"x {spec.feedback_per_query} feedback "
-        f"({args.workers} workers, {args.shards} shard(s), policy "
+        f"({args.workers} workers, {args.shards} shard(s), executor "
+        f"{executor_label}, policy "
         f"{spec.policy}, seed {spec.seed}): "
         f"{result.request_count} requests in {result.wall_seconds:.3f}s "
         f"({result.throughput_rps:.1f} req/s)",

@@ -1,0 +1,53 @@
+"""Multi-process scatter execution: break the GIL floor for shard scoring.
+
+The thread-based scatter pool overlaps modelled I/O stalls but cannot
+parallelise pure-CPU scoring — BENCH_e13/e15 record that honestly as a ≈1x
+"GIL floor".  This package runs :class:`~repro.sharding.ShardedEngine`'s
+text-scoring scatter phase across long-lived **worker processes** instead:
+
+* :mod:`repro.multiproc.state` — freezes a shard's dense postings columns
+  into picklable, ``multiprocessing.shared_memory``-mapped descriptors
+  keyed by generation clocks, and provides the worker-side attached views
+  that quack like a per-shard global-statistics view;
+* :mod:`repro.multiproc.executor` — :class:`ProcessScatterGather`, a
+  process pool with the ``ScatterGather`` map contract, generation-checked
+  state refresh, and rebuild-on-worker-death;
+* :mod:`repro.multiproc.scorer` — :class:`ProcessShardedTextScorer`, the
+  drop-in scatter scorer wired behind ``ServiceConfig(executor="process")``
+  and ``repro loadtest --procs``.
+
+Rankings stay bit-identical to the thread and monolithic engines because
+the partial score maps are still merged before fusion and every worker
+scores with global collection statistics — the differential matrix in
+``tests/test_multiproc.py`` pins it.
+"""
+
+from repro.multiproc.executor import ProcessScatterGather
+from repro.multiproc.scorer import ProcessShardedTextScorer
+from repro.multiproc.state import (
+    AttachedShardIndex,
+    AttachedShardState,
+    GlobalStatsDescriptor,
+    ShardStateDescriptor,
+    StaleShardStateError,
+    export_global_stats,
+    export_shard_state,
+    score_shard_task,
+    shared_memory_available,
+    unpack_shard_scores,
+)
+
+__all__ = [
+    "AttachedShardIndex",
+    "AttachedShardState",
+    "GlobalStatsDescriptor",
+    "ProcessScatterGather",
+    "ProcessShardedTextScorer",
+    "ShardStateDescriptor",
+    "StaleShardStateError",
+    "export_global_stats",
+    "export_shard_state",
+    "score_shard_task",
+    "shared_memory_available",
+    "unpack_shard_scores",
+]

@@ -1,0 +1,480 @@
+"""A process-backed scatter executor with the ``ScatterGather`` map contract.
+
+:class:`ProcessScatterGather` runs scatter tasks on long-lived worker
+processes instead of threads, which is what actually breaks the GIL floor
+for pure-CPU shard scoring.  Workers are plain ``multiprocessing.Process``
+children (the ``fork`` start method where available — cheap, and parent
+registry/scorer registrations are inherited; ``spawn`` otherwise), each
+connected by its own duplex pipe.  Three messages flow parent → worker:
+
+* ``("load", descriptor)`` — attach/refresh one export in the worker's
+  :data:`~repro.multiproc.state.STATE` registry;
+* ``("run", seq, task, item)`` — execute ``task(item)`` and reply
+  ``("ok", seq, result)`` or ``("err", seq, error)``;
+* ``("exit",)`` — drain and terminate.
+
+Because each pipe is FIFO, a ``load`` published before a ``run`` is always
+applied first — :meth:`publish` needs no acknowledgement round-trip, and
+generation refresh piggybacks on the next scatter.
+
+The executor mirrors :class:`~repro.utils.concurrency.ScatterGather`'s
+guarantees: results gather in **item order**, the first failing sub-task's
+exception is re-raised, ``close()`` is idempotent and safe against
+concurrent ``map()`` calls (a dispatch lock serialises publish/map/close
+batches), and maps after close — or single-item maps — run **inline** in
+the parent against the same published state.  A worker that dies (crash,
+``kill -9``) is detected by its broken pipe, respawned, replayed every
+current export, and handed its unacknowledged items again; if the respawn
+fails too, those items fall back to inline execution so a scatter still
+returns correct results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.multiproc import state as state_module
+from repro.utils.validation import ensure_positive
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Distinguishes export keys of executors living in the same parent process.
+_EXECUTOR_IDS = itertools.count(1)
+
+
+def _worker_main(connection) -> None:
+    """Worker process loop: apply loads, run tasks, reply in FIFO order."""
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "exit":
+            break
+        if kind == "load":
+            descriptor = message[1]
+            try:
+                state_module.load_state(descriptor)
+            except BaseException as error:  # surfaced by the next run
+                state_module.record_load_failure(descriptor.key, error)
+            continue
+        if kind == "run":
+            _, seq, task, item = message
+            try:
+                reply = ("ok", seq, task(item))
+            except BaseException as error:
+                reply = ("err", seq, error)
+            try:
+                connection.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            except Exception as error:  # unpicklable result/exception
+                connection.send(("err", seq, RuntimeError(repr(error))))
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+@dataclass
+class _Export:
+    """One published state: generation clock + descriptor + owned shm block."""
+
+    generation: int
+    descriptor: object
+    shm: object = None
+
+
+def _abandoned_executor_cleanup(workers, exports) -> None:
+    """Last-resort cleanup for an executor dropped without ``close()``.
+
+    Runs via ``weakref.finalize`` on GC or at interpreter exit.  Unlike
+    :meth:`ProcessScatterGather.close` it does not preserve inline
+    usability — the executor is garbage — it only prevents the two
+    shutdown failure modes of an abandoned executor: ``BufferError`` from
+    ``SharedMemory.__del__`` racing scorer views that still hold exported
+    pointers, and resource-tracker "leaked shared_memory" warnings for
+    blocks nobody unlinked.  Views are dropped first, then blocks
+    released; workers are told to exit and reaped on a short leash
+    (they are daemons — the OS would collect them anyway).
+    """
+    for worker in list(workers):
+        if worker is None:
+            continue
+        try:
+            worker.connection.send(("exit",))
+        except Exception:
+            pass
+    for worker in list(workers):
+        if worker is None:
+            continue
+        try:
+            worker.process.join(timeout=0.2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.connection.close()
+        except Exception:
+            pass
+    for export in exports.values():
+        if export.shm is not None:
+            try:
+                state_module.drop_state(export.descriptor.key)
+                state_module.release_shared_block(export.shm)
+            except Exception:
+                pass
+            export.shm = None
+
+
+@dataclass
+class _Worker:
+    """A live worker process and its parent-side pipe end."""
+
+    process: multiprocessing.Process
+    connection: object
+    slot: int
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ProcessScatterGather:
+    """Scatter a picklable task over items on long-lived worker processes.
+
+    Same ``map(task, items) -> results-in-item-order`` contract as
+    :class:`~repro.utils.concurrency.ScatterGather`.  State exports reach
+    workers through :meth:`publish`, which skips re-shipping anything whose
+    generation has not moved.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        start_method: Optional[str] = None,
+        use_shared_memory: bool = True,
+    ) -> None:
+        ensure_positive(max_workers, "max_workers")
+        self._max_workers = max_workers
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable; have {methods}"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._use_shared_memory = (
+            use_shared_memory and state_module.shared_memory_available()
+        )
+        self._uid = f"psg{next(_EXECUTOR_IDS)}"
+        # Serialises publish/map/close batches: within one map the shards run
+        # in parallel across workers, but whole scatters are serialised, so a
+        # close can never observe a half-dispatched batch.
+        self._lock = threading.RLock()
+        self._closed = False
+        self._exports: Dict[str, _Export] = {}  # insertion order = replay order
+        self._workers: List[Optional[_Worker]] = [None] * max_workers
+        if max_workers > 1:
+            # Eager spawn: fork before the caller ramps up request threads.
+            for slot in range(max_workers):
+                self._workers[slot] = self._spawn(slot)
+        # Safety net for executors dropped without close(): release views
+        # before their shm blocks so interpreter shutdown stays silent.
+        # Captures the mutable containers, never self (which would leak).
+        self._finalizer = weakref.finalize(
+            self, _abandoned_executor_cleanup, self._workers, self._exports
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        """Upper bound on concurrent worker processes."""
+        return self._max_workers
+
+    @property
+    def uid(self) -> str:
+        """Namespace for this executor's export keys."""
+        return self._uid
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method in use."""
+        return self._context.get_start_method()
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether exports travel via shm blocks (vs inline payload bytes)."""
+        return self._use_shared_memory
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (maps then run inline)."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def worker_processes(self) -> List[multiprocessing.Process]:
+        """Live worker processes (fault-injection hooks for tests)."""
+        with self._lock:
+            return [worker.process for worker in self._workers if worker is not None]
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def _spawn(self, slot: int) -> Optional[_Worker]:
+        """Start one worker and replay every current export to it."""
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end,),
+            name=f"{self._uid}-worker-{slot}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError:  # pragma: no cover - fork failure (resource limits)
+            parent_end.close()
+            child_end.close()
+            return None
+        child_end.close()
+        worker = _Worker(process=process, connection=parent_end, slot=slot)
+        for export in self._exports.values():
+            if not self._send(worker, ("load", export.descriptor)):
+                return None
+        return worker
+
+    def _send(self, worker: _Worker, message) -> bool:
+        """Send one message, retiring the worker if its pipe is broken."""
+        try:
+            worker.connection.send(message)
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self._retire(worker)
+            return False
+
+    def _retire(self, worker: _Worker) -> None:
+        """Tear one dead/dying worker down and free its slot."""
+        try:
+            worker.connection.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if worker.process.is_alive():  # pragma: no cover - kill stragglers
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if self._workers[worker.slot] is worker:
+            self._workers[worker.slot] = None
+
+    def _live_workers(self) -> List[_Worker]:
+        """Current workers, respawning any dead slots (rebuild-on-death)."""
+        workers: List[_Worker] = []
+        for slot in range(self._max_workers):
+            worker = self._workers[slot]
+            if worker is not None and not worker.alive():
+                self._retire(worker)
+                worker = None
+            if worker is None:
+                worker = self._spawn(slot)
+                self._workers[slot] = worker
+            if worker is not None:
+                workers.append(worker)
+        return workers
+
+    # -- state publication -------------------------------------------------------
+
+    def publish(
+        self, key: str, generation: int, builder: Callable[[bool], tuple]
+    ) -> bool:
+        """Ensure every process holds ``key`` at ``generation``.
+
+        ``builder(use_shared_memory)`` is invoked only when the stored
+        generation differs (or the key is new) and must return
+        ``(descriptor, shm_block_or_None)``.  The descriptor is broadcast to
+        all workers and loaded into the parent's own registry (inline
+        execution path); a superseded export's shm block is unlinked —
+        existing mappings stay valid, so in-flight attachments are unharmed.
+        Returns True when a new export was actually published.
+        """
+        with self._lock:
+            export = self._exports.get(key)
+            if export is not None and export.generation == generation:
+                return False
+            use_shm = self._use_shared_memory and not self._closed
+            descriptor, shm = builder(use_shm)
+            for worker in list(self._workers):
+                if worker is not None:
+                    self._send(worker, ("load", descriptor))
+            # The parent loads the same state for inline execution, viewing
+            # the export's own mapping rather than attaching a second one.
+            state_module.load_state(
+                descriptor, buffer=shm.buf if shm is not None else None
+            )
+            if export is not None:
+                state_module.release_shared_block(export.shm)
+            self._exports[key] = _Export(
+                generation=generation, descriptor=descriptor, shm=shm
+            )
+            return True
+
+    # -- scatter -----------------------------------------------------------------
+
+    def map(
+        self, task: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> List[ResultT]:
+        """``[task(item) for item in items]`` across worker processes.
+
+        Results come back in item order; the first failing sub-task's
+        exception is re-raised.  Runs inline when closed, single-item, or
+        single-worker — matching :class:`ScatterGather`.
+        """
+        items = list(items)
+        with self._lock:
+            if self._closed or len(items) <= 1 or self._max_workers <= 1:
+                return [task(item) for item in items]
+            workers = self._live_workers()
+            if not workers:  # pragma: no cover - all respawns failed
+                return [task(item) for item in items]
+            return self._scatter(task, items, workers)
+
+    def _scatter(
+        self, task, items: List[ItemT], workers: List[_Worker]
+    ) -> List[ResultT]:
+        """Dispatch items round-robin and gather; recover dead workers."""
+        results: List[ResultT] = [None] * len(items)  # type: ignore[list-item]
+        errors: Dict[int, BaseException] = {}
+        retried_slots: set = set()
+        assignments: Dict[int, List[int]] = {}  # worker slot -> item seqs
+        by_slot: Dict[int, _Worker] = {worker.slot: worker for worker in workers}
+        for seq in range(len(items)):
+            worker = workers[seq % len(workers)]
+            assignments.setdefault(worker.slot, []).append(seq)
+
+        pending = dict(assignments)
+        while pending:
+            # Send every pending item; a failed send leaves the batch queued
+            # for the retry round below.
+            dispatched: Dict[int, List[int]] = {}
+            for slot, seqs in pending.items():
+                worker = by_slot.get(slot)
+                if worker is None:
+                    continue
+                sent: List[int] = []
+                for seq in seqs:
+                    if not self._send(worker, ("run", seq, task, items[seq])):
+                        by_slot.pop(slot, None)
+                        break
+                    sent.append(seq)
+                if sent:
+                    dispatched[slot] = sent
+
+            # Gather replies per worker (FIFO per pipe).
+            for slot, seqs in dispatched.items():
+                worker = by_slot.get(slot)
+                if worker is None:
+                    continue
+                remaining = pending[slot]
+                for _ in range(len(seqs)):
+                    try:
+                        reply = worker.connection.recv()
+                    except (EOFError, ConnectionResetError, OSError):
+                        self._retire(worker)
+                        by_slot.pop(slot, None)
+                        break
+                    kind, seq, value = reply
+                    remaining.remove(seq)
+                    if kind == "ok":
+                        results[seq] = value
+                    else:
+                        errors[seq] = value
+                if not remaining:
+                    pending.pop(slot, None)
+
+            # Anything still pending sat on a dead worker: respawn and retry
+            # once per slot per scatter, then fall back to inline execution
+            # so the scatter always completes (a task that reliably kills its
+            # worker must not respawn forever).
+            for slot in list(pending):
+                worker = by_slot.get(slot)
+                if worker is not None:
+                    continue
+                seqs = pending.pop(slot)
+                replacement = None
+                if slot not in retried_slots:
+                    retried_slots.add(slot)
+                    replacement = self._workers[slot]
+                    if replacement is None or not replacement.alive():
+                        if replacement is not None:
+                            self._retire(replacement)
+                        replacement = self._spawn(slot)
+                        self._workers[slot] = replacement
+                if replacement is not None:
+                    by_slot[slot] = replacement
+                    pending[slot] = seqs
+                else:
+                    for seq in seqs:
+                        try:
+                            results[seq] = task(items[seq])
+                        except BaseException as error:
+                            errors[seq] = error
+
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop all workers and unlink exported blocks (idempotent).
+
+        Parent-side attachments stay loaded, so maps after close still run
+        inline against correct state; publishes after close fall back to
+        inline payloads (there is nobody left to share memory with).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = [worker for worker in self._workers if worker is not None]
+            # In-place: the abandoned-executor finalizer holds this list.
+            self._workers[:] = [None] * self._max_workers
+            for worker in workers:
+                self._send_quietly(worker, ("exit",))
+            for worker in workers:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():  # pragma: no cover - stragglers
+                    worker.process.terminate()
+                    worker.process.join(timeout=2.0)
+                try:
+                    worker.connection.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            for export in self._exports.values():
+                if export.shm is not None:
+                    # Re-load the parent's copy from an inline payload before
+                    # unlinking, so post-close inline maps keep working and
+                    # no view holds pointers into the block being released.
+                    descriptor = export.descriptor
+                    inline = dataclasses.replace(
+                        descriptor,
+                        shm_name=None,
+                        payload=bytes(export.shm.buf[: descriptor.payload_size]),
+                    )
+                    state_module.load_state(inline)
+                    export.descriptor = inline
+                    state_module.release_shared_block(export.shm)
+                    export.shm = None
+            # Everything is released; the abandoned-executor net is moot.
+            self._finalizer.detach()
+
+    @staticmethod
+    def _send_quietly(worker: _Worker, message) -> None:
+        try:
+            worker.connection.send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass

@@ -1,0 +1,112 @@
+"""Process-backed scatter scoring for :class:`ShardedEngine`.
+
+:class:`ProcessShardedTextScorer` keeps the thread path's contract — the
+gathered ``{doc_id: score}`` union is bit-identical, entry order included,
+to what the monolithic engine computes — while running the per-shard
+scoring loops in worker processes:
+
+1. On every query it publishes (generation-checked, so usually a no-op) the
+   lightweight global-statistics record plus any shard whose own generation
+   moved since the last export.
+2. It normalises the query **in the parent** (the tokenizer and term-weight
+   pipeline never cross the process boundary) and scatters
+   ``(shard_key, combined_generation, weights)`` items.
+3. Workers score with persistent registry-resolved scorers over attached
+   shared-memory columns and return packed ``(dense_indexes, scores)``
+   bytes; the parent rebuilds each partial against its own id table and
+   merges in shard order — exactly the thread path's merge.
+
+Scatter runs under the engine's shared read lock (searches always hold it),
+so generations are frozen for the duration of a map and a published export
+can never be stale for the query that published it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.index.scoring import QueryTerms, TextScorer, normalise_query
+from repro.multiproc.executor import ProcessScatterGather
+from repro.multiproc.state import (
+    export_global_stats,
+    export_shard_state,
+    score_shard_task,
+    unpack_shard_scores,
+)
+from repro.sharding.engine import ShardedTextScorer
+from repro.utils.concurrency import ScatterGather
+
+
+class ProcessShardedTextScorer(ShardedTextScorer):
+    """A :class:`ShardedTextScorer` whose scatter phase runs in processes.
+
+    ``shard_scorers`` (the parent-side thread scorers) are retained and
+    exposed unchanged — the fault-injection suite's hooks still work, and
+    they double as the inline evaluation path on a closed executor.
+    """
+
+    def __init__(
+        self,
+        shard_scorers: Sequence[TextScorer],
+        gather: ScatterGather,
+        executor: ProcessScatterGather,
+        shard_indexes: Sequence[object],
+        stats,
+        scorer_name: str,
+        scorer_config,
+    ) -> None:
+        super().__init__(shard_scorers, gather)
+        self._executor = executor
+        self._shards = list(shard_indexes)
+        self._stats = stats
+        self._scorer_name = scorer_name
+        self._scorer_config = scorer_config
+        self._global_key = f"{executor.uid}/global"
+        self._shard_keys = [
+            f"{executor.uid}/shard-{shard_id}" for shard_id in range(len(self._shards))
+        ]
+
+    @property
+    def executor(self) -> ProcessScatterGather:
+        """The process executor running the scatter phase."""
+        return self._executor
+
+    def _publish_state(self) -> None:
+        """Push current-generation exports; unchanged generations are no-ops."""
+        executor = self._executor
+        stats = self._stats
+        executor.publish(
+            self._global_key,
+            stats.generation,
+            lambda use_shm: (export_global_stats(self._global_key, stats), None),
+        )
+        for shard_id, (key, shard) in enumerate(zip(self._shard_keys, self._shards)):
+            executor.publish(
+                key,
+                shard.generation,
+                lambda use_shm, key=key, shard_id=shard_id, shard=shard: (
+                    export_shard_state(
+                        key,
+                        shard_id,
+                        shard,
+                        self._global_key,
+                        self._scorer_name,
+                        self._scorer_config,
+                        use_shared_memory=use_shm,
+                    )
+                ),
+            )
+
+    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """Gathered scores for all matching documents across shards."""
+        self._publish_state()
+        weights = normalise_query(query_terms)
+        combined_generation = self._stats.generation
+        items = [
+            (key, combined_generation, weights) for key in self._shard_keys
+        ]
+        packed: List = self._executor.map(score_shard_task, items)
+        merged: Dict[str, float] = {}
+        for shard, partial in zip(self._shards, packed):
+            merged.update(unpack_shard_scores(shard.dense_document_ids(), partial))
+        return merged

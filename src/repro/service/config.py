@@ -54,6 +54,16 @@ class ServiceConfig:
         behaviour change); values above 1 build a
         :class:`~repro.sharding.ShardedEngine` whose scatter-gather merge
         is bit-identical to the single engine.  Must be positive.
+    executor:
+        Scatter substrate for sharded text scoring: ``"thread"`` (default)
+        keeps the in-process pool, ``"process"`` runs shard scoring on
+        worker processes with shared-memory postings exports — true CPU
+        parallelism past the GIL, same bit-identical rankings.  Only takes
+        effect when ``num_shards > 1`` (a single-shard engine has no
+        scatter phase to parallelise).
+    process_workers:
+        Worker-process count for ``executor="process"`` (capped at
+        ``num_shards``; ``None`` means one worker per shard).
     durability_dir:
         When set, the service is durable: every index mutation is
         write-ahead-logged into this directory before it is applied, and
@@ -85,6 +95,8 @@ class ServiceConfig:
     lm_mu: float = 300.0
     result_cache_size: int = 256
     num_shards: int = 1
+    executor: str = "thread"
+    process_workers: Optional[int] = None
     durability_dir: Optional[str] = None
     fsync_policy: str = "interval"
     snapshot_interval_ops: int = 256
@@ -93,6 +105,12 @@ class ServiceConfig:
         ensure_positive(self.result_limit, "result_limit")
         ensure_positive(self.max_sessions, "max_sessions")
         ensure_positive(self.num_shards, "num_shards")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.process_workers is not None:
+            ensure_positive(self.process_workers, "process_workers")
         ensure_positive(self.snapshot_interval_ops, "snapshot_interval_ops")
         if self.fsync_policy not in FSYNC_POLICIES:
             raise ValueError(

@@ -164,6 +164,9 @@ class RetrievalService:
                 shard_scorer_factory=lambda view: create_scorer(
                     service_config.scorer, view, service_config
                 ),
+                executor=self._config.executor,
+                process_workers=self._config.process_workers,
+                process_scorer=(service_config.scorer, service_config),
                 **sharded_kwargs,
             )
         else:

@@ -22,7 +22,7 @@ caches) in one stroke.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.collection.documents import Collection
 from repro.index.language_model import DirichletLanguageModelScorer
@@ -95,6 +95,15 @@ class ShardedEngine(VideoRetrievalEngine):
     is used.  ``parallel=False`` forces inline (sequential) gathering,
     which the equivalence suite uses to separate merge correctness from
     scheduling.
+
+    ``executor`` selects the scatter substrate for text scoring:
+    ``"thread"`` (default) keeps the in-process pool, ``"process"`` runs
+    the scatter phase on :class:`~repro.multiproc.ProcessScatterGather`
+    workers with shared-memory shard exports — true CPU parallelism, same
+    bit-identical rankings.  ``process_workers`` caps the worker processes
+    (default: one per shard); ``process_scorer`` names the registry scorer
+    and picklable config workers rebuild per shard (default: the engine
+    config's built-in scorer).
     """
 
     def __init__(
@@ -108,7 +117,14 @@ class ShardedEngine(VideoRetrievalEngine):
         parallel: bool = True,
         text_index: Optional[ShardedInvertedIndex] = None,
         visual_index: Optional[ShardedVisualIndex] = None,
+        executor: str = "thread",
+        process_workers: Optional[int] = None,
+        process_scorer: Optional[Tuple[str, object]] = None,
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if text_index is not None:
             router = text_index.router
         else:
@@ -137,16 +153,43 @@ class ShardedEngine(VideoRetrievalEngine):
             factory(GlobalStatsView(shard, text_index.stats))
             for shard in text_index.shard_indexes
         ]
+        process_gather = None
+        if executor == "process":
+            # Imported lazily: repro.multiproc pulls in the service registry,
+            # which must not be a hard import-time dependency of sharding.
+            from repro.multiproc import ProcessScatterGather, ProcessShardedTextScorer
+
+            workers = process_workers or router.num_shards
+            workers = max(1, min(workers, router.num_shards))
+            process_gather = ProcessScatterGather(workers)
+            scorer_name, scorer_config = process_scorer or (config.scorer, None)
+            if scorer_config is None:
+                from repro.service.config import ServiceConfig
+
+                scorer_config = ServiceConfig.from_engine_config(config)
+            text_scorer: ShardedTextScorer = ProcessShardedTextScorer(
+                shard_scorers,
+                gather,
+                process_gather,
+                text_index.shard_indexes,
+                text_index.stats,
+                scorer_name,
+                scorer_config,
+            )
+        else:
+            text_scorer = ShardedTextScorer(shard_scorers, gather)
         super().__init__(
             collection,
             inverted_index=text_index,
             visual_index=visual_index,
             config=config,
             tokenizer=tokenizer,
-            text_scorer=ShardedTextScorer(shard_scorers, gather),
+            text_scorer=text_scorer,
         )
         self._router = router
         self._gather = gather
+        self._process_gather = process_gather
+        self._executor = executor
 
     # -- sharding accessors -------------------------------------------------------
 
@@ -159,6 +202,16 @@ class ShardedEngine(VideoRetrievalEngine):
     def num_shards(self) -> int:
         """How many shards the substrate is partitioned into."""
         return self._router.num_shards
+
+    @property
+    def executor(self) -> str:
+        """The scatter substrate for text scoring: ``thread`` or ``process``."""
+        return self._executor
+
+    @property
+    def process_gather(self):
+        """The process executor when ``executor="process"``, else ``None``."""
+        return self._process_gather
 
     @property
     def text_scorer(self) -> ShardedTextScorer:
@@ -180,6 +233,8 @@ class ShardedEngine(VideoRetrievalEngine):
         return self._inverted_index.shard_document_counts()
 
     def close(self) -> None:
-        """Shut down the scatter-gather pool and any durability tier."""
+        """Shut down the scatter pools (thread and process) and durability."""
         super().close()
         self._gather.close()
+        if self._process_gather is not None:
+            self._process_gather.close()

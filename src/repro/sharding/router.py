@@ -46,5 +46,16 @@ class ShardRouter:
             shards[self.shard_of(item_id)][item_id] = payload
         return shards
 
+    def __eq__(self, other: object) -> bool:
+        # Routing is a pure function of num_shards, so two routers with the
+        # same shard count are interchangeable — which is what pickle
+        # round-trip equality (process-boundary crossing) should mean.
+        if not isinstance(other, ShardRouter):
+            return NotImplemented
+        return self._num_shards == other._num_shards
+
+    def __hash__(self) -> int:
+        return hash((ShardRouter, self._num_shards))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardRouter(num_shards={self._num_shards})"

@@ -146,18 +146,32 @@ class ScatterGather:
         self._pool: "ThreadPoolExecutor | None" = None
         self._closed = False
         self._pool_lock = threading.Lock()
+        # Maps currently scattering on the pool.  close() racing a map must
+        # never shut the pool down underneath it (ThreadPoolExecutor raises
+        # "cannot schedule new futures after shutdown"); the shutdown is
+        # deferred to whichever party — close() or the last in-flight map —
+        # observes the pool unused last.
+        self._inflight = 0
 
     @property
     def max_workers(self) -> int:
         """Upper bound on concurrent sub-tasks."""
         return self._max_workers
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called (maps then run inline)."""
+        with self._pool_lock:
+            return self._closed
+
     def _acquire_pool(self) -> "ThreadPoolExecutor | None":
         """The pool to scatter on, or ``None`` to run inline.
 
         Checked and (lazily) created under the lock so a ``map`` racing
         :meth:`close` can never resurrect a pool after shutdown — once
-        closed, every map runs inline, permanently.
+        closed, every map runs inline, permanently.  A returned pool is
+        pinned (in-flight count) until the matching :meth:`_release_pool`,
+        so a concurrent close cannot hand this map a dead pool.
         """
         with self._pool_lock:
             if self._closed or self._max_workers <= 1:
@@ -169,7 +183,18 @@ class ScatterGather:
                     thread_name_prefix=self._thread_name_prefix,
                 )
                 self._pool = pool
+            self._inflight += 1
             return pool
+
+    def _release_pool(self) -> None:
+        """Unpin the pool; run the shutdown a concurrent close deferred."""
+        with self._pool_lock:
+            self._inflight -= 1
+            pool = None
+            if self._closed and self._inflight == 0:
+                pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def map(
         self, task: Callable[[ItemT], ResultT], items: Sequence[ItemT]
@@ -178,19 +203,31 @@ class ScatterGather:
 
         Results are returned in item order; the first failing sub-task's
         exception is re-raised (remaining sub-tasks still run to completion
-        on the pool, but their results are discarded).
+        on the pool, but their results are discarded).  Safe against a
+        concurrent :meth:`close`: a map that already holds the pool finishes
+        on it, later maps run inline.
         """
         items = list(items)
         pool = self._acquire_pool() if len(items) > 1 else None
         if pool is None:
             return [task(item) for item in items]
-        futures = [pool.submit(task, item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            futures = [pool.submit(task, item) for item in items]
+            return [future.result() for future in futures]
+        finally:
+            self._release_pool()
 
     def close(self) -> None:
-        """Shut the pool down (idempotent); subsequent maps run inline."""
+        """Shut the pool down (idempotent); subsequent maps run inline.
+
+        Safe to call concurrently with :meth:`map` (and with other closes):
+        in-flight maps complete on the pool, whose shutdown is deferred to
+        the last of them; maps that arrive after this call run inline.
+        """
         with self._pool_lock:
-            pool, self._pool = self._pool, None
             self._closed = True
+            pool = None
+            if self._inflight == 0:
+                pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)

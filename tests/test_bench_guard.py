@@ -25,48 +25,63 @@ import check_bench_regression as guard  # noqa: E402
 class TestCheckBaseline:
     def test_missing_smoke_baseline_is_a_clear_failure(self):
         failures = guard.check_baseline(
-            "e99", {"scatter": []}, {"qps": 100.0}, tolerance=0.3
+            "e99", Path("BENCH_e99.json"), {"scatter": []}, {"qps": 100.0},
+            tolerance=0.3,
         )
         assert len(failures) == 1
         assert "smoke_baseline" in failures[0]
         assert "--update" in failures[0]
+        assert "BENCH_e99.json" in failures[0]
 
     @pytest.mark.parametrize("bad_section", (None, [], "fast", 7, {}))
     def test_malformed_smoke_baseline_is_a_clear_failure(self, bad_section):
         failures = guard.check_baseline(
-            "e99", {"smoke_baseline": bad_section}, {"qps": 100.0}, tolerance=0.3
+            "e99",
+            Path("BENCH_e99.json"),
+            {"smoke_baseline": bad_section},
+            {"qps": 100.0},
+            tolerance=0.3,
         )
         assert len(failures) == 1
         assert "smoke_baseline" in failures[0]
 
     def test_non_dict_payload_never_raises_key_error(self):
         for payload in (None, [], "not-json-object"):
-            failures = guard.check_baseline("e99", payload, {"qps": 1.0}, 0.3)
+            failures = guard.check_baseline(
+                "e99", Path("BENCH_e99.json"), payload, {"qps": 1.0}, 0.3
+            )
             assert failures and "smoke_baseline" in failures[0]
 
     def test_drop_beyond_tolerance_fails_with_metric_name(self):
         payload = {"smoke_baseline": {"bm25_qps": 1000.0, "lm_qps": 500.0}}
         measured = {"bm25_qps": 650.0, "lm_qps": 495.0}  # 35% and 1% drops
-        failures = guard.check_baseline("e12", payload, measured, tolerance=0.3)
+        failures = guard.check_baseline(
+            "e12", Path("BENCH_e12.json"), payload, measured, tolerance=0.3
+        )
         assert len(failures) == 1
         assert "e12.bm25_qps" in failures[0]
         assert "650.0" in failures[0]
+        assert "BENCH_e12.json" in failures[0]
 
     def test_drop_within_tolerance_passes(self):
         payload = {"smoke_baseline": {"bm25_qps": 1000.0, "note": "text is fine"}}
         failures = guard.check_baseline(
-            "e12", payload, {"bm25_qps": 701.0}, tolerance=0.3
+            "e12", Path("BENCH_e12.json"), payload, {"bm25_qps": 701.0},
+            tolerance=0.3,
         )
         assert failures == []
 
     def test_measured_value_exactly_at_floor_passes(self):
         payload = {"smoke_baseline": {"qps": 1000.0}}
-        assert guard.check_baseline("e15", payload, {"qps": 700.0}, 0.3) == []
+        assert guard.check_baseline(
+            "e15", Path("BENCH_e15.json"), payload, {"qps": 700.0}, 0.3
+        ) == []
 
     def test_guarded_metric_missing_from_baseline_fails(self):
         payload = {"smoke_baseline": {"old_qps": 1000.0}}
         failures = guard.check_baseline(
-            "e15", payload, {"new_qps": 900.0}, tolerance=0.3
+            "e15", Path("BENCH_e15.json"), payload, {"new_qps": 900.0},
+            tolerance=0.3,
         )
         assert len(failures) == 1
         assert "e15.new_qps" in failures[0]
@@ -74,7 +89,9 @@ class TestCheckBaseline:
 
     def test_non_numeric_baseline_value_fails_not_raises(self):
         payload = {"smoke_baseline": {"qps": "fast"}}
-        failures = guard.check_baseline("e15", payload, {"qps": 10.0}, 0.3)
+        failures = guard.check_baseline(
+            "e15", Path("BENCH_e15.json"), payload, {"qps": 10.0}, 0.3
+        )
         assert len(failures) == 1
         assert "qps" in failures[0]
 
@@ -104,7 +121,7 @@ class TestLoadPayload:
 
 
 class TestCommittedBaselines:
-    @pytest.mark.parametrize("name", ("e12", "e13", "e15"))
+    @pytest.mark.parametrize("name", ("e12", "e13", "e15", "e16", "e17"))
     def test_committed_bench_jsons_carry_usable_smoke_baselines(self, name):
         """The repo's own BENCH files must satisfy the guard's contract."""
         path = BENCH_DIR / f"BENCH_{name}.json"

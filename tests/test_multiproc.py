@@ -1,0 +1,543 @@
+"""Multi-process scatter executor suite: equivalence, faults, lifecycle.
+
+The process executor's contract mirrors the sharding contract one level up:
+for any scorer, any shard count and any query, rankings produced with
+``executor="process"`` must be **bit-identical** (ids, scores, ranks) to
+both the thread executor and the monolithic engine — including after
+interleaved writes (generation refresh) and after worker processes are
+killed outright (rebuild-on-death).  The suite also pins the executor's
+``ScatterGather``-compatible lifecycle guarantees: item-ordered gathers,
+first-error propagation, idempotent close that is safe against concurrent
+maps, and the inline fallback paths (single item, closed executor, shm
+unavailable).
+
+All tests carry the ``multiproc`` marker (``pytest -m multiproc``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.index.inverted_index import InvertedIndex
+from repro.multiproc import (
+    ProcessScatterGather,
+    StaleShardStateError,
+    export_shard_state,
+    score_shard_task,
+    shared_memory_available,
+    unpack_shard_scores,
+)
+from repro.multiproc import state as multiproc_state
+from repro.retrieval import Query, VideoRetrievalEngine
+from repro.retrieval.engine import EngineConfig
+from repro.service import RetrievalService, SearchRequest, ServiceConfig
+from repro.sharding import ShardedEngine
+from repro.utils.concurrency import ScatterGather
+from repro.workload import ServiceLoadDriver, WorkloadSpec
+
+pytestmark = pytest.mark.multiproc
+
+_SRC_PATH = str(Path(__file__).resolve().parent.parent / "src")
+
+SCORERS = ("bm25", "tfidf", "lm")
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _config(scorer: str) -> EngineConfig:
+    # Result caches off so every search is a genuine scatter evaluation.
+    return EngineConfig(scorer=scorer, result_cache_size=0)
+
+
+def _assert_identical_rankings(expected_engine, actual_engine, queries) -> None:
+    for query in queries:
+        expected = expected_engine.search(query)
+        actual = actual_engine.search(query)
+        assert expected.shot_ids() == actual.shot_ids(), query
+        assert [item.score for item in expected.items] == [
+            item.score for item in actual.items
+        ], query
+        assert [item.rank for item in expected.items] == [
+            item.rank for item in actual.items
+        ], query
+
+
+# -- module-level tasks (must be picklable by reference) --------------------------
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _slow_square(value: int) -> int:
+    time.sleep(0.05)
+    return value * value
+
+
+def _fail_on_three(value: int) -> int:
+    if value == 3:
+        raise ValueError(f"task rejected {value}")
+    return value * value
+
+
+
+
+# -- differential matrix ----------------------------------------------------------
+
+
+class TestProcessExecutorEquivalence:
+    @pytest.mark.parametrize("scorer", SCORERS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_bit_identical_rankings(
+        self, sharding_corpus, make_random_queries, scorer, num_shards
+    ):
+        config = _config(scorer)
+        queries = make_random_queries(sharding_corpus, seed=520 + num_shards, count=8)
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        thread = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=num_shards
+        )
+        process = ShardedEngine(
+            sharding_corpus.collection,
+            config=config,
+            num_shards=num_shards,
+            executor="process",
+        )
+        try:
+            _assert_identical_rankings(mono, process, queries)
+            _assert_identical_rankings(thread, process, queries)
+        finally:
+            process.close()
+            thread.close()
+            mono.close()
+
+    def test_generation_refresh_after_interleaved_writes(
+        self, sharding_corpus, make_random_queries, make_random_documents
+    ):
+        config = _config("bm25")
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        process = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=4, executor="process"
+        )
+        try:
+            for round_index in range(3):
+                queries = make_random_queries(
+                    sharding_corpus, seed=700 + round_index, count=4
+                )
+                _assert_identical_rankings(mono, process, queries)
+                documents = make_random_documents(
+                    sharding_corpus, seed=800 + round_index, count=5, prefix="mp"
+                )
+                mono.index_documents(documents)
+                process.index_documents(documents)
+            queries = make_random_queries(sharding_corpus, seed=790, count=6)
+            _assert_identical_rankings(mono, process, queries)
+        finally:
+            process.close()
+            mono.close()
+
+    def test_inline_payload_fallback_matches_shared_memory(
+        self, sharding_corpus, make_random_queries
+    ):
+        """With shm disabled the payload travels inline — same rankings."""
+        config = _config("tfidf")
+        queries = make_random_queries(sharding_corpus, seed=910, count=5)
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        process = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=3, executor="process"
+        )
+        try:
+            assert shared_memory_available()
+            # Swap the executor for a no-shm twin on the live scorer.
+            scorer = process.text_scorer
+            scorer.executor.close()
+            scorer._executor = ProcessScatterGather(3, use_shared_memory=False)
+            assert not scorer.executor.uses_shared_memory
+            _assert_identical_rankings(mono, process, queries)
+        finally:
+            process.close()
+            process.text_scorer.executor.close()
+            mono.close()
+
+    def test_service_rankings_and_loadtest_digest_match_thread(self, sharding_corpus):
+        spec = WorkloadSpec(users=4, queries_per_user=2, feedback_per_query=1, seed=31)
+        digests = {}
+        for executor in ("thread", "process"):
+            config = ServiceConfig(num_shards=4, executor=executor)
+            driver = ServiceLoadDriver(
+                lambda config=config: RetrievalService.from_corpus(
+                    sharding_corpus, config=config
+                ),
+                max_workers=2,
+            )
+            digests[executor] = driver.run(spec).digest()
+        assert digests["process"] == digests["thread"]
+
+    def test_search_after_engine_close_runs_inline(self, sharding_corpus):
+        config = _config("bm25")
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        process = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=2, executor="process"
+        )
+        try:
+            query = Query(text="government election report")
+            before = process.search(query)
+            process.close()
+            after = process.search(query)
+            expected = mono.search(query)
+            assert before.shot_ids() == after.shot_ids() == expected.shot_ids()
+            assert [item.score for item in after.items] == [
+                item.score for item in expected.items
+            ]
+        finally:
+            process.close()
+            mono.close()
+
+
+# -- worker-death fault injection -------------------------------------------------
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_rebuilt_and_results_stay_correct(
+        self, sharding_corpus, make_random_queries
+    ):
+        config = _config("bm25")
+        queries = make_random_queries(sharding_corpus, seed=640, count=4)
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        process = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=4, executor="process"
+        )
+        try:
+            executor = process.text_scorer.executor
+            _assert_identical_rankings(mono, process, queries[:2])
+            victims = executor.worker_processes[:2]
+            for victim in victims:
+                os.kill(victim.pid, signal.SIGKILL)
+            for victim in victims:
+                victim.join(timeout=5.0)
+            # The very next scatter detects the dead pipes, respawns the
+            # slots, replays all published state and still merges correctly.
+            _assert_identical_rankings(mono, process, queries)
+            assert len(executor.worker_processes) == 4
+            assert all(worker.is_alive() for worker in executor.worker_processes)
+        finally:
+            process.close()
+            mono.close()
+
+    def test_all_workers_killed_then_write_then_search(
+        self, sharding_corpus, make_random_documents
+    ):
+        config = _config("lm")
+        mono = VideoRetrievalEngine(sharding_corpus.collection, config=config)
+        process = ShardedEngine(
+            sharding_corpus.collection, config=config, num_shards=3, executor="process"
+        )
+        try:
+            query = Query(text="weather storm warning")
+            assert process.search(query).shot_ids() == mono.search(query).shot_ids()
+            for victim in process.text_scorer.executor.worker_processes:
+                os.kill(victim.pid, signal.SIGKILL)
+            documents = make_random_documents(
+                sharding_corpus, seed=101, count=4, prefix="crash"
+            )
+            mono.index_documents(documents)
+            process.index_documents(documents)
+            expected = mono.search(query)
+            actual = process.search(query)
+            assert expected.shot_ids() == actual.shot_ids()
+            assert [item.score for item in expected.items] == [
+                item.score for item in actual.items
+            ]
+        finally:
+            process.close()
+            mono.close()
+
+    def test_executor_survives_repeated_external_kills(self):
+        executor = ProcessScatterGather(2)
+        try:
+            assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            for _ in range(2):
+                for victim in executor.worker_processes:
+                    os.kill(victim.pid, signal.SIGKILL)
+                    victim.join(timeout=5.0)
+                assert executor.map(_square, [5, 6, 7]) == [25, 36, 49]
+            assert all(worker.is_alive() for worker in executor.worker_processes)
+        finally:
+            executor.close()
+
+
+# -- executor lifecycle -----------------------------------------------------------
+
+
+class TestProcessScatterGather:
+    def test_results_in_item_order(self):
+        executor = ProcessScatterGather(3)
+        try:
+            assert executor.map(_square, list(range(10))) == [
+                value * value for value in range(10)
+            ]
+        finally:
+            executor.close()
+
+    def test_first_exception_propagates(self):
+        executor = ProcessScatterGather(2)
+        try:
+            with pytest.raises(ValueError, match="task rejected 3"):
+                executor.map(_fail_on_three, [1, 2, 3, 4])
+            # The executor stays healthy after a task error.
+            assert executor.map(_square, [5, 6]) == [25, 36]
+        finally:
+            executor.close()
+
+    def test_single_item_runs_inline(self):
+        executor = ProcessScatterGather(4)
+        try:
+            assert executor.map(_square, [7]) == [49]
+        finally:
+            executor.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessScatterGather(0)
+        with pytest.raises(ValueError):
+            ProcessScatterGather(2, start_method="no-such-method")
+
+    def test_close_is_idempotent_and_map_runs_inline_after(self):
+        executor = ProcessScatterGather(2)
+        executor.close()
+        executor.close()
+        assert executor.closed
+        assert executor.worker_processes == []
+        assert executor.map(_square, [2, 3, 4]) == [4, 9, 16]
+
+    def test_close_racing_concurrent_maps_is_safe(self):
+        executor = ProcessScatterGather(2)
+        errors: List[BaseException] = []
+        results: List[List[int]] = []
+
+        def mapper() -> None:
+            try:
+                for _ in range(5):
+                    results.append(executor.map(_slow_square, [1, 2, 3]))
+            except BaseException as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        threads = [threading.Thread(target=mapper) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.08)
+        executor.close()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(batch == [1, 4, 9] for batch in results)
+        assert len(results) == 15
+
+    def test_abandoned_executor_exits_silently(self):
+        """Dropping an executor without close() must not spew at shutdown.
+
+        Without the finalizer net, interpreter exit GC's the parent's
+        SharedMemory objects while scorer views still hold exported
+        pointers (BufferError from __del__) and the resource tracker
+        warns about blocks nobody unlinked.
+        """
+        import subprocess
+
+        script = (
+            "from repro.collection import CollectionConfig, generate_corpus\n"
+            "from repro.retrieval import Query\n"
+            "from repro.retrieval.engine import EngineConfig\n"
+            "from repro.sharding import ShardedEngine\n"
+            "corpus = generate_corpus(seed=3, config=CollectionConfig.small())\n"
+            "engine = ShardedEngine(corpus.collection,"
+            " config=EngineConfig(result_cache_size=0),"
+            " num_shards=4, executor='process')\n"
+            "engine.search(Query(text='alpha beta'))\n"
+            "print('done')\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": _SRC_PATH},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "done" in completed.stdout
+        for noise in ("BufferError", "leaked shared_memory", "Traceback"):
+            assert noise not in completed.stderr, completed.stderr
+
+    def test_publish_skips_unchanged_generations(self):
+        executor = ProcessScatterGather(2)
+        built = []
+        index = InvertedIndex()
+        index.add_document("doc-1", "alpha beta alpha")
+
+        def builder(use_shm: bool):
+            built.append(use_shm)
+            return export_shard_state(
+                f"{executor.uid}/t0",
+                0,
+                index,
+                f"{executor.uid}/g",
+                "bm25",
+                ServiceConfig(),
+                use_shared_memory=use_shm,
+            )
+
+        try:
+            assert executor.publish(f"{executor.uid}/t0", index.generation, builder)
+            assert not executor.publish(
+                f"{executor.uid}/t0", index.generation, builder
+            )
+            assert len(built) == 1
+            index.add_document("doc-2", "beta gamma")
+            assert executor.publish(f"{executor.uid}/t0", index.generation, builder)
+            assert len(built) == 2
+        finally:
+            executor.close()
+
+
+# -- export / attach layer --------------------------------------------------------
+
+
+class TestShardStateExport:
+    def _small_index(self) -> InvertedIndex:
+        index = InvertedIndex()
+        index.add_document("doc-a", "alpha beta alpha gamma")
+        index.add_document("doc-b", "beta delta")
+        index.add_document("doc-c", "gamma gamma epsilon alpha")
+        return index
+
+    @pytest.mark.parametrize("use_shm", (True, False))
+    def test_attached_view_scores_bit_identically(self, use_shm):
+        from repro.index.scoring import Bm25Scorer
+        from repro.multiproc.state import load_state, drop_state
+
+        index = self._small_index()
+        descriptor, shm = export_shard_state(
+            "t/shard", 0, index, "t/global", "bm25", ServiceConfig(),
+            use_shared_memory=use_shm,
+        )
+        try:
+            from repro.multiproc.state import export_global_stats
+
+            class _Stats:  # quacks like GlobalTextStats over one shard
+                shard_indexes = (index,)
+                generation = index.generation
+                document_count = index.document_count
+                total_terms = index.total_terms
+
+            load_state(export_global_stats("t/global", _Stats()))
+            load_state(descriptor)
+            expected = Bm25Scorer(index).score(["alpha", "gamma", "missing"])
+            packed = score_shard_task(
+                ("t/shard", index.generation, {"alpha": 1.0, "gamma": 1.0, "missing": 1.0})
+            )
+            actual = unpack_shard_scores(index.dense_document_ids(), packed)
+            assert actual == expected
+            assert list(actual) == list(expected)  # entry order too
+        finally:
+            drop_state("t/shard")
+            drop_state("t/global")
+            if shm is not None:
+                from repro.multiproc.state import release_shared_block
+
+                release_shared_block(shm)
+
+    def test_stale_generation_is_rejected(self):
+        from repro.multiproc.state import (
+            drop_state,
+            export_global_stats,
+            load_state,
+        )
+
+        index = self._small_index()
+
+        class _Stats:
+            shard_indexes = (index,)
+            generation = index.generation
+            document_count = index.document_count
+            total_terms = index.total_terms
+
+        descriptor, shm = export_shard_state(
+            "t2/shard", 0, index, "t2/global", "bm25", ServiceConfig(),
+            use_shared_memory=False,
+        )
+        try:
+            load_state(export_global_stats("t2/global", _Stats()))
+            load_state(descriptor)
+            with pytest.raises(StaleShardStateError):
+                score_shard_task(("t2/shard", index.generation + 5, {"alpha": 1.0}))
+            with pytest.raises(StaleShardStateError):
+                score_shard_task(("t2/never-published", index.generation, {"a": 1.0}))
+        finally:
+            drop_state("t2/shard")
+            drop_state("t2/global")
+
+
+# -- the ScatterGather close-race satellite ---------------------------------------
+
+
+class TestScatterGatherCloseRace:
+    def test_close_is_idempotent(self):
+        gather = ScatterGather(4)
+        assert gather.map(lambda value: value + 1, [1, 2, 3]) == [2, 3, 4]
+        gather.close()
+        gather.close()
+        assert gather.closed
+        assert gather.map(lambda value: value + 1, [1, 2, 3]) == [2, 3, 4]
+
+    def test_close_racing_maps_never_hands_out_a_dead_pool(self):
+        """Many maps racing many closes: no 'cannot schedule new futures'."""
+        for _ in range(20):
+            gather = ScatterGather(4)
+            errors: List[BaseException] = []
+            barrier = threading.Barrier(4)
+
+            def mapper() -> None:
+                try:
+                    barrier.wait()
+                    for _ in range(10):
+                        assert gather.map(lambda value: value * 2, [1, 2, 3]) == [
+                            2,
+                            4,
+                            6,
+                        ]
+                except BaseException as error:
+                    errors.append(error)
+
+            def closer() -> None:
+                barrier.wait()
+                gather.close()
+
+            threads = [threading.Thread(target=mapper) for _ in range(3)]
+            threads.append(threading.Thread(target=closer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+
+    def test_concurrent_closes_race_cleanly(self):
+        gather = ScatterGather(4)
+        gather.map(lambda value: value, [1, 2])  # materialise the pool
+        barrier = threading.Barrier(4)
+
+        def closer() -> None:
+            barrier.wait()
+            gather.close()
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gather.closed

@@ -1,0 +1,117 @@
+"""Pickle round-trip regression tests for everything the process boundary ships.
+
+The multi-process scatter executor pickles configs, routers, query weights
+and shard-state descriptors across a ``multiprocessing.Pipe``.  Anything
+that silently stops round-tripping (an added lock field, a lambda default,
+an unhashable cache) breaks process workers at runtime with an opaque pipe
+error — these tests fail loudly at the type level instead.  Each value is
+round-tripped at the highest protocol *and* protocol 2 (what a conservative
+spawn-context pipe may negotiate), and equality is checked structurally.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.multiproc.state import (
+    GlobalStatsDescriptor,
+    ShardStateDescriptor,
+    export_global_stats,
+    export_shard_state,
+)
+from repro.index.inverted_index import InvertedIndex
+from repro.retrieval import Query
+from repro.retrieval.engine import EngineConfig
+from repro.service import ServiceConfig
+from repro.sharding import ShardRouter
+
+PROTOCOLS = (2, pickle.HIGHEST_PROTOCOL)
+
+
+def _roundtrip(value, protocol):
+    return pickle.loads(pickle.dumps(value, protocol=protocol))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestPickleRoundTrip:
+    def test_engine_config(self, protocol):
+        config = EngineConfig(
+            scorer="lm", text_weight=0.7, result_cache_size=64, lm_mu=1500.0
+        )
+        clone = _roundtrip(config, protocol)
+        assert clone == config
+        assert clone.scorer == "lm"
+        assert clone.lm_mu == 1500.0
+
+    def test_service_config(self, protocol):
+        config = ServiceConfig(
+            scorer="tfidf", num_shards=4, executor="process", process_workers=2
+        )
+        clone = _roundtrip(config, protocol)
+        assert clone == config
+        assert clone.executor == "process"
+        assert clone.process_workers == 2
+
+    def test_shard_router(self, protocol):
+        router = ShardRouter(num_shards=5)
+        clone = _roundtrip(router, protocol)
+        assert clone == router
+        assert hash(clone) == hash(router)
+        # The clone must route identically, not just compare equal.
+        for shot_id in ("shot-001", "d3/s4/shot-17", "x"):
+            assert clone.shard_of(shot_id) == router.shard_of(shot_id)
+
+    def test_shard_router_inequality(self, protocol):
+        assert ShardRouter(num_shards=2) != ShardRouter(num_shards=3)
+        assert ShardRouter(num_shards=2) != object()
+        clone = _roundtrip(ShardRouter(num_shards=2), protocol)
+        assert clone != ShardRouter(num_shards=3)
+
+    def test_query_terms_values(self, protocol):
+        # Both admitted QueryTerms shapes: a term sequence and a weight map.
+        sequence = ["alpha", "beta", "alpha"]
+        weights = {"alpha": 0.5, "beta": 1.25}
+        assert _roundtrip(sequence, protocol) == sequence
+        clone = _roundtrip(weights, protocol)
+        assert clone == weights
+        assert list(clone) == list(weights)  # iteration order survives
+
+    def test_query(self, protocol):
+        query = Query(
+            text="election results",
+            term_weights={"election": 2.0},
+            example_shot_ids=["d1/s1/shot-3"],
+            concept_weights={"crowd": 0.8},
+            topic_id="t-7",
+            user_id="u-2",
+        )
+        clone = _roundtrip(query, protocol)
+        assert clone == query
+
+    def test_state_descriptors(self, protocol):
+        index = InvertedIndex()
+        index.add_document("doc-a", "alpha beta alpha")
+        index.add_document("doc-b", "beta gamma")
+
+        class _Stats:
+            shard_indexes = (index,)
+            generation = index.generation
+            document_count = index.document_count
+            total_terms = index.total_terms
+
+        stats_descriptor = export_global_stats("p/global", _Stats())
+        shard_descriptor, shm = export_shard_state(
+            "p/shard", 0, index, "p/global", "bm25", ServiceConfig(),
+            use_shared_memory=False,
+        )
+        assert shm is None
+        stats_clone = _roundtrip(stats_descriptor, protocol)
+        shard_clone = _roundtrip(shard_descriptor, protocol)
+        assert isinstance(stats_clone, GlobalStatsDescriptor)
+        assert isinstance(shard_clone, ShardStateDescriptor)
+        assert stats_clone == stats_descriptor
+        assert shard_clone == shard_descriptor
+        assert shard_clone.payload == shard_descriptor.payload
+        assert list(shard_clone.term_offsets) == list(shard_descriptor.term_offsets)
