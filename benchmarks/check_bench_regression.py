@@ -1,12 +1,12 @@
 """Benchmark regression guard: smoke throughput vs committed baselines.
 
 Runs the E12 (scoring kernel), E13 (concurrent service), E15 (sharded
-scatter-gather), E16 (durability) and E17 (multi-process scatter)
-benchmarks in their smoke configurations and fails if any guarded
+scatter-gather), E16 (durability), E17 (multi-process scatter) and E18
+(async serving edge) benchmarks in their smoke configurations and fails if any guarded
 throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE`` (default
 30%) below the ``smoke_baseline`` section committed in ``BENCH_e12.json``
 / ``BENCH_e13.json`` / ``BENCH_e15.json`` / ``BENCH_e16.json`` /
-``BENCH_e17.json``.  Every
+``BENCH_e17.json`` / ``BENCH_e18.json``.  Every
 equivalence assertion inside the benches still runs, so a ranking
 regression fails before a throughput one.
 
@@ -42,6 +42,7 @@ import bench_e13_concurrent_service as e13  # noqa: E402
 import bench_e15_sharded_retrieval as e15  # noqa: E402
 import bench_e16_durability as e16  # noqa: E402
 import bench_e17_multiproc as e17  # noqa: E402
+import bench_e18_serving as e18  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -52,6 +53,8 @@ _SMOKE_ROUNDS_E13 = 3
 _SMOKE_ROUNDS_E15 = 3
 _SMOKE_OPS_E16 = 128
 _SMOKE_ROUNDS_E17 = 3
+_SMOKE_ROUNDS_E18 = 2
+_SMOKE_REQUESTS_E18 = 24
 
 
 def _smoke_corpus():
@@ -132,6 +135,20 @@ def measure_e17(corpus):
         "cpu_speedup_4workers": e17.cpu_speedup_4workers(rows),
         "process_4worker_qps": by_key[("process", max(e17.WORKER_COUNTS))]["qps"],
     }
+
+
+def measure_e18(corpus):
+    """E18 smoke metrics (serving-edge throughput, digest + tail verified).
+
+    Runs the full E18 experiment — digest equivalence through the serving
+    edge, the straggler/deadline tail-latency assertion and the typed
+    admission flood — and guards the clean-workload serving throughput.
+    """
+    rows = e18.run_experiment(
+        corpus, rounds=_SMOKE_ROUNDS_E18, request_count=_SMOKE_REQUESTS_E18
+    )
+    by_row = {row["row"]: row for row in rows}
+    return {"serve_qps": by_row["serve"]["qps"]}
 
 
 def check_baseline(name, baseline_path, payload, measured, tolerance):
@@ -216,6 +233,7 @@ def main(argv):
         ("e15", BENCH_DIR / "BENCH_e15.json", measure_e15),
         ("e16", BENCH_DIR / "BENCH_e16.json", measure_e16),
         ("e17", BENCH_DIR / "BENCH_e17.json", measure_e17),
+        ("e18", BENCH_DIR / "BENCH_e18.json", measure_e18),
     )
     failures = []
     for name, path, measure in suites:

@@ -148,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="file to write the canonical event log to")
     loadtest.add_argument("--verify", action="store_true",
                           help="run the workload twice and require identical digests")
+    loadtest.add_argument("--serve", action="store_true",
+                          help="drive the workload through the async serving edge "
+                               "(admission control, per-tenant quotas, deadlines); "
+                               "digests stay byte-identical to direct runs when no "
+                               "request is rejected or timed out")
+    loadtest.add_argument("--serve-deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-request deadline for --serve; timed-out requests "
+                               "are cancelled cooperatively and kept out of the "
+                               "canonical log (implies --serve)")
+    loadtest.add_argument("--serve-concurrency", type=int, default=4,
+                          help="concurrent evaluation slots of the serving edge "
+                               "(default: 4)")
+    loadtest.add_argument("--serve-stats", action="store_true",
+                          help="print the serving metrics snapshot — per-endpoint "
+                               "p50/p95/p99, queue wait, shard fan-out, cache hit "
+                               "rates, admission counters (implies --serve)")
     loadtest.add_argument("--durable", default=None, metavar="DIR",
                           help="durability directory: WAL every index mutation "
                                "into DIR and print the canonical state digest")
@@ -383,6 +400,28 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 2
+    serve = args.serve or args.serve_stats or args.serve_deadline is not None
+    if args.serve_deadline is not None and args.serve_deadline <= 0:
+        print(
+            f"--serve-deadline must be positive, got {args.serve_deadline}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.serve_concurrency < 1:
+        print(
+            f"--serve-concurrency must be positive, got {args.serve_concurrency}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.durable:
+        durable_path = Path(args.durable)
+        if durable_path.exists() and not durable_path.is_dir():
+            print(
+                f"--durable path {args.durable!r} exists and is not a "
+                f"directory; point it at a (possibly new) directory",
+                file=sys.stderr,
+            )
+            return 2
     stored = load_corpus(args.corpus)
     from repro.service import ServiceConfig
 
@@ -417,7 +456,18 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
         policy=args.policy,
         seed=args.seed,
     )
-    driver = ServiceLoadDriver(factory, max_workers=args.workers)
+    serving_config = None
+    if serve:
+        from repro.serving import ServingConfig
+
+        serving_config = ServingConfig(max_concurrency=args.serve_concurrency)
+    driver = ServiceLoadDriver(
+        factory,
+        max_workers=args.workers,
+        serve=serve,
+        serving_config=serving_config,
+        deadline_seconds=args.serve_deadline,
+    )
 
     prelude = epilogue = None
     if args.durable or args.ingest_ops:
@@ -439,7 +489,17 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
         def epilogue(service: RetrievalService):
             return {"state_digest": engine_state_digest(service.engine)}
 
-    result = driver.run(spec, prelude=prelude, epilogue=epilogue)
+    from repro.durability import RecoveryError
+
+    try:
+        result = driver.run(spec, prelude=prelude, epilogue=epilogue)
+    except RecoveryError as error:
+        print(
+            f"loadtest failed: durability directory {args.durable!r} is "
+            f"unusable: {error}",
+            file=sys.stderr,
+        )
+        return 1
     digest = result.digest()
     executor_label = (
         f"process[{process_workers}]" if executor == "process" else "thread"
@@ -457,6 +517,22 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     print(f"canonical log digest: {digest}", file=out)
     if "state_digest" in result.extras:
         print(f"state-digest: {result.extras['state_digest']}", file=out)
+    if serve:
+        failures = result.extras.get("serving_failures", {})
+        failure_note = (
+            ", ".join(f"{name}={count}" for name, count in sorted(failures.items()))
+            or "none"
+        )
+        drained = result.extras.get("serving_drained")
+        print(
+            f"serving edge: deadline "
+            f"{args.serve_deadline if args.serve_deadline is not None else 'none'}, "
+            f"{args.serve_concurrency} slot(s); failures: {failure_note}; "
+            f"drained cleanly: {'yes' if drained else 'no'}",
+            file=out,
+        )
+    if args.serve_stats:
+        _print_serving_stats(result.extras.get("serving_metrics", {}), out)
     if args.log:
         path = result.write_log(args.log)
         print(f"canonical log written to {path}", file=out)
@@ -473,9 +549,67 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _print_serving_stats(metrics, out) -> None:
+    """Render a serving metrics snapshot as a compact fixed-width report."""
+    if not metrics:
+        print("serving stats: no metrics collected", file=out)
+        return
+
+    def track_line(label: str, track) -> str:
+        if not track or not track.get("count"):
+            return f"  {label:<12} (no observations)"
+        return (
+            f"  {label:<12} n={track['count']:>6.0f}  "
+            f"mean={track.get('mean', 0.0) * 1000:>8.2f}ms  "
+            f"p50={track.get('p50', 0.0) * 1000:>8.2f}ms  "
+            f"p95={track.get('p95', 0.0) * 1000:>8.2f}ms  "
+            f"p99={track.get('p99', 0.0) * 1000:>8.2f}ms  "
+            f"max={track.get('max', 0.0) * 1000:>8.2f}ms"
+        )
+
+    print("serving stats:", file=out)
+    print("  endpoint latency:", file=out)
+    endpoints = metrics.get("endpoints", {})
+    if endpoints:
+        for endpoint, track in endpoints.items():
+            print(track_line(endpoint, track), file=out)
+    else:
+        print("    (no completed requests)", file=out)
+    print(track_line("queue-wait", metrics.get("queue_wait")), file=out)
+    fanout = metrics.get("shard_fanout", {})
+    print(track_line("shard-fanout", fanout), file=out)
+    counters = metrics.get("counters", {})
+    counter_note = (
+        ", ".join(f"{name}={value}" for name, value in counters.items()) or "none"
+    )
+    print(f"  counters: {counter_note}", file=out)
+    cache = metrics.get("result_cache", {})
+    if cache:
+        print(
+            f"  result cache: {cache.get('hits', 0):.0f} hits / "
+            f"{cache.get('misses', 0):.0f} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0):.1%}, "
+            f"{cache.get('entries', 0):.0f}/{cache.get('capacity', 0):.0f} entries)",
+            file=out,
+        )
+
+
 def _command_recover(args: argparse.Namespace, out) -> int:
     from repro.durability import RecoveryError, RecoveryManager
 
+    directory = Path(args.directory)
+    if not directory.exists():
+        print(
+            f"recovery failed: {args.directory!r} does not exist",
+            file=sys.stderr,
+        )
+        return 1
+    if not directory.is_dir():
+        print(
+            f"recovery failed: {args.directory!r} is not a directory",
+            file=sys.stderr,
+        )
+        return 1
     try:
         state = RecoveryManager(args.directory).recover()
     except RecoveryError as error:

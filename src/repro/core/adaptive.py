@@ -286,8 +286,14 @@ class AdaptiveSession:
         return min(0.9, weight)
 
     def submit_query(self, query_text: str, limit: Optional[int] = None) -> ResultList:
-        """Run one (adapted) query iteration and return the ranked results."""
-        self._last_query_text = query_text
+        """Run one (adapted) query iteration and return the ranked results.
+
+        Session state (iteration log, last-query text) is committed only
+        after the engine search and re-ranking complete, so a query
+        abandoned mid-flight — a deadline cancellation, a shard fault —
+        leaves the session exactly as it was: ``refresh_results`` re-runs
+        the last *successful* query, never the aborted one.
+        """
         adapted_query = self._adapted_query(query_text)
         results = self._system.engine.search(
             adapted_query, limit=limit or self._result_limit
@@ -329,6 +335,7 @@ class AdaptiveSession:
             evidence_snapshot=self._accumulator.evidence(),
         )
         self._iterations.append(iteration)
+        self._last_query_text = query_text
         return results
 
     def refresh_results(self, limit: Optional[int] = None) -> ResultList:

@@ -110,7 +110,13 @@ class DurabilityManager:
                 f"point the service at a fresh directory) instead of "
                 f"re-initialising over it"
             )
-        directory.mkdir(parents=True, exist_ok=True)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            # The path (or one of its parents) exists as a regular file.
+            raise RecoveryError(
+                f"{directory} is not a directory — cannot hold durable state"
+            ) from None
         _write_json_atomic(
             directory / HEADER_FILENAME,
             {

@@ -55,6 +55,12 @@ def read_header(directory: PathLike) -> Dict[str, object]:
         raise RecoveryError(
             f"{path} is missing — not a durability directory"
         ) from None
+    except NotADirectoryError:
+        raise RecoveryError(
+            f"{directory} is not a directory — cannot hold durable state"
+        ) from None
+    except OSError as error:
+        raise RecoveryError(f"cannot read durability header {path}: {error}") from None
     except ValueError as error:
         raise RecoveryError(f"durability header {path}: {error}") from None
     if not isinstance(header, dict) or "num_shards" not in header:

@@ -34,7 +34,7 @@ from repro.multiproc.state import (
     unpack_shard_scores,
 )
 from repro.sharding.engine import ShardedTextScorer
-from repro.utils.concurrency import ScatterGather
+from repro.utils.concurrency import ScatterGather, checkpoint_if_cancelled
 
 
 class ProcessShardedTextScorer(ShardedTextScorer):
@@ -97,8 +97,14 @@ class ProcessShardedTextScorer(ShardedTextScorer):
                 ),
             )
 
-    def score(self, query_terms: QueryTerms) -> Dict[str, float]:
-        """Gathered scores for all matching documents across shards."""
+    def _scatter_and_merge(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """Gathered scores for all matching documents across shards.
+
+        The process executor cannot be interrupted mid-task, so the
+        cancellation checkpoint sits at entry: a request whose deadline
+        already fired never publishes state or scatters to the workers.
+        """
+        checkpoint_if_cancelled()
         self._publish_state()
         weights = normalise_query(query_terms)
         combined_generation = self._stats.generation

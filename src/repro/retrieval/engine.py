@@ -31,7 +31,7 @@ from repro.index.visual import VisualIndex
 from repro.retrieval.expansion import RocchioExpander, extract_key_terms
 from repro.retrieval.query import Query
 from repro.retrieval.results import ResultList
-from repro.utils.concurrency import ReadWriteLock
+from repro.utils.concurrency import ReadWriteLock, checkpoint_if_cancelled
 from repro.utils.validation import ensure_positive
 
 
@@ -101,6 +101,8 @@ class VideoRetrievalEngine:
         self._result_cache: "OrderedDict[Tuple, ResultList]" = OrderedDict()
         self._result_cache_lock = threading.Lock()
         self._result_cache_generations = (-1, -1)
+        self._result_cache_hits = 0
+        self._result_cache_misses = 0
         # Read-mostly discipline: searches take the shared side (they never
         # block each other), index mutation takes the exclusive side and
         # bumps the generation counters that invalidate every derived cache.
@@ -320,12 +322,34 @@ class VideoRetrievalEngine:
             if generations != self._result_cache_generations:
                 self._result_cache.clear()
                 self._result_cache_generations = generations
+                self._result_cache_misses += 1
                 return None
             cached = self._result_cache.get(cache_key)
             if cached is None:
+                self._result_cache_misses += 1
                 return None
             self._result_cache.move_to_end(cache_key)
+            self._result_cache_hits += 1
             return self._copy_results(cached)
+
+    def result_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counters of the persistent result cache.
+
+        Counters survive generation-bump invalidations (an invalidated
+        lookup counts as a miss), so the hit rate reflects what callers
+        actually experienced across index mutations.
+        """
+        with self._result_cache_lock:
+            hits, misses = self._result_cache_hits, self._result_cache_misses
+            entries = len(self._result_cache)
+        lookups = hits + misses
+        return {
+            "hits": float(hits),
+            "misses": float(misses),
+            "entries": float(entries),
+            "capacity": float(self._config.result_cache_size),
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
     def _result_cache_put(
         self,
@@ -365,6 +389,9 @@ class VideoRetrievalEngine:
             return self._search_read_locked(query, limit)
 
     def _search_read_locked(self, query: Query, limit: Optional[int]) -> ResultList:
+        # Cancellation checkpoint at entry: a request whose deadline already
+        # fired stops here, before any cache has been read or written.
+        checkpoint_if_cancelled()
         cache = self._search_cache
         # The generation pair is part of the key so a mutation landing
         # between two requests of one batch (through the writer path or a
@@ -402,18 +429,24 @@ class VideoRetrievalEngine:
             return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
         score_maps: List[Dict[str, float]] = []
         weights: List[float] = []
+        # Checkpoints between evidence sources: a deadline firing mid-search
+        # abandons the evaluation before fusion, so no partial ranking can
+        # ever be observed (or cached) by anyone.
         text = self.text_scores(query)
         if text:
             score_maps.append(text)
             weights.append(self._config.text_weight)
+        checkpoint_if_cancelled()
         visual = self.visual_scores(query)
         if visual:
             score_maps.append(visual)
             weights.append(self._config.visual_weight)
+        checkpoint_if_cancelled()
         concepts = self.concept_scores(query)
         if concepts:
             score_maps.append(concepts)
             weights.append(self._config.concept_weight)
+        checkpoint_if_cancelled()
         if not score_maps:
             return ResultList(query_text=query.text, items=[], topic_id=query.topic_id)
         if len(score_maps) == 1:

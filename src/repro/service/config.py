@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.durability.wal import FSYNC_POLICIES
 from repro.retrieval.engine import EngineConfig
+from repro.serving.config import ServingConfig
 from repro.utils.validation import ensure_positive
 
 #: Scorer names the engine can build natively (no registry override needed).
@@ -80,6 +81,12 @@ class ServiceConfig:
     snapshot_interval_ops:
         Index mutations between automatic incremental snapshots (each
         snapshot also truncates the WAL behind its watermark).
+    serving:
+        Optional :class:`~repro.serving.config.ServingConfig` describing
+        the async serving edge (deadlines, admission control, per-tenant
+        quotas).  ``None`` (the default) means the service is only used as
+        an in-process facade; :class:`~repro.serving.ServingFrontend`
+        resolves its limits from this field.
     """
 
     scorer: str = "bm25"
@@ -100,6 +107,7 @@ class ServiceConfig:
     durability_dir: Optional[str] = None
     fsync_policy: str = "interval"
     snapshot_interval_ops: int = 256
+    serving: Optional[ServingConfig] = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")
@@ -111,6 +119,15 @@ class ServiceConfig:
             )
         if self.process_workers is not None:
             ensure_positive(self.process_workers, "process_workers")
+        if self.executor == "process" and self.num_shards == 1:
+            # A single-shard engine has no scatter phase, so the process
+            # executor would be silently ignored — refuse the contradiction
+            # instead of quietly running on the calling thread.
+            raise ValueError(
+                "executor='process' requires num_shards > 1: a single-shard "
+                "engine has no scatter phase to run on worker processes "
+                "(set num_shards>=2 or use executor='thread')"
+            )
         ensure_positive(self.snapshot_interval_ops, "snapshot_interval_ops")
         if self.fsync_policy not in FSYNC_POLICIES:
             raise ValueError(

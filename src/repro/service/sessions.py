@@ -166,10 +166,22 @@ class SessionManager:
                 self._remember_eviction(old.session_id)
                 evicted.append(old)
         # Outside the manager lock: waiting for a victim's in-flight request
-        # here must not block unrelated lookups and session openings.
-        for old in evicted:
-            with old.lock:
-                old.evicted = True
+        # here must not block unrelated lookups and session openings.  The
+        # loop is exception-safe: every victim popped above *must* end up
+        # marked, or a request that resolved it before the pop (and is now
+        # blocked on its lock — e.g. about to be unwound by a deadline
+        # cancellation) would resume against a session that silently lost
+        # its registry slot.
+        try:
+            for old in evicted:
+                with old.lock:
+                    old.evicted = True
+        except BaseException:
+            for old in evicted:
+                if not old.evicted:
+                    with old.lock:
+                        old.evicted = True
+            raise
         return evicted
 
     def _remember_eviction(self, session_id: str) -> None:

@@ -1,0 +1,381 @@
+"""The async serving edge over :class:`~repro.service.RetrievalService`.
+
+:class:`ServingFrontend` is the deployment boundary ROADMAP item 3 asks
+for: an asyncio frontend that admits, schedules, deadline-bounds and
+accounts requests against the (threaded, deterministic) service facade
+underneath.  The request path is:
+
+1. **Admission** (synchronous, cheap): draining check, per-tenant quota
+   (token-bucket rate + fair-share in-flight cap), then the bounded queue
+   depth.  Refusals raise a typed
+   :class:`~repro.serving.errors.AdmissionRejectedError` subclass with a
+   ``retry_after`` hint — backpressure is explicit, never an unbounded
+   buffer.
+2. **Queueing**: the admitted request waits for one of ``max_concurrency``
+   slots on an :class:`asyncio.Semaphore`.  A deadline that fires while
+   queued raises :class:`~repro.serving.errors.DeadlineExceededError`
+   (stage ``"queued"``) without ever touching the engine.
+3. **Evaluation**: the request runs on the frontend's thread pool with a
+   :class:`~repro.utils.concurrency.CancellationToken` installed in
+   thread-local scope.  The engine's search path and the scatter-gather
+   fan-out carry cooperative checkpoints, so when a deadline fires
+   mid-evaluation the worker unwinds at the next checkpoint and queued
+   shard sub-tasks stop consuming executor slots — the client gets its
+   timeout in ``O(deadline + poll)`` while the abandoned worker releases
+   its slot within one checkpoint interval.
+4. **Accounting**: per-endpoint latency quantiles (p50/p95/p99), queue
+   wait, shard fan-out timings, cache hit rates and every
+   admission/rejection outcome land in the
+   :class:`~repro.serving.metrics.MetricsRegistry`
+   (:meth:`ServingFrontend.metrics_snapshot`).
+
+Determinism: the frontend never reorders, splits or merges the work a
+request submits — each request maps to exactly one facade call on one
+worker thread — so rankings for *completed* requests are bit-identical to
+calling :class:`~repro.service.RetrievalService` directly.  The serving
+tests and the E18 benchmark pin that with canonical digests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Dict, Optional, TypeVar
+
+from repro.serving.config import ServingConfig
+from repro.serving.errors import (
+    DeadlineExceededError,
+    DrainingError,
+    QueueFullError,
+    QuotaExceededError,
+)
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.quotas import TenantQuotaManager
+from repro.utils.concurrency import CancellationToken, OperationCancelledError, cancellation_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service embeds us)
+    from repro.service.service import RetrievalService
+    from repro.service.types import FeedbackBatch, SearchRequest, SearchResponse, SessionInfo
+
+T = TypeVar("T")
+
+#: Fallback retry-after hint (seconds) before any latency has been observed.
+_DEFAULT_RETRY_HINT = 0.05
+
+
+class ServingFrontend:
+    """Deadline-aware, admission-controlled async edge over one service.
+
+    The frontend owns a worker pool of ``max_concurrency`` threads; the
+    service underneath stays the single source of truth for sessions and
+    rankings.  All coroutine methods must be awaited from one event loop
+    at a time (the slot semaphore is loop-bound; an idle frontend rebinds
+    automatically, so separate ``asyncio.run`` invocations work).
+    """
+
+    def __init__(
+        self,
+        service: "RetrievalService",
+        config: Optional[ServingConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._service = service
+        self._config = config or getattr(service.config, "serving", None) or ServingConfig()
+        self._clock = clock
+        self._metrics = MetricsRegistry()
+        self._quotas = TenantQuotaManager(self._config, clock=clock)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.max_concurrency, thread_name_prefix="serve"
+        )
+        self._state_lock = threading.Lock()
+        self._waiting = 0  # admitted, not yet holding a slot
+        self._running = 0  # holding a slot (includes abandoned stragglers)
+        self._draining = False
+        self._closed = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        # Shard fan-out timings flow straight from the engine's scatter
+        # gather into the registry (no-op for unsharded engines).
+        engine = service.engine
+        if hasattr(engine, "set_fanout_observer"):
+            engine.set_fanout_observer(self._metrics.observe_fanout)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def service(self) -> "RetrievalService":
+        """The facade this frontend serves."""
+        return self._service
+
+    @property
+    def config(self) -> ServingConfig:
+        """The serving limits in force."""
+        return self._config
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The live metrics registry."""
+        return self._metrics
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` (or :meth:`close`) has been called."""
+        return self._draining
+
+    # -- endpoints ----------------------------------------------------------------
+
+    async def search(
+        self, request: "SearchRequest", deadline_seconds: Optional[float] = None
+    ) -> "SearchResponse":
+        """One adaptive search through the serving edge.
+
+        ``deadline_seconds`` overrides the config default; ``None`` with no
+        config default means the request may run indefinitely.
+        """
+        return await self._serve(
+            "search",
+            request.user_id,
+            lambda: self._service.search(request),
+            deadline_seconds,
+        )
+
+    async def submit_feedback(
+        self, batch: "FeedbackBatch", deadline_seconds: Optional[float] = None
+    ) -> "SessionInfo":
+        """Route one feedback batch through the serving edge."""
+        return await self._serve(
+            "feedback",
+            batch.user_id,
+            lambda: self._service.submit_feedback(batch),
+            deadline_seconds,
+        )
+
+    # -- request path -------------------------------------------------------------
+
+    def _slots_for_loop(self) -> asyncio.Semaphore:
+        """The slot semaphore, rebound if an *idle* frontend changed loops."""
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            with self._state_lock:
+                busy = self._waiting + self._running
+            if busy:
+                raise RuntimeError(
+                    "ServingFrontend is bound to a different event loop "
+                    "with requests in flight"
+                )
+            self._loop = loop
+            self._slots = asyncio.Semaphore(self._config.max_concurrency)
+        assert self._slots is not None
+        return self._slots
+
+    def _retry_hint(self, endpoint: str, depth: int) -> float:
+        """Crude retry-after estimate: queued work over service throughput."""
+        track = self._metrics.snapshot()["endpoints"].get(endpoint)
+        if track and track.get("count"):
+            mean = float(track.get("mean", _DEFAULT_RETRY_HINT))
+            return max(
+                _DEFAULT_RETRY_HINT,
+                (depth + 1) * mean / self._config.max_concurrency,
+            )
+        return _DEFAULT_RETRY_HINT
+
+    def _admit(self, endpoint: str, tenant: str) -> None:
+        """Admission control; on success the caller owes quota + queue slot."""
+        if self._draining or self._closed:
+            self._metrics.increment("rejected_draining")
+            raise DrainingError(self._config.drain_grace_seconds)
+        reason, retry_after = self._quotas.admit(tenant)
+        if reason is not None:
+            self._metrics.increment("rejected_quota")
+            raise QuotaExceededError(
+                tenant, reason, retry_after or self._retry_hint(endpoint, 0)
+            )
+        with self._state_lock:
+            if self._waiting >= self._config.max_queue_depth:
+                depth = self._waiting
+            else:
+                self._waiting += 1
+                return
+        self._quotas.release(tenant)
+        self._metrics.increment("rejected_queue_full")
+        raise QueueFullError(
+            depth, self._config.max_queue_depth, self._retry_hint(endpoint, depth)
+        )
+
+    async def _serve(
+        self,
+        endpoint: str,
+        tenant: str,
+        fn: Callable[[], T],
+        deadline_seconds: Optional[float],
+    ) -> T:
+        if deadline_seconds is None:
+            deadline_seconds = self._config.default_deadline_seconds
+        started = self._clock()
+        slots = self._slots_for_loop()
+        self._admit(endpoint, tenant)
+        token = CancellationToken(
+            deadline=(started + deadline_seconds) if deadline_seconds else None,
+            clock=self._clock,
+        )
+
+        # -- queued: wait for one of the max_concurrency slots ------------------
+        try:
+            remaining = token.remaining()
+            if remaining is None:
+                await slots.acquire()
+            elif remaining <= 0:
+                raise asyncio.TimeoutError
+            else:
+                await asyncio.wait_for(slots.acquire(), remaining)
+        except asyncio.TimeoutError:
+            with self._state_lock:
+                self._waiting -= 1
+            self._quotas.release(tenant)
+            self._metrics.increment("deadline_queued")
+            raise DeadlineExceededError(
+                deadline_seconds or 0.0, self._clock() - started, stage="queued"
+            ) from None
+        except BaseException:
+            with self._state_lock:
+                self._waiting -= 1
+            self._quotas.release(tenant)
+            raise
+
+        with self._state_lock:
+            self._waiting -= 1
+            self._running += 1
+        self._metrics.observe_queue_wait(self._clock() - started)
+        self._metrics.increment("admitted")
+
+        # -- running: evaluate on the worker pool under the token ---------------
+        loop = asyncio.get_running_loop()
+
+        def release_slot() -> None:
+            with self._state_lock:
+                self._running -= 1
+            slots.release()
+
+        def worker() -> T:
+            # Quota and slot are paid back when the work *actually* ends —
+            # success, failure or cooperative cancellation — never earlier,
+            # so an abandoned straggler keeps its slot until it unwinds at
+            # a checkpoint (which the cancelled token makes imminent).
+            try:
+                with cancellation_scope(token):
+                    token.checkpoint()
+                    return fn()
+            finally:
+                self._quotas.release(tenant)
+                try:
+                    loop.call_soon_threadsafe(release_slot)
+                except RuntimeError:
+                    # Loop already closed (e.g. asyncio.run returned while a
+                    # straggler was still unwinding): the semaphore died
+                    # with the loop, only the running gauge needs fixing.
+                    with self._state_lock:
+                        self._running -= 1
+
+        future = loop.run_in_executor(self._executor, worker)
+        # Abandoned stragglers must not warn "exception never retrieved".
+        future.add_done_callback(
+            lambda fut: None if fut.cancelled() else fut.exception()
+        )
+
+        try:
+            remaining = token.remaining()
+            if remaining is None:
+                result = await asyncio.shield(future)
+            else:
+                result = await asyncio.wait_for(asyncio.shield(future), remaining)
+        except asyncio.TimeoutError:
+            token.cancel("deadline exceeded")
+            self._metrics.increment("deadline_running")
+            raise DeadlineExceededError(
+                deadline_seconds or 0.0, self._clock() - started, stage="running"
+            ) from None
+        except OperationCancelledError as error:
+            # The worker observed the token's deadline at a checkpoint
+            # before our wait_for timer fired — same outcome, same type.
+            self._metrics.increment("deadline_running")
+            raise DeadlineExceededError(
+                deadline_seconds or 0.0,
+                self._clock() - started,
+                stage="running",
+                detail=f"cancelled at checkpoint: {error.reason}",
+            ) from error
+        except asyncio.CancelledError:
+            token.cancel("caller cancelled")
+            raise
+        except Exception:
+            self._metrics.increment("errors")
+            raise
+
+        self._metrics.increment("completed")
+        self._metrics.observe_latency(endpoint, self._clock() - started)
+        return result
+
+    # -- metrics ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One JSON-serialisable snapshot of every serving metric.
+
+        Includes instantaneous gauges (queue depth, in-flight, draining)
+        sampled now, and the engine's result-cache hit statistics.
+        """
+        with self._state_lock:
+            self._metrics.set_gauge("queue_depth", float(self._waiting))
+            self._metrics.set_gauge("in_flight", float(self._running))
+        self._metrics.set_gauge("draining", 1.0 if self._draining else 0.0)
+        snapshot = self._metrics.snapshot()
+        snapshot["result_cache"] = self._service.engine.result_cache_stats()
+        return snapshot
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def drain(self) -> bool:
+        """Stop admitting and wait for in-flight requests to finish.
+
+        Returns ``True`` when everything finished within the grace period,
+        ``False`` if stragglers remained (they keep running; :meth:`close`
+        still waits for their threads).
+        """
+        self._draining = True
+        grace_deadline = self._clock() + self._config.drain_grace_seconds
+        while True:
+            with self._state_lock:
+                busy = self._waiting + self._running
+            if busy == 0:
+                return True
+            if self._clock() >= grace_deadline:
+                return False
+            await asyncio.sleep(0.005)
+
+    def close(self) -> None:
+        """Stop admitting, wait for worker threads, unhook observers.
+
+        Idempotent; the underlying service stays open (it has its own
+        ``close``).
+        """
+        self._draining = True
+        if self._closed:
+            return
+        self._closed = True
+        engine = self._service.engine
+        if hasattr(engine, "set_fanout_observer"):
+            engine.set_fanout_observer(None)
+        self._executor.shutdown(wait=True)
+
+    async def aclose(self) -> bool:
+        """:meth:`drain` then :meth:`close`; returns the drain verdict."""
+        drained = await self.drain()
+        self.close()
+        return drained
+
+    def __enter__(self) -> "ServingFrontend":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -22,6 +22,7 @@ caches) in one stroke.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.collection.documents import Collection
@@ -33,6 +34,10 @@ from repro.sharding.global_stats import GlobalStatsView
 from repro.sharding.router import ShardRouter
 from repro.sharding.views import ShardedInvertedIndex, ShardedVisualIndex
 from repro.utils.concurrency import ScatterGather
+
+#: ``observer(elapsed_seconds, num_shards)`` called after each completed
+#: scatter-gather fan-out (serving metrics hook; never called on failure).
+FanoutObserver = Callable[[float, int], None]
 
 #: ``factory(stats_view) -> TextScorer`` building one shard's scorer.
 ShardScorerFactory = Callable[[GlobalStatsView], TextScorer]
@@ -56,14 +61,38 @@ class ShardedTextScorer(TextScorer):
     ) -> None:
         self._scorers = list(shard_scorers)
         self._gather = gather
+        self._fanout_observer: Optional[FanoutObserver] = None
 
     @property
     def shard_scorers(self) -> List[TextScorer]:
         """The live per-shard scorer list (mutable, for fault injection)."""
         return self._scorers
 
+    def set_fanout_observer(self, observer: Optional[FanoutObserver]) -> None:
+        """Install (or clear) the fan-out timing callback.
+
+        The observer receives ``(elapsed_seconds, num_shards)`` once per
+        *completed* scatter; cancelled or failed fan-outs are not reported.
+        """
+        self._fanout_observer = observer
+
     def score(self, query_terms: QueryTerms) -> Dict[str, float]:
         """Gathered scores for all matching documents across shards."""
+        started = time.perf_counter()
+        merged = self._scatter_and_merge(query_terms)
+        observer = self._fanout_observer
+        if observer is not None:
+            observer(time.perf_counter() - started, len(self._scorers))
+        return merged
+
+    def _scatter_and_merge(self, query_terms: QueryTerms) -> Dict[str, float]:
+        """One scatter over the shard scorers plus the disjoint-map union.
+
+        ``ScatterGather.map`` resolves the caller's thread-local
+        :class:`~repro.utils.concurrency.CancellationToken` (if any), so a
+        deadline firing mid-scatter abandons the fan-out and stops queued
+        shard sub-tasks from consuming executor slots.
+        """
         partials = self._gather.map(
             lambda scorer: scorer.score(query_terms), self._scorers
         )
@@ -231,6 +260,10 @@ class ShardedEngine(VideoRetrievalEngine):
     def shard_document_counts(self) -> List[int]:
         """Documents per text shard (balance reporting, benchmarks)."""
         return self._inverted_index.shard_document_counts()
+
+    def set_fanout_observer(self, observer: Optional[FanoutObserver]) -> None:
+        """Install the scatter fan-out timing callback on the text scorer."""
+        self._text_scorer.set_fanout_observer(observer)
 
     def close(self) -> None:
         """Shut down the scatter pools (thread and process) and durability."""

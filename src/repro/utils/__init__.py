@@ -1,7 +1,14 @@
 """Shared utilities: deterministic RNG management, concurrency primitives,
 validation and serialization."""
 
-from repro.utils.concurrency import ReadWriteLock
+from repro.utils.concurrency import (
+    CancellationToken,
+    OperationCancelledError,
+    ReadWriteLock,
+    cancellation_scope,
+    checkpoint_if_cancelled,
+    current_cancellation_token,
+)
 from repro.utils.rng import RandomSource, derive_seed, spawn_rng
 from repro.utils.serialization import (
     read_json,
@@ -19,7 +26,12 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CancellationToken",
+    "OperationCancelledError",
     "ReadWriteLock",
+    "cancellation_scope",
+    "checkpoint_if_cancelled",
+    "current_cancellation_token",
     "RandomSource",
     "derive_seed",
     "spawn_rng",

@@ -12,19 +12,146 @@ partitioned operation (one sub-task per index shard) runs every sub-task on
 a small persistent thread pool and collects the results back in sub-task
 order, so callers see a deterministic gather regardless of completion
 order.
+
+:class:`CancellationToken` is the cooperative-cancellation primitive the
+serving edge builds request deadlines on.  A token is observed at explicit
+*checkpoints* (:meth:`CancellationToken.checkpoint`) placed on the search
+path — between evidence sources in the engine, at every scatter-gather
+dispatch and gather — so a request that exceeds its deadline stops at the
+next checkpoint instead of running to completion.  Cancellation never
+interrupts work mid-mutation: a checkpoint either passes (work continues
+unchanged, results bit-identical to an uncancelled run) or raises
+:class:`OperationCancelledError` before any externally visible state —
+result caches, session iterations — has been touched.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
-from typing import Callable, Iterator, List, Sequence, TypeVar
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
 from repro.utils.validation import ensure_positive
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: How often a gather blocked on a straggler sub-task re-checks its
+#: cancellation token.  Bounds the latency between a deadline firing and
+#: the request returning to roughly this interval.
+_CANCEL_POLL_SECONDS = 0.02
+
+
+class OperationCancelledError(RuntimeError):
+    """Raised at a cancellation checkpoint once the request's token fired.
+
+    Deliberately *not* a subclass of ``concurrent.futures.CancelledError``
+    or ``asyncio.CancelledError``: cancellation here is cooperative and
+    raised on the worker thread doing the work, and it must propagate
+    through ordinary ``except Exception`` cleanup layers predictably.
+    """
+
+    def __init__(self, reason: str = "operation cancelled") -> None:
+        self.reason = reason
+        super().__init__(reason)
+
+
+class CancellationToken:
+    """A thread-safe cancellation flag with an optional deadline.
+
+    The token is *observed*, never enforced: work must call
+    :meth:`checkpoint` (or check :attr:`cancelled`) at safe points.  A
+    token fires either explicitly (:meth:`cancel`) or implicitly once its
+    monotonic ``deadline`` passes — so worker threads notice an expired
+    deadline on their own, even if the party that set the deadline never
+    gets a chance to call :meth:`cancel`.
+
+    ``clock`` is injectable for deterministic tests; it must be monotonic
+    and is compared against ``deadline`` directly.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._event = threading.Event()
+        self._deadline = deadline
+        self._clock = clock
+        self._reason = "operation cancelled"
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The monotonic deadline, or ``None`` when only explicit."""
+        return self._deadline
+
+    @property
+    def reason(self) -> str:
+        """Why the token fired (meaningful once :attr:`cancelled`)."""
+        return self._reason
+
+    def cancel(self, reason: str = "operation cancelled") -> None:
+        """Fire the token explicitly (idempotent; first reason wins)."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the token fired or its deadline passed."""
+        if self._event.is_set():
+            return True
+        if self._deadline is not None and self._clock() >= self._deadline:
+            self._reason = "deadline exceeded"
+            self._event.set()
+            return True
+        return False
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (never negative), or ``None``."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def checkpoint(self) -> None:
+        """Raise :class:`OperationCancelledError` if the token fired."""
+        if self.cancelled:
+            raise OperationCancelledError(self._reason)
+
+
+_CURRENT_TOKEN = threading.local()
+
+
+def current_cancellation_token() -> Optional[CancellationToken]:
+    """The calling thread's active cancellation token, if any."""
+    return getattr(_CURRENT_TOKEN, "token", None)
+
+
+@contextmanager
+def cancellation_scope(token: Optional[CancellationToken]) -> Iterator[None]:
+    """Install ``token`` as the calling thread's active token for the scope.
+
+    Checkpoints on the search path (:func:`checkpoint_if_cancelled`,
+    :meth:`ScatterGather.map`) pick the token up implicitly, so deadline
+    enforcement needs no plumbing through the engine's call signatures.
+    Scopes nest; the previous token is restored on exit.
+    """
+    previous = getattr(_CURRENT_TOKEN, "token", None)
+    _CURRENT_TOKEN.token = token
+    try:
+        yield
+    finally:
+        _CURRENT_TOKEN.token = previous
+
+
+def checkpoint_if_cancelled() -> None:
+    """Checkpoint the calling thread's active token (no-op without one)."""
+    token = getattr(_CURRENT_TOKEN, "token", None)
+    if token is not None:
+        token.checkpoint()
 
 
 class ReadWriteLock:
@@ -197,7 +324,10 @@ class ScatterGather:
             pool.shutdown(wait=True)
 
     def map(
-        self, task: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+        self,
+        task: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+        cancel_token: Optional[CancellationToken] = None,
     ) -> List[ResultT]:
         """``[task(item) for item in items]``, fanned out over the pool.
 
@@ -206,14 +336,55 @@ class ScatterGather:
         on the pool, but their results are discarded).  Safe against a
         concurrent :meth:`close`: a map that already holds the pool finishes
         on it, later maps run inline.
+
+        Cancellation checkpoints: with a ``cancel_token`` (explicit, or the
+        calling thread's :func:`current_cancellation_token`), the scatter
+        checkpoints before dispatch, every pooled sub-task checkpoints on
+        entry — so sub-tasks of a request that already timed out exit
+        immediately instead of consuming executor slots — and the gather
+        polls the token while waiting on a straggler, raising
+        :class:`OperationCancelledError` within ``_CANCEL_POLL_SECONDS`` of
+        the token firing (abandoned sub-tasks finish on the pool; their
+        results are discarded).  A map that completes without the token
+        firing returns exactly what an uncancelled map would.
         """
         items = list(items)
+        token = cancel_token if cancel_token is not None else current_cancellation_token()
+        if token is not None:
+            token.checkpoint()
         pool = self._acquire_pool() if len(items) > 1 else None
         if pool is None:
-            return [task(item) for item in items]
+            if token is None:
+                return [task(item) for item in items]
+            results: List[ResultT] = []
+            for item in items:
+                token.checkpoint()
+                results.append(task(item))
+            return results
         try:
-            futures = [pool.submit(task, item) for item in items]
-            return [future.result() for future in futures]
+            if token is None:
+                futures = [pool.submit(task, item) for item in items]
+                return [future.result() for future in futures]
+
+            def run(item: ItemT) -> ResultT:
+                # Entry checkpoint: a queued sub-task whose request already
+                # timed out frees its slot without doing shard work.  The
+                # scope re-installs the token on the pool thread so nested
+                # checkpoints inside the task observe it too.
+                token.checkpoint()
+                with cancellation_scope(token):
+                    return task(item)
+
+            futures = [pool.submit(run, item) for item in items]
+            gathered: List[ResultT] = []
+            for future in futures:
+                while True:
+                    try:
+                        gathered.append(future.result(timeout=_CANCEL_POLL_SECONDS))
+                        break
+                    except FutureTimeoutError:
+                        token.checkpoint()
+            return gathered
         finally:
             self._release_pool()
 

@@ -19,6 +19,7 @@ lost an update — a concurrency bug, not noise.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import time
@@ -31,6 +32,9 @@ from repro.collection.qrels import Qrels
 from repro.feedback.events import EventKind, InteractionEvent
 from repro.service.service import RetrievalService
 from repro.service.types import FeedbackBatch, SearchRequest, SearchResponse
+from repro.serving.config import ServingConfig
+from repro.serving.errors import AdmissionRejectedError, DeadlineExceededError
+from repro.serving.frontend import ServingFrontend
 from repro.simulation.noise import JudgementModel
 from repro.simulation.user import SimulatedUser
 from repro.utils.rng import RandomSource
@@ -176,6 +180,50 @@ def _synthesise_feedback(
     return events
 
 
+def _search_record(
+    user_id: str, seq: int, query: Optional[str], response: SearchResponse
+) -> Dict[str, object]:
+    """The canonical-log record of one completed search (shared by both
+    the threaded and the serving client paths, so digests cannot drift)."""
+    return {
+        "user": user_id,
+        "seq": seq,
+        "action": "search",
+        "query": query,
+        "iteration": response.iteration,
+        "results": len(response),
+        "hits": [
+            [hit.shot_id, hit.score] for hit in response.top(_RECORDED_HITS)
+        ],
+    }
+
+
+def _feedback_record(
+    user_id: str, seq: int, events: Sequence[InteractionEvent], info
+) -> Dict[str, object]:
+    """The canonical-log record of one completed feedback batch."""
+    return {
+        "user": user_id,
+        "seq": seq,
+        "action": "feedback",
+        "events": len(events),
+        "kinds": sorted(event.kind.value for event in events),
+        "seen_shots": info.seen_shot_count,
+        "iteration": info.iteration_count,
+    }
+
+
+def _close_record(user_id: str, seq: int, final) -> Dict[str, object]:
+    """The canonical-log record of one session close."""
+    return {
+        "user": user_id,
+        "seq": seq,
+        "action": "close",
+        "iterations": final.iteration_count,
+        "seen_shots": final.seen_shot_count,
+    }
+
+
 class ServiceLoadDriver:
     """Drives N concurrent simulated users through a live service.
 
@@ -184,21 +232,47 @@ class ServiceLoadDriver:
     ``max_workers`` sets the client-side concurrency.  The canonical log —
     and therefore :meth:`LoadResult.digest` — is independent of
     ``max_workers`` by construction.
+
+    With ``serve=True`` (or any of ``serving_config`` /
+    ``deadline_seconds`` set) the concurrent phase runs as an **async
+    client fleet** against a :class:`~repro.serving.ServingFrontend` built
+    over the same fresh service: one asyncio task per user, every
+    search/feedback request admitted, deadline-bounded and accounted by
+    the serving edge.  Requests that complete produce exactly the records
+    the direct path produces — digests stay byte-identical when nothing is
+    rejected or timed out — while rejected/timed-out requests are kept
+    *out* of the canonical log and surfaced in
+    :attr:`LoadResult.extras` (``serving_failures``, ``serving_metrics``).
     """
 
     def __init__(
         self,
         service_factory: Callable[[], RetrievalService],
         max_workers: int = 4,
+        serve: bool = False,
+        serving_config: Optional[ServingConfig] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> None:
         ensure_positive(max_workers, "max_workers")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
         self._service_factory = service_factory
         self._max_workers = max_workers
+        self._serve = serve or serving_config is not None or deadline_seconds is not None
+        self._serving_config = serving_config
+        self._deadline_seconds = deadline_seconds
 
     @property
     def max_workers(self) -> int:
         """Client-side thread count."""
         return self._max_workers
+
+    @property
+    def serve(self) -> bool:
+        """True when the run goes through the async serving edge."""
+        return self._serve
 
     # -- running ---------------------------------------------------------------
 
@@ -286,18 +360,7 @@ class ServiceLoadDriver:
                     last_response = response
                     requests += 1
                     records.append(
-                        {
-                            "user": user_id,
-                            "seq": step.step + 1,
-                            "action": "search",
-                            "query": step.query,
-                            "iteration": response.iteration,
-                            "results": len(response),
-                            "hits": [
-                                [hit.shot_id, hit.score]
-                                for hit in response.top(_RECORDED_HITS)
-                            ],
-                        }
+                        _search_record(user_id, step.step + 1, step.query, response)
                     )
                 elif step.kind == FEEDBACK:
                     if last_response is None:
@@ -319,33 +382,30 @@ class ServiceLoadDriver:
                     )
                     requests += 1
                     records.append(
-                        {
-                            "user": user_id,
-                            "seq": step.step + 1,
-                            "action": "feedback",
-                            "events": len(events),
-                            "kinds": sorted(event.kind.value for event in events),
-                            "seen_shots": info.seen_shot_count,
-                            "iteration": info.iteration_count,
-                        }
+                        _feedback_record(user_id, step.step + 1, events, info)
                     )
             if spec.close_sessions:
                 final = service.close_session(session_id)
                 requests += 1
                 records.append(
-                    {
-                        "user": user_id,
-                        "seq": len(workload.steps) + 1,
-                        "action": "close",
-                        "iterations": final.iteration_count,
-                        "seen_shots": final.seen_shot_count,
-                    }
+                    _close_record(user_id, len(workload.steps) + 1, final)
                 )
             return requests
 
+        serving_extras: Dict[str, object] = {}
         start = time.perf_counter()
         try:
-            if self._max_workers == 1 or len(workloads) == 1:
+            if self._serve:
+                request_counts, serving_extras = self._run_serving_phase(
+                    service,
+                    workloads,
+                    session_ids,
+                    per_user_records,
+                    feedback_root,
+                    qrels,
+                    spec,
+                )
+            elif self._max_workers == 1 or len(workloads) == 1:
                 request_counts = [drive_user(workload) for workload in workloads]
             else:
                 with ThreadPoolExecutor(
@@ -356,6 +416,7 @@ class ServiceLoadDriver:
             wall_seconds = time.perf_counter() - start
             if epilogue is not None:
                 extras = dict(epilogue(service) or {})
+            extras = {**serving_extras, **extras}
         finally:
             # Release engine machinery (e.g. a sharded service's scatter
             # pool) outside the timed region; sessions left open by
@@ -374,6 +435,116 @@ class ServiceLoadDriver:
             request_count=sum(request_counts),
             extras=extras,
         )
+
+    # -- async serving client ---------------------------------------------------
+
+    def _run_serving_phase(
+        self,
+        service: RetrievalService,
+        workloads: Sequence[UserWorkload],
+        session_ids: Dict[str, str],
+        per_user_records: Dict[str, List[Dict[str, object]]],
+        feedback_root: RandomSource,
+        qrels: Optional[Qrels],
+        spec: WorkloadSpec,
+    ):
+        """Drive the concurrent phase through a :class:`ServingFrontend`.
+
+        One asyncio task per user; per-user step order is preserved (each
+        task awaits its own requests sequentially), so completed requests
+        record exactly what the threaded path records.  Rejections and
+        deadline expiries skip the record — the canonical log only ever
+        contains completed requests — and are tallied per error type in
+        the returned extras, alongside the frontend's metrics snapshot.
+        """
+        frontend = ServingFrontend(service, self._serving_config)
+        deadline = self._deadline_seconds
+        failures: Dict[str, int] = {}
+
+        def note_failure(error: Exception) -> None:
+            name = type(error).__name__
+            failures[name] = failures.get(name, 0) + 1
+
+        async def drive_user(workload: UserWorkload) -> int:
+            user_id = workload.user_id
+            session_id = session_ids[user_id]
+            records = per_user_records[user_id]
+            requests = 0
+            last_response: Optional[SearchResponse] = None
+            for step in workload.steps:
+                if step.kind == SEARCH:
+                    try:
+                        response = await frontend.search(
+                            SearchRequest(
+                                user_id=user_id,
+                                query=step.query or "",
+                                session_id=session_id,
+                                topic_id=workload.topic.topic_id,
+                            ),
+                            deadline_seconds=deadline,
+                        )
+                    except (AdmissionRejectedError, DeadlineExceededError) as error:
+                        note_failure(error)
+                        continue
+                    last_response = response
+                    requests += 1
+                    records.append(
+                        _search_record(user_id, step.step + 1, step.query, response)
+                    )
+                elif step.kind == FEEDBACK:
+                    if last_response is None:
+                        continue
+                    events = _synthesise_feedback(
+                        workload.user,
+                        last_response,
+                        feedback_root.spawn(user_id, step.step),
+                        qrels,
+                        workload.topic.topic_id,
+                        spec.feedback_top_k,
+                    )
+                    try:
+                        info = await frontend.submit_feedback(
+                            FeedbackBatch(
+                                user_id=user_id,
+                                events=tuple(events),
+                                session_id=session_id,
+                            ),
+                            deadline_seconds=deadline,
+                        )
+                    except (AdmissionRejectedError, DeadlineExceededError) as error:
+                        note_failure(error)
+                        continue
+                    requests += 1
+                    records.append(
+                        _feedback_record(user_id, step.step + 1, events, info)
+                    )
+            if spec.close_sessions:
+                # Lifecycle ops go straight to the facade: closing is not a
+                # servable request (it must succeed even while draining).
+                final = service.close_session(session_id)
+                requests += 1
+                records.append(
+                    _close_record(user_id, len(workload.steps) + 1, final)
+                )
+            return requests
+
+        async def main():
+            counts = await asyncio.gather(
+                *(drive_user(workload) for workload in workloads)
+            )
+            drained = await frontend.drain()
+            return list(counts), drained
+
+        try:
+            request_counts, drained = asyncio.run(main())
+        finally:
+            frontend.close()
+        serving_extras: Dict[str, object] = {
+            "serving_failures": failures,
+            "serving_drained": drained,
+            "serving_metrics": frontend.metrics_snapshot(),
+        }
+        return request_counts, serving_extras
 
     # -- determinism -----------------------------------------------------------
 

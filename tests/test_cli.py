@@ -155,3 +155,68 @@ class TestExperiment:
             ["experiment", "--corpus", str(corpus_dir), "--policies", "telepathy"],
             out=io.StringIO(),
         ) == 2
+
+
+class TestRecoverErrorPaths:
+    """`repro recover` / `--durable` misuse must fail with one-line errors.
+
+    No traceback, a message that names the offending path and what is
+    wrong with it, and a nonzero exit code — the contract an operator
+    script can rely on.
+    """
+
+    def test_recover_missing_path(self, tmp_path, capsys):
+        code = main(["recover", str(tmp_path / "nowhere")], out=io.StringIO())
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "recovery failed" in err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+        assert err.strip().count("\n") == 0  # exactly one line
+
+    def test_recover_path_is_file(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("just a file\n")
+        code = main(["recover", str(bogus)], out=io.StringIO())
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "recovery failed" in err
+        assert "is not a directory" in err
+        assert err.strip().count("\n") == 0
+
+    def test_recover_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["recover", str(empty)], out=io.StringIO())
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "recovery failed" in err
+        assert "not a durability directory" in err
+        assert err.strip().count("\n") == 0
+
+    def test_loadtest_durable_path_is_file(self, corpus_dir, tmp_path, capsys):
+        bogus = tmp_path / "wal-file"
+        bogus.write_text("occupied\n")
+        code = main(
+            ["loadtest", "--corpus", str(corpus_dir), "--users", "1",
+             "--queries", "1", "--durable", str(bogus)],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "is not a" in err and "directory" in err
+        assert "Traceback" not in err
+
+    def test_loadtest_durable_parent_is_file(self, corpus_dir, tmp_path, capsys):
+        parent = tmp_path / "occupied"
+        parent.write_text("a file where a parent dir should be\n")
+        code = main(
+            ["loadtest", "--corpus", str(corpus_dir), "--users", "1",
+             "--queries", "1", "--durable", str(parent / "state")],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "loadtest failed" in err
+        assert "is not a directory" in err
+        assert "Traceback" not in err

@@ -1,0 +1,975 @@
+"""Async serving edge tests: deadlines, admission control, quotas, metrics.
+
+Four layers, bottom up:
+
+1. The cancellation substrate — :class:`CancellationToken` semantics,
+   thread-local scoping, and ``ScatterGather.map`` abandoning stragglers
+   at checkpoints without consuming executor slots for cancelled work.
+2. The serving primitives in isolation — token buckets and fair-share
+   quotas under a fake clock, P² latency sketches, the metrics registry.
+3. The :class:`ServingFrontend` end to end — completed requests are
+   bit-identical to the direct facade path, deadlines cancel stragglers
+   in both the queued and running stages, rejections are typed and
+   counted, timed-out requests never poison the engine caches, and the
+   eviction-vs-cancellation race leaves the session pool consistent.
+4. The workload driver's async client mode — canonical digests stay
+   byte-identical to threaded runs when nothing fails, and failures stay
+   out of the canonical log.
+
+Everything is seeded and event-driven (threading.Event / fake clocks);
+the only real-time waits are sub-second deadline expiries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    RetrievalService,
+    SearchRequest,
+    ServiceConfig,
+    SessionNotFoundError,
+)
+from repro.service.sessions import SessionExpiredError
+from repro.serving import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    DrainingError,
+    MetricsRegistry,
+    P2Quantile,
+    QueueFullError,
+    QuotaExceededError,
+    ServingConfig,
+    ServingFrontend,
+    TenantQuota,
+    TenantQuotaManager,
+    TokenBucket,
+)
+from repro.utils.concurrency import (
+    CancellationToken,
+    OperationCancelledError,
+    ScatterGather,
+    cancellation_scope,
+    checkpoint_if_cancelled,
+    current_cancellation_token,
+)
+from repro.workload import ServiceLoadDriver, WorkloadSpec
+
+pytestmark = pytest.mark.serving
+
+
+def _topic_query(corpus, index: int = 0):
+    topic = corpus.topics.topics()[index]
+    return topic, " ".join(topic.query_terms[:2])
+
+
+class _FakeClock:
+    """A manually advanced monotonic clock for deterministic timing tests."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class _BlockingScorer:
+    """A shard scorer that parks on an event until the test releases it."""
+
+    def __init__(self, inner, gate: threading.Event, started: threading.Event):
+        self.inner = inner
+        self.gate = gate
+        self.started = started
+
+    def score(self, query_terms):
+        self.started.set()
+        self.gate.wait(timeout=30.0)
+        return self.inner.score(query_terms)
+
+
+# ---------------------------------------------------------------------------
+# 1. Cancellation substrate
+# ---------------------------------------------------------------------------
+
+
+class TestCancellationToken:
+    def test_explicit_cancel_first_reason_wins(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+        with pytest.raises(OperationCancelledError, match="first"):
+            token.checkpoint()
+
+    def test_deadline_self_fires_on_clock(self):
+        clock = _FakeClock()
+        token = CancellationToken(deadline=5.0, clock=clock)
+        assert not token.cancelled
+        assert token.remaining() == 5.0
+        clock.advance(4.0)
+        token.checkpoint()  # still inside the deadline
+        clock.advance(2.0)
+        assert token.remaining() == 0.0
+        assert token.cancelled
+        assert token.reason == "deadline exceeded"
+
+    def test_checkpoint_passes_without_cancellation(self):
+        CancellationToken().checkpoint()
+        checkpoint_if_cancelled()  # no ambient token: must be a no-op
+
+    def test_scope_installs_and_restores_token(self):
+        outer, inner = CancellationToken(), CancellationToken()
+        assert current_cancellation_token() is None
+        with cancellation_scope(outer):
+            assert current_cancellation_token() is outer
+            with cancellation_scope(inner):
+                assert current_cancellation_token() is inner
+            assert current_cancellation_token() is outer
+        assert current_cancellation_token() is None
+
+    def test_checkpoint_if_cancelled_uses_ambient_token(self):
+        token = CancellationToken()
+        token.cancel("ambient")
+        with cancellation_scope(token):
+            with pytest.raises(OperationCancelledError, match="ambient"):
+                checkpoint_if_cancelled()
+
+
+class TestScatterGatherCancellation:
+    def test_map_completes_normally_with_token(self):
+        gather = ScatterGather(2)
+        try:
+            token = CancellationToken()
+            assert gather.map(lambda x: x * 2, [1, 2, 3], cancel_token=token) == [2, 4, 6]
+        finally:
+            gather.close()
+
+    def test_cancelled_token_aborts_before_dispatch(self):
+        gather = ScatterGather(2)
+        try:
+            token = CancellationToken()
+            token.cancel()
+            calls = []
+            with pytest.raises(OperationCancelledError):
+                gather.map(calls.append, [1, 2, 3], cancel_token=token)
+            assert calls == []
+        finally:
+            gather.close()
+
+    def test_straggler_abandoned_within_poll_interval(self):
+        """A token firing mid-gather unblocks the caller in ~one poll tick."""
+        gather = ScatterGather(2)
+        gate = threading.Event()
+        started = threading.Event()
+        token = CancellationToken()
+
+        def task(item):
+            if item == "slow":
+                started.set()
+                gate.wait(timeout=30.0)
+            return item
+
+        try:
+            def cancel_once_started():
+                started.wait(timeout=30.0)
+                token.cancel("test deadline")
+
+            canceller = threading.Thread(target=cancel_once_started)
+            canceller.start()
+            begin = time.monotonic()
+            with pytest.raises(OperationCancelledError):
+                gather.map(task, ["slow", "fast"], cancel_token=token)
+            elapsed = time.monotonic() - begin
+            canceller.join()
+            # Straggler still parked, yet the gather returned promptly.
+            assert elapsed < 5.0
+            assert not gate.is_set()
+        finally:
+            gate.set()
+            gather.close()
+
+    def test_queued_items_skipped_after_cancel(self):
+        """Entry checkpoints stop a cancelled request's queued sub-tasks."""
+        gather = ScatterGather(1)  # single worker: items run strictly in order
+        gate = threading.Event()
+        started = threading.Event()
+        token = CancellationToken()
+        ran = []
+
+        def task(item):
+            ran.append(item)
+            if item == "first":
+                started.set()
+                gate.wait(timeout=30.0)
+            return item
+
+        try:
+            def cancel_then_release():
+                started.wait(timeout=30.0)
+                token.cancel()
+                gate.set()
+
+            helper = threading.Thread(target=cancel_then_release)
+            helper.start()
+            with pytest.raises(OperationCancelledError):
+                gather.map(task, ["first", "second", "third"], cancel_token=token)
+            helper.join()
+            # The pool worker drained the queue, but entry checkpoints kept
+            # the cancelled request's queued sub-tasks from running.
+            deadline = time.monotonic() + 5.0
+            while gather.map(len, [[1]]) != [1] and time.monotonic() < deadline:
+                pass  # pragma: no cover - pool unblocks almost immediately
+            assert ran == ["first"]
+        finally:
+            gather.close()
+
+    def test_ambient_token_resolved_from_scope(self):
+        gather = ScatterGather(2)
+        try:
+            token = CancellationToken()
+            token.cancel()
+            with cancellation_scope(token):
+                with pytest.raises(OperationCancelledError):
+                    gather.map(lambda x: x, [1, 2])
+        finally:
+            gather.close()
+
+    def test_nested_checkpoints_see_token_on_pool_threads(self):
+        """cancellation_scope is re-installed inside pooled sub-tasks."""
+        gather = ScatterGather(2)
+        try:
+            token = CancellationToken()
+            seen = gather.map(
+                lambda _: current_cancellation_token() is token,
+                [1, 2],
+                cancel_token=token,
+            )
+            assert seen == [True, True]
+        finally:
+            gather.close()
+
+
+# ---------------------------------------------------------------------------
+# 2. Serving primitives
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire() == (True, 0.0)
+        acquired, retry_after = bucket.try_acquire()
+        assert not acquired
+        assert retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_acquire() == (True, 0.0)
+
+    def test_refill_caps_at_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available() == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestTenantQuotaManager:
+    def test_unknown_tenant_unthrottled_but_accounted(self):
+        manager = TenantQuotaManager(ServingConfig(), clock=_FakeClock())
+        assert manager.admit("anyone") == (None, 0.0)
+        assert manager.in_flight("anyone") == 1
+        manager.release("anyone")
+        assert manager.in_flight("anyone") == 0
+
+    def test_rate_limit_enforced_per_tenant(self):
+        clock = _FakeClock()
+        config = ServingConfig(
+            tenant_quotas={"alice": TenantQuota(rate=1.0, burst=1)}
+        )
+        manager = TenantQuotaManager(config, clock=clock)
+        reason, _ = manager.admit("alice")
+        assert reason is None
+        reason, retry_after = manager.admit("alice")
+        assert reason == "rate limit exceeded"
+        assert retry_after == pytest.approx(1.0)
+        # The refused admission must not have consumed an in-flight slot.
+        assert manager.in_flight("alice") == 1
+        # Other tenants are isolated from alice's bucket.
+        assert manager.admit("bob") == (None, 0.0)
+
+    def test_fair_share_cap_and_rollback(self):
+        config = ServingConfig(default_quota=TenantQuota(max_in_flight=2))
+        manager = TenantQuotaManager(config, clock=_FakeClock())
+        assert manager.admit("alice") == (None, 0.0)
+        assert manager.admit("alice") == (None, 0.0)
+        reason, _ = manager.admit("alice")
+        assert reason is not None and "fair-share" in reason
+        assert manager.in_flight("alice") == 2
+        manager.release("alice")
+        assert manager.admit("alice") == (None, 0.0)
+
+    def test_explicit_quota_overrides_default(self):
+        config = ServingConfig(
+            default_quota=TenantQuota(max_in_flight=1),
+            tenant_quotas={"vip": TenantQuota(max_in_flight=5)},
+        )
+        manager = TenantQuotaManager(config, clock=_FakeClock())
+        for _ in range(5):
+            assert manager.admit("vip") == (None, 0.0)
+        assert manager.admit("vip")[0] is not None
+
+
+class TestMetrics:
+    def test_exact_quantiles_for_small_streams(self):
+        registry = MetricsRegistry()
+        for value in [0.1, 0.2, 0.3, 0.4, 0.5]:
+            registry.observe_latency("search", value)
+        track = registry.snapshot()["endpoints"]["search"]
+        assert track["count"] == 5
+        assert track["p50"] == pytest.approx(0.3)
+        assert track["max"] == pytest.approx(0.5)
+
+    def test_p2_sketch_tracks_large_streams(self):
+        sketch = P2Quantile(0.95)
+        for index in range(2000):
+            sketch.observe((index % 1000) / 1000.0)
+        assert sketch.value() == pytest.approx(0.95, abs=0.05)
+
+    def test_p2_quantile_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_registry_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.increment("admitted")
+        registry.increment("admitted")
+        registry.observe_queue_wait(0.01)
+        registry.observe_fanout(0.02, 4)
+        registry.set_gauge("queue_depth", 3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"admitted": 2}
+        assert snapshot["gauges"] == {"queue_depth": 3.0}
+        assert snapshot["queue_wait"]["count"] == 1
+        assert snapshot["shard_fanout"]["count"] == 1
+        assert snapshot["shard_fanout"]["num_shards"] == 4.0
+        assert registry.counter("admitted") == 2
+        assert registry.counter("never") == 0
+
+    def test_empty_track_snapshot(self):
+        assert MetricsRegistry().snapshot()["queue_wait"] == {"count": 0.0}
+
+
+class TestServingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_concurrency=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            ServingConfig(default_deadline_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServingConfig(drain_grace_seconds=-1.0)
+        with pytest.raises(TypeError):
+            ServingConfig(tenant_quotas={"alice": object()})
+        with pytest.raises(ValueError):
+            TenantQuota(rate=-1.0)
+
+    def test_quota_resolution(self):
+        vip = TenantQuota(max_in_flight=9)
+        default = TenantQuota(max_in_flight=1)
+        config = ServingConfig(default_quota=default, tenant_quotas={"vip": vip})
+        assert config.quota_for("vip") is vip
+        assert config.quota_for("anyone") is default
+        assert ServingConfig().quota_for("anyone") is None
+
+    def test_service_config_embeds_serving(self):
+        serving = ServingConfig(max_concurrency=2)
+        config = ServiceConfig(serving=serving)
+        assert config.serving is serving
+        assert ServiceConfig().serving is None
+
+
+# ---------------------------------------------------------------------------
+# 3. The frontend end to end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def sharded_service(small_corpus) -> RetrievalService:
+    """A fresh 2-shard service (scatter path active) over the shared corpus."""
+    service = RetrievalService.from_corpus(
+        small_corpus, config=ServiceConfig(num_shards=2)
+    )
+    yield service
+    service.close()
+
+
+class TestFrontendEquivalence:
+    def test_served_search_bit_identical_to_direct(self, small_corpus):
+        topic, query = _topic_query(small_corpus)
+        direct_service = RetrievalService.from_corpus(small_corpus)
+        direct_service.open_session("alice", policy="implicit",
+                                    topic_id=topic.topic_id)
+        direct = direct_service.search(
+            SearchRequest(user_id="alice", query=query, topic_id=topic.topic_id)
+        )
+
+        served_service = RetrievalService.from_corpus(small_corpus)
+        served_service.open_session("alice", policy="implicit",
+                                    topic_id=topic.topic_id)
+        with ServingFrontend(served_service) as frontend:
+            served = asyncio.run(
+                frontend.search(
+                    SearchRequest(user_id="alice", query=query,
+                                  topic_id=topic.topic_id)
+                )
+            )
+        assert direct.hits == served.hits
+        direct_service.close()
+        served_service.close()
+
+    def test_just_under_deadline_identical_to_no_deadline(self, small_corpus):
+        """Satellite: a deadline that does not fire must not perturb ranking."""
+        topic, query = _topic_query(small_corpus)
+
+        def run(deadline):
+            service = RetrievalService.from_corpus(small_corpus)
+            service.open_session("alice", policy="implicit",
+                                 topic_id=topic.topic_id)
+            with ServingFrontend(service) as frontend:
+                response = asyncio.run(
+                    frontend.search(
+                        SearchRequest(user_id="alice", query=query,
+                                      topic_id=topic.topic_id),
+                        deadline_seconds=deadline,
+                    )
+                )
+            service.close()
+            return response
+
+        assert run(None).hits == run(30.0).hits
+
+    def test_frontend_config_resolved_from_service_config(self, small_corpus):
+        service = RetrievalService.from_corpus(
+            small_corpus,
+            config=ServiceConfig(serving=ServingConfig(max_concurrency=2)),
+        )
+        with ServingFrontend(service) as frontend:
+            assert frontend.config.max_concurrency == 2
+        service.close()
+
+
+class TestDeadlines:
+    def _install_straggler(self, service):
+        gate = threading.Event()
+        started = threading.Event()
+        scorers = service.engine.text_scorer.shard_scorers
+        original = scorers[0]
+        scorers[0] = _BlockingScorer(original, gate, started)
+        return gate, started, original
+
+    def test_running_deadline_cancels_straggler(self, small_corpus, sharded_service):
+        topic, query = _topic_query(small_corpus)
+        sharded_service.open_session("alice", topic_id=topic.topic_id)
+        gate, started, _ = self._install_straggler(sharded_service)
+        try:
+            with ServingFrontend(sharded_service) as frontend:
+                begin = time.monotonic()
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    asyncio.run(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query=query,
+                                          topic_id=topic.topic_id),
+                            deadline_seconds=0.2,
+                        )
+                    )
+                elapsed = time.monotonic() - begin
+                assert started.is_set()
+                assert excinfo.value.stage == "running"
+                # Client-visible latency is deadline + poll epsilon, not the
+                # straggler's duration.
+                assert elapsed < 2.0
+                assert frontend.metrics.counter("deadline_running") == 1
+        finally:
+            gate.set()
+
+    def test_timed_out_request_does_not_poison_result_cache(
+        self, small_corpus
+    ):
+        """Satellite: a cancelled query must write nothing into the caches."""
+        topic, query = _topic_query(small_corpus)
+
+        def build():
+            service = RetrievalService.from_corpus(
+                small_corpus, config=ServiceConfig(num_shards=2)
+            )
+            service.open_session("alice", topic_id=topic.topic_id)
+            return service
+
+        # Reference: the same query on a never-disturbed service.
+        reference = build()
+        expected = reference.search(
+            SearchRequest(user_id="alice", query=query, topic_id=topic.topic_id)
+        )
+        reference.close()
+
+        service = build()
+        gate, started, original = self._install_straggler(service)
+        try:
+            with ServingFrontend(service) as frontend:
+                with pytest.raises(DeadlineExceededError):
+                    asyncio.run(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query=query,
+                                          topic_id=topic.topic_id),
+                            deadline_seconds=0.2,
+                        )
+                    )
+            stats = service.engine.result_cache_stats()
+            assert stats["entries"] == 0  # nothing cached by the aborted query
+        finally:
+            gate.set()
+        # Let the abandoned straggler finish before re-querying.
+        service.engine.text_scorer.shard_scorers[0] = original
+        retry = service.search(
+            SearchRequest(user_id="alice", query=query, topic_id=topic.topic_id)
+        )
+        assert retry.hits == expected.hits
+        # The iteration counter must not count the aborted query either.
+        assert retry.iteration == 1
+        service.close()
+
+    def test_aborted_query_does_not_corrupt_refresh(self, small_corpus):
+        """A cancelled query must not become the session's 'last query'."""
+        topic, query = _topic_query(small_corpus)
+        service = RetrievalService.from_corpus(
+            small_corpus, config=ServiceConfig(num_shards=2)
+        )
+        info = service.open_session("alice", topic_id=topic.topic_id)
+        good = service.search(
+            SearchRequest(user_id="alice", query=query, topic_id=topic.topic_id)
+        )
+        gate, _started, original = self._install_straggler(service)
+        try:
+            with ServingFrontend(service) as frontend:
+                with pytest.raises(DeadlineExceededError):
+                    asyncio.run(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query="poisoned query",
+                                          topic_id=topic.topic_id),
+                            deadline_seconds=0.2,
+                        )
+                    )
+        finally:
+            gate.set()
+        service.engine.text_scorer.shard_scorers[0] = original
+        session = service.adaptive_session(info.session_id)
+        refreshed = session.refresh_results()
+        # refresh re-runs the last *successful* query, not the aborted one.
+        assert [hit.shot_id for hit in good.hits][:10] == refreshed.shot_ids()[:10]
+        service.close()
+
+    def test_queued_deadline_never_touches_engine(self, small_corpus, sharded_service):
+        topic, query = _topic_query(small_corpus)
+        sharded_service.open_session("alice", topic_id=topic.topic_id)
+        sharded_service.open_session("bob", topic_id=topic.topic_id)
+        gate, started, _ = self._install_straggler(sharded_service)
+        config = ServingConfig(max_concurrency=1)
+        try:
+            with ServingFrontend(sharded_service, config) as frontend:
+
+                async def scenario():
+                    occupier = asyncio.create_task(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query=query,
+                                          topic_id=topic.topic_id)
+                        )
+                    )
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, started.wait, 10.0
+                    )
+                    with pytest.raises(DeadlineExceededError) as excinfo:
+                        await frontend.search(
+                            SearchRequest(user_id="bob", query=query,
+                                          topic_id=topic.topic_id),
+                            deadline_seconds=0.1,
+                        )
+                    assert excinfo.value.stage == "queued"
+                    gate.set()
+                    await occupier
+
+                asyncio.run(scenario())
+                assert frontend.metrics.counter("deadline_queued") == 1
+                assert frontend.metrics.counter("completed") == 1
+        finally:
+            gate.set()
+
+
+class TestAdmission:
+    def test_queue_full_is_typed_and_counted(self, small_corpus, sharded_service):
+        topic, query = _topic_query(small_corpus)
+        sharded_service.open_session("alice", topic_id=topic.topic_id)
+        sharded_service.open_session("bob", topic_id=topic.topic_id)
+        sharded_service.open_session("carol", topic_id=topic.topic_id)
+        gate, started, _ = self._straggler(sharded_service)
+        # One slot, a waiting room of one: request #1 runs (parked on the
+        # straggler), #2 fills the queue, #3 must be refused, not buffered.
+        config = ServingConfig(max_concurrency=1, max_queue_depth=1)
+        try:
+            with ServingFrontend(sharded_service, config) as frontend:
+
+                async def scenario():
+                    occupier = asyncio.create_task(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query=query,
+                                          topic_id=topic.topic_id)
+                        )
+                    )
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, started.wait, 10.0
+                    )
+                    queued = asyncio.create_task(
+                        frontend.search(
+                            SearchRequest(user_id="bob", query=query,
+                                          topic_id=topic.topic_id)
+                        )
+                    )
+                    # One scheduler pass runs bob's admission (it happens
+                    # before his first await), filling the waiting room.
+                    await asyncio.sleep(0)
+                    with pytest.raises(QueueFullError) as excinfo:
+                        await frontend.search(
+                            SearchRequest(user_id="carol", query=query,
+                                          topic_id=topic.topic_id)
+                        )
+                    assert excinfo.value.retry_after >= 0.0
+                    assert isinstance(excinfo.value, AdmissionRejectedError)
+                    gate.set()
+                    await asyncio.gather(occupier, queued)
+
+                asyncio.run(scenario())
+                assert frontend.metrics.counter("rejected_queue_full") == 1
+                assert frontend.metrics.counter("completed") == 2
+        finally:
+            gate.set()
+
+    def _straggler(self, service):
+        gate = threading.Event()
+        started = threading.Event()
+        scorers = service.engine.text_scorer.shard_scorers
+        scorers[0] = _BlockingScorer(scorers[0], gate, started)
+        return gate, started, None
+
+    def test_quota_rejection_is_typed_and_counted(self, small_corpus):
+        topic, query = _topic_query(small_corpus)
+        service = RetrievalService.from_corpus(small_corpus)
+        service.open_session("alice", topic_id=topic.topic_id)
+        config = ServingConfig(
+            tenant_quotas={"alice": TenantQuota(rate=0.001, burst=1)}
+        )
+        with ServingFrontend(service, config) as frontend:
+
+            async def scenario():
+                first = await frontend.search(
+                    SearchRequest(user_id="alice", query=query,
+                                  topic_id=topic.topic_id)
+                )
+                assert len(first.hits) > 0
+                with pytest.raises(QuotaExceededError) as excinfo:
+                    await frontend.search(
+                        SearchRequest(user_id="alice", query=query,
+                                      topic_id=topic.topic_id)
+                    )
+                assert excinfo.value.tenant == "alice"
+                assert excinfo.value.retry_after > 0.0
+
+            asyncio.run(scenario())
+            assert frontend.metrics.counter("rejected_quota") == 1
+            assert frontend.metrics.counter("completed") == 1
+        service.close()
+
+    def test_draining_rejects_new_requests(self, small_corpus):
+        topic, query = _topic_query(small_corpus)
+        service = RetrievalService.from_corpus(small_corpus)
+        service.open_session("alice", topic_id=topic.topic_id)
+        with ServingFrontend(service) as frontend:
+
+            async def scenario():
+                response = await frontend.search(
+                    SearchRequest(user_id="alice", query=query,
+                                  topic_id=topic.topic_id)
+                )
+                assert len(response.hits) > 0
+                assert await frontend.drain() is True
+                with pytest.raises(DrainingError):
+                    await frontend.search(
+                        SearchRequest(user_id="alice", query=query,
+                                      topic_id=topic.topic_id)
+                    )
+
+            asyncio.run(scenario())
+            assert frontend.draining
+            assert frontend.metrics.counter("rejected_draining") == 1
+        service.close()
+
+    def test_drain_waits_for_in_flight_work(self, small_corpus, sharded_service):
+        topic, query = _topic_query(small_corpus)
+        sharded_service.open_session("alice", topic_id=topic.topic_id)
+        gate, started, _ = self._straggler(sharded_service)
+        try:
+            with ServingFrontend(sharded_service) as frontend:
+
+                async def scenario():
+                    in_flight = asyncio.create_task(
+                        frontend.search(
+                            SearchRequest(user_id="alice", query=query,
+                                          topic_id=topic.topic_id)
+                        )
+                    )
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, started.wait, 10.0
+                    )
+                    gate.set()
+                    drained = await frontend.aclose()
+                    assert drained is True
+                    response = await in_flight
+                    assert len(response.hits) >= 0
+
+                asyncio.run(scenario())
+        finally:
+            gate.set()
+
+    def test_metrics_snapshot_includes_gauges_and_cache(self, small_corpus):
+        topic, query = _topic_query(small_corpus)
+        service = RetrievalService.from_corpus(small_corpus)
+        service.open_session("alice", topic_id=topic.topic_id)
+        with ServingFrontend(service) as frontend:
+            asyncio.run(
+                frontend.search(
+                    SearchRequest(user_id="alice", query=query,
+                                  topic_id=topic.topic_id)
+                )
+            )
+            snapshot = frontend.metrics_snapshot()
+        assert snapshot["gauges"]["queue_depth"] == 0.0
+        assert snapshot["gauges"]["in_flight"] == 0.0
+        assert snapshot["counters"]["completed"] == 1
+        assert snapshot["endpoints"]["search"]["count"] == 1
+        assert "hit_rate" in snapshot["result_cache"]
+        service.close()
+
+
+class TestEvictionCancellationRace:
+    def test_deadline_cancel_vs_eviction_leaves_pool_consistent(
+        self, small_corpus
+    ):
+        """Satellite: a victim cancelled mid-search must not deadlock or leak.
+
+        Session A's in-flight search blocks on a straggler shard while two
+        new sessions overflow the pool (capacity 2) and evict A.  Eviction
+        must wait for A's request, the deadline must unwind that request
+        promptly (freeing A's lock), and afterwards A is cleanly expired
+        with no slot leaked.
+        """
+        topic, query = _topic_query(small_corpus)
+        service = RetrievalService.from_corpus(
+            small_corpus, config=ServiceConfig(num_shards=2, max_sessions=2)
+        )
+        info_a = service.open_session("alice", topic_id=topic.topic_id)
+        gate = threading.Event()
+        started = threading.Event()
+        scorers = service.engine.text_scorer.shard_scorers
+        original = scorers[0]
+        scorers[0] = _BlockingScorer(original, gate, started)
+
+        eviction_done = threading.Event()
+
+        def overflow_pool():
+            started.wait(timeout=30.0)
+            # Two fresh sessions push capacity past 2: alice is the LRU
+            # victim, and add() blocks until her in-flight request ends.
+            service.open_session("bob", topic_id=topic.topic_id)
+            service.open_session("carol", topic_id=topic.topic_id)
+            eviction_done.set()
+
+        evictor = threading.Thread(target=overflow_pool)
+        evictor.start()
+        try:
+            with ServingFrontend(service) as frontend:
+                with pytest.raises(DeadlineExceededError):
+                    asyncio.run(
+                        frontend.search(
+                            SearchRequest(
+                                user_id="alice",
+                                query=query,
+                                session_id=info_a.session_id,
+                                topic_id=topic.topic_id,
+                            ),
+                            deadline_seconds=0.2,
+                        )
+                    )
+            # The cancelled request released alice's session lock, so the
+            # eviction completes promptly instead of deadlocking.
+            assert eviction_done.wait(timeout=10.0)
+            evictor.join(timeout=10.0)
+            assert not evictor.is_alive()
+            # No slot leaked: exactly the two survivors remain, and alice
+            # is reported as expired (evicted), not merely unknown.
+            assert service.session_count == 2
+            with pytest.raises(SessionExpiredError):
+                service.search(
+                    SearchRequest(
+                        user_id="alice",
+                        query=query,
+                        session_id=info_a.session_id,
+                        topic_id=topic.topic_id,
+                    )
+                )
+        finally:
+            gate.set()
+            evictor.join(timeout=10.0)
+            service.close()
+
+    def test_expired_session_error_is_session_not_found(self):
+        # The serving edge surfaces eviction races as the facade's own
+        # typed error; pin the subclassing contract the clients rely on.
+        assert issubclass(SessionExpiredError, SessionNotFoundError)
+
+
+# ---------------------------------------------------------------------------
+# 4. Workload driver serve mode
+# ---------------------------------------------------------------------------
+
+
+class TestDriverServeMode:
+    def _factory(self, corpus):
+        return lambda: RetrievalService.from_corpus(
+            corpus, config=ServiceConfig(num_shards=2)
+        )
+
+    def test_serve_digest_matches_threaded_digest(self, small_corpus):
+        spec = WorkloadSpec(seed=5, users=3, queries_per_user=2)
+        factory = self._factory(small_corpus)
+        threaded = ServiceLoadDriver(factory, max_workers=4).run(spec)
+        served = ServiceLoadDriver(factory, serve=True).run(spec)
+        assert threaded.digest() == served.digest()
+        assert served.extras["serving_failures"] == {}
+        assert served.extras["serving_drained"] is True
+        metrics = served.extras["serving_metrics"]
+        assert metrics["counters"]["completed"] == metrics["counters"]["admitted"]
+        assert metrics["shard_fanout"]["count"] > 0
+
+    def test_failed_requests_stay_out_of_canonical_log(self, small_corpus):
+        spec = WorkloadSpec(seed=5, users=2, queries_per_user=2)
+        factory = self._factory(small_corpus)
+        # A deadline no search can meet: every search times out, so the
+        # canonical log holds only the session open/close records.
+        driver = ServiceLoadDriver(factory, serve=True, deadline_seconds=1e-9)
+        result = driver.run(spec)
+        failures = result.extras["serving_failures"]
+        assert sum(failures.values()) > 0
+        assert set(failures) <= {"DeadlineExceededError"}
+        actions = {record["action"] for record in result.records}
+        assert "search" not in actions
+        assert "feedback" not in actions
+
+    def test_serve_rejects_non_positive_deadline(self, small_corpus):
+        with pytest.raises(ValueError):
+            ServiceLoadDriver(self._factory(small_corpus), deadline_seconds=0.0)
+
+
+# ---------------------------------------------------------------------------
+# 5. CLI serve mode
+# ---------------------------------------------------------------------------
+
+
+class TestServeCli:
+    @pytest.fixture(scope="class")
+    def corpus_dir(self, small_corpus, tmp_path_factory):
+        from repro.collection import save_corpus
+
+        directory = tmp_path_factory.mktemp("serving-corpus") / "corpus"
+        save_corpus(small_corpus, directory)
+        return str(directory)
+
+    def _digest(self, output: str) -> str:
+        for line in output.splitlines():
+            if line.startswith("canonical log digest:"):
+                return line.split(":", 1)[1].strip()
+        raise AssertionError(f"no digest line in:\n{output}")
+
+    def test_serve_digest_matches_direct(self, corpus_dir):
+        import io
+
+        from repro.cli import main
+
+        base = ["loadtest", "--corpus", corpus_dir, "--users", "3",
+                "--queries", "2", "--seed", "7", "--shards", "2"]
+        direct_out, serve_out = io.StringIO(), io.StringIO()
+        assert main(base, out=direct_out) == 0
+        assert main(base + ["--serve"], out=serve_out) == 0
+        assert self._digest(direct_out.getvalue()) == self._digest(serve_out.getvalue())
+        assert "serving edge:" in serve_out.getvalue()
+        assert "failures: none" in serve_out.getvalue()
+        assert "drained cleanly: yes" in serve_out.getvalue()
+
+    def test_serve_stats_report(self, corpus_dir):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["loadtest", "--corpus", corpus_dir, "--users", "2",
+             "--queries", "2", "--seed", "7", "--shards", "2",
+             "--serve-stats"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "serving stats:" in text
+        assert "endpoint latency:" in text
+        assert "search" in text and "p99=" in text
+        assert "queue-wait" in text
+        assert "shard-fanout" in text
+        assert "counters:" in text and "completed=" in text
+        assert "result cache:" in text and "hit rate" in text
+
+    def test_serve_rejects_bad_deadline(self, corpus_dir, capsys):
+        import io
+
+        from repro.cli import main
+
+        assert main(
+            ["loadtest", "--corpus", corpus_dir, "--serve-deadline", "0"],
+            out=io.StringIO(),
+        ) == 2
+        assert "--serve-deadline must be positive" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_concurrency(self, corpus_dir, capsys):
+        import io
+
+        from repro.cli import main
+
+        assert main(
+            ["loadtest", "--corpus", corpus_dir, "--serve-concurrency", "0"],
+            out=io.StringIO(),
+        ) == 2
+        assert "--serve-concurrency must be positive" in capsys.readouterr().err
