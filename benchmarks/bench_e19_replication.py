@@ -1,0 +1,338 @@
+"""E19 — Replication tier: replica apply, read fan-out, promotion, lag.
+
+Four questions, with the canonical state digest as the correctness oracle
+before anything is timed:
+
+* **Replica apply throughput** — ops/s at which a fresh replica tails a
+  primary's WAL to parity (bootstrap recovery + incremental apply),
+  digest-verified against the live primary.
+
+* **Read fan-out isolation** — read throughput against a write-hammered
+  primary, with reads pinned to the primary engine versus routed to a
+  replica.  Replica reads dodge the primary's writer-exclusion window,
+  so the ratio (``fanout_speedup``) is the isolation benefit of shipping
+  reads off the write path; it depends on write cadence and is recorded
+  for trajectory, never guarded.
+
+* **Promotion time** — seconds for a caught-up replica to become a
+  writable primary (final drain + tail repair + writable recovery +
+  digest proof), reported as ops/s over the shipped op count.
+
+* **Lag distribution** — replica lag (LSNs behind the primary) sampled
+  before each poll under a fixed ingest/poll cadence; mean/p95/max
+  recorded, never guarded.
+
+``BENCH_e19.json`` next to this file records baselines plus the
+``smoke_baseline`` section guarded by ``check_bench_regression.py``
+(guarded metrics: ``replica_apply_ops_per_s``, ``promotion_ops_per_s`` —
+the host-stable higher-is-better pair).  Run with ``--write-baseline``
+to refresh, ``--smoke`` for the CI sanity check.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+try:
+    from _common import print_table
+except ImportError:  # script mode: python benchmarks/bench_e19_replication.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import print_table
+
+from repro.durability import engine_state_digest
+from repro.replication import ReplicaServer, ReplicatedService
+from repro.service import RetrievalService, ServiceConfig
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_e19.json"
+
+SNAPSHOT_INTERVAL = 64
+
+INGEST_SEED = 2008
+
+
+def _durable_config(directory):
+    return ServiceConfig(
+        durability_dir=str(directory),
+        fsync_policy="never",
+        snapshot_interval_ops=SNAPSHOT_INTERVAL,
+        result_cache_size=0,
+    )
+
+
+def _ops(service, count, seed=INGEST_SEED):
+    return synthetic_ingest_ops(
+        count, seed=seed, feature_dim=service_feature_dim(service)
+    )
+
+
+def _queries(corpus, count=8):
+    queries = []
+    for shot in corpus.collection.iter_shots():
+        words = [w for w in shot.transcript.lower().split() if len(w) > 3]
+        if len(words) >= 2:
+            queries.append(" ".join(words[:3]))
+        if len(queries) == count:
+            break
+    return queries
+
+
+def _apply_row(corpus, count, workdir):
+    """A fresh replica catches a primary up from disk, digest-verified."""
+    directory = Path(workdir) / "apply"
+    primary = RetrievalService.from_corpus(
+        corpus, config=_durable_config(directory)
+    )
+    apply_ingest(primary, _ops(primary, count))
+    primary_digest = engine_state_digest(primary.engine)
+    start = time.perf_counter()
+    replica = ReplicaServer(directory, corpus=corpus)
+    replica.catch_up()
+    elapsed = time.perf_counter() - start
+    assert replica.applied_lsn == count, "replica did not reach parity"
+    assert replica.state_digest() == primary_digest, "replica state diverged"
+    replica.close()
+    primary.close()
+    return {
+        "row": "replica-apply",
+        "ops": count,
+        "seconds": elapsed,
+        "ops_per_s": count / elapsed if elapsed else 0.0,
+    }
+
+
+def _fanout_rows(corpus, count, workdir, reads=64):
+    """Read throughput under a write-hammered primary: primary vs replica.
+
+    The writer applies ingest ops in a loop (each op takes the engine's
+    exclusive-writer lock); the measured reader issues a fixed query
+    batch either against the primary engine (contending with the writer)
+    or through the router to a caught-up-as-it-goes replica (isolated
+    from the primary's write path).
+    """
+    directory = Path(workdir) / "fanout"
+    primary = RetrievalService.from_corpus(
+        corpus, config=_durable_config(directory)
+    )
+    service = ReplicatedService(primary)
+    replica = service.add_replica("bench-replica")
+    apply_ingest(service, _ops(primary, count))
+    replica.catch_up()
+    queries = _queries(corpus)
+    assert queries, "bench corpus has no usable transcripts"
+
+    stop = threading.Event()
+
+    def writer(ops):
+        index = 0
+        while not stop.is_set() and index < len(ops):
+            apply_ingest(service, [ops[index]])
+            index += 1
+
+    rows = []
+    for mode_index, mode in enumerate(("reads-on-primary", "reads-on-replica")):
+        # Distinct ids per mode: the engine refuses re-indexing a document.
+        writer_ops = _ops(primary, 4096, seed=INGEST_SEED + 1 + mode_index)
+        thread = threading.Thread(target=writer, args=(writer_ops,))
+        stop.clear()
+        thread.start()
+        try:
+            start = time.perf_counter()
+            for index in range(reads):
+                query = queries[index % len(queries)]
+                if mode == "reads-on-primary":
+                    primary.engine.search_text(query, limit=10)
+                else:
+                    # Unbounded routed read: the replica serves whatever
+                    # prefix it has; the bench measures isolation, not
+                    # freshness.
+                    replica.search(query, limit=10, max_lag_lsn=None)
+            elapsed = time.perf_counter() - start
+        finally:
+            stop.set()
+            thread.join()
+        rows.append(
+            {
+                "row": mode,
+                "reads": reads,
+                "seconds": elapsed,
+                "qps": reads / elapsed if elapsed else 0.0,
+            }
+        )
+    service.close()
+    primary_qps = rows[0]["qps"]
+    for row in rows:
+        row["fanout_speedup"] = row["qps"] / primary_qps if primary_qps else 0.0
+    return rows
+
+
+def _promotion_row(corpus, count, workdir):
+    """Failover promotion of a caught-up replica, digest-proved."""
+    directory = Path(workdir) / "promotion"
+    primary = RetrievalService.from_corpus(
+        corpus, config=_durable_config(directory)
+    )
+    apply_ingest(primary, _ops(primary, count))
+    primary.close()
+    replica = ReplicaServer(directory, corpus=corpus)
+    replica.catch_up()
+    start = time.perf_counter()
+    result = replica.promote()
+    elapsed = time.perf_counter() - start
+    assert result.digests_match, "promotion diverged from the replica state"
+    assert result.promoted_lsn == count
+    result.service.close()
+    return {
+        "row": "promotion",
+        "ops": count,
+        "seconds": elapsed,
+        "ops_per_s": count / elapsed if elapsed else 0.0,
+    }
+
+
+def _lag_row(corpus, count, workdir, poll_every=8):
+    """Replica lag sampled before each poll at a fixed ingest/poll cadence."""
+    directory = Path(workdir) / "lag"
+    primary = RetrievalService.from_corpus(
+        corpus, config=_durable_config(directory)
+    )
+    replica = ReplicaServer(directory, corpus=corpus)
+    samples = []
+    for index, op in enumerate(_ops(primary, count)):
+        apply_ingest(primary, [op])
+        if (index + 1) % poll_every == 0:
+            samples.append(
+                float(primary.engine.durability.wal.last_lsn - replica.applied_lsn)
+            )
+            replica.poll()
+    replica.catch_up()
+    assert replica.state_digest() == engine_state_digest(primary.engine)
+    replica.close()
+    primary.close()
+    ordered = sorted(samples)
+    rank = 0.95 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    p95 = ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+    return {
+        "row": f"lag (poll every {poll_every})",
+        "samples": len(samples),
+        "lag_mean": sum(samples) / len(samples) if samples else 0.0,
+        "lag_p95": p95,
+        "lag_max": ordered[-1] if ordered else 0.0,
+    }
+
+
+def _sanity_check(apply_row, fanout_rows, promotion_row, lag_row):
+    assert apply_row["ops_per_s"] > 0
+    assert promotion_row["ops_per_s"] > 0
+    assert all(row["qps"] > 0 for row in fanout_rows)
+    # The cadence guarantees the replica actually lagged between polls.
+    assert lag_row["lag_max"] > 0
+
+
+def run_experiment(bench_corpus, count=256, reads=64):
+    workdir = tempfile.mkdtemp(prefix="bench-e19-")
+    try:
+        apply_row = _apply_row(bench_corpus, count, workdir)
+        fanout_rows = _fanout_rows(bench_corpus, count, workdir, reads=reads)
+        promotion_row = _promotion_row(bench_corpus, count, workdir)
+        lag_row = _lag_row(bench_corpus, count, workdir)
+        return apply_row, fanout_rows, promotion_row, lag_row
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_e19_replication(benchmark, bench_corpus):
+    apply_row, fanout_rows, promotion_row, lag_row = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("E19a: replica apply + promotion (digest-verified)",
+                [apply_row, promotion_row])
+    print_table("E19b: read fan-out isolation under writes", fanout_rows)
+    print_table("E19c: replica lag distribution", [lag_row])
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        print_table(
+            "E19 baseline (from BENCH_e19.json, for trajectory — not asserted)",
+            baseline.get("rows", []),
+        )
+    _sanity_check(apply_row, fanout_rows, promotion_row, lag_row)
+
+
+def _main(argv):
+    smoke = "--smoke" in argv
+    write_baseline = "--write-baseline" in argv
+    from repro.collection import CollectionConfig, generate_corpus
+
+    if smoke:
+        corpus = generate_corpus(
+            seed=7,
+            config=CollectionConfig(days=4, stories_per_day=5, topic_count=6),
+        )
+        count, reads = 96, 32
+    else:
+        corpus = generate_corpus(
+            seed=2008,
+            config=CollectionConfig(
+                days=24, stories_per_day=9, topic_count=16, min_stories_per_topic=3
+            ),
+        )
+        count, reads = 512, 64
+    apply_row, fanout_rows, promotion_row, lag_row = run_experiment(
+        corpus, count=count, reads=reads
+    )
+    print_table("E19a: replica apply + promotion (digest-verified)",
+                [apply_row, promotion_row])
+    print_table("E19b: read fan-out isolation under writes", fanout_rows)
+    print_table("E19c: replica lag distribution", [lag_row])
+    _sanity_check(apply_row, fanout_rows, promotion_row, lag_row)
+    if write_baseline:
+        # The guarded smoke_baseline section is refreshed through
+        # check_bench_regression.py --update, not here.
+        smoke_baseline = None
+        if BASELINE_PATH.exists():
+            smoke_baseline = json.loads(BASELINE_PATH.read_text()).get(
+                "smoke_baseline"
+            )
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    **({"smoke_baseline": smoke_baseline} if smoke_baseline else {}),
+                    "corpus": "smoke" if smoke else "bench standard (seed 2008)",
+                    "ops": count,
+                    "snapshot_interval_ops": SNAPSHOT_INTERVAL,
+                    "note": (
+                        "Replica apply and promotion rows digest-verify "
+                        "against the live primary before reporting numbers. "
+                        "fanout_speedup (replica reads vs primary reads "
+                        "under a write-hammering thread) and the lag "
+                        "distribution depend on scheduling and are "
+                        "recorded, never guarded."
+                    ),
+                    "rows": [apply_row, promotion_row] + fanout_rows + [lag_row],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+    print(
+        "e19 ok: replica apply, promotion and fan-out digest-verified; "
+        "replica state byte-identical to the primary at parity"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

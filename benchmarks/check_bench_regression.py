@@ -1,12 +1,13 @@
 """Benchmark regression guard: smoke throughput vs committed baselines.
 
 Runs the E12 (scoring kernel), E13 (concurrent service), E15 (sharded
-scatter-gather), E16 (durability), E17 (multi-process scatter) and E18
-(async serving edge) benchmarks in their smoke configurations and fails if any guarded
+scatter-gather), E16 (durability), E17 (multi-process scatter), E18
+(async serving edge) and E19 (replication tier) benchmarks in their smoke
+configurations and fails if any guarded
 throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE`` (default
 30%) below the ``smoke_baseline`` section committed in ``BENCH_e12.json``
 / ``BENCH_e13.json`` / ``BENCH_e15.json`` / ``BENCH_e16.json`` /
-``BENCH_e17.json`` / ``BENCH_e18.json``.  Every
+``BENCH_e17.json`` / ``BENCH_e18.json`` / ``BENCH_e19.json``.  Every
 equivalence assertion inside the benches still runs, so a ranking
 regression fails before a throughput one.
 
@@ -43,6 +44,7 @@ import bench_e15_sharded_retrieval as e15  # noqa: E402
 import bench_e16_durability as e16  # noqa: E402
 import bench_e17_multiproc as e17  # noqa: E402
 import bench_e18_serving as e18  # noqa: E402
+import bench_e19_replication as e19  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -55,6 +57,8 @@ _SMOKE_OPS_E16 = 128
 _SMOKE_ROUNDS_E17 = 3
 _SMOKE_ROUNDS_E18 = 2
 _SMOKE_REQUESTS_E18 = 24
+_SMOKE_OPS_E19 = 96
+_SMOKE_READS_E19 = 32
 
 
 def _smoke_corpus():
@@ -151,6 +155,26 @@ def measure_e18(corpus):
     return {"serve_qps": by_row["serve"]["qps"]}
 
 
+def measure_e19(corpus):
+    """E19 smoke metrics (replication tier, digest-verified throughout).
+
+    Runs the full E19 experiment — replica apply to parity, read fan-out
+    under a write-hammered primary, failover promotion, lag sampling —
+    with every state digest asserted, and guards the two host-stable
+    rates: replica apply throughput and promotion throughput.  The
+    fan-out speedup and lag distribution depend on thread scheduling and
+    stay unguarded.
+    """
+    apply_row, fanout_rows, promotion_row, lag_row = e19.run_experiment(
+        corpus, count=_SMOKE_OPS_E19, reads=_SMOKE_READS_E19
+    )
+    e19._sanity_check(apply_row, fanout_rows, promotion_row, lag_row)
+    return {
+        "replica_apply_ops_per_s": apply_row["ops_per_s"],
+        "promotion_ops_per_s": promotion_row["ops_per_s"],
+    }
+
+
 def check_baseline(name, baseline_path, payload, measured, tolerance):
     """Compare measured metrics against a committed payload.
 
@@ -234,6 +258,7 @@ def main(argv):
         ("e16", BENCH_DIR / "BENCH_e16.json", measure_e16),
         ("e17", BENCH_DIR / "BENCH_e17.json", measure_e17),
         ("e18", BENCH_DIR / "BENCH_e18.json", measure_e18),
+        ("e19", BENCH_DIR / "BENCH_e19.json", measure_e19),
     )
     failures = []
     for name, path, measure in suites:

@@ -180,12 +180,37 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--ingest-pause", type=float, default=0.0,
                           help="seconds to sleep between ingest ops (stretches "
                                "the crash window for the recovery smoke)")
+    loadtest.add_argument("--replicas", type=int, default=0, metavar="N",
+                          help="attach N WAL-shipping read replicas to the "
+                               "--durable directory and run the replicated "
+                               "ingest loadtest (reads fan out across the "
+                               "replica set; requires --durable and "
+                               "--ingest-ops)")
+    loadtest.add_argument("--chaos", action="store_true",
+                          help="inject the seeded chaos schedule into the "
+                               "replicated loadtest: replica kills/restarts, "
+                               "a primary kill and a failover promotion, with "
+                               "the kill-anywhere ingest oracle proving digest "
+                               "equality (requires --replicas)")
 
     recover = subparsers.add_parser(
         "recover", help="recover a durability directory and print its digest"
     )
     recover.add_argument("directory",
                          help="durability directory written by a --durable service")
+    recover.add_argument("--to-lsn", type=int, default=None, metavar="N",
+                         help="point-in-time recovery: stop replaying the WAL "
+                              "after lsn N (must be at or above the snapshot "
+                              "chain's tip watermark; earlier records were "
+                              "compacted away)")
+
+    verify = subparsers.add_parser(
+        "verify", help="offline integrity check of a durability directory"
+    )
+    verify.add_argument("directory",
+                        help="durability directory to check: WAL checksums, "
+                             "snapshot manifest chain, gap report, max "
+                             "gap-free LSN; exits nonzero on damage")
 
     return parser
 
@@ -422,6 +447,35 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.replicas < 0:
+        print(f"--replicas must be non-negative, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.chaos and not args.replicas:
+        print("--chaos requires --replicas (it faults the replica set)", file=sys.stderr)
+        return 2
+    if args.replicas:
+        if not args.durable:
+            print(
+                "--replicas requires --durable: replicas tail the primary's "
+                "WAL out of the durability directory",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.ingest_ops:
+            print(
+                "--replicas requires --ingest-ops: the replicated loadtest "
+                "is ingest-driven (writes ship to replicas through the WAL)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.serve or args.serve_deadline is not None:
+            print(
+                "--replicas and --serve are mutually exclusive: the "
+                "replicated loadtest routes reads itself (--serve-stats "
+                "still prints its metrics snapshot)",
+                file=sys.stderr,
+            )
+            return 2
     stored = load_corpus(args.corpus)
     from repro.service import ServiceConfig
 
@@ -442,6 +496,9 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
             executor=executor,
             process_workers=process_workers,
         )
+
+    if args.replicas:
+        return _run_replicated_loadtest(args, stored, out)
 
     def factory() -> RetrievalService:
         return RetrievalService.from_corpus(stored, config=service_config)
@@ -549,6 +606,90 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_replicated_loadtest(args: argparse.Namespace, stored, out) -> int:
+    """The --replicas arm of loadtest: replicated ingest + read fan-out."""
+    from repro.replication import ChaosSchedule, run_replicated_loadtest
+    from repro.service import ServiceConfig
+
+    base_config = ServiceConfig(
+        num_shards=args.shards,
+        executor="process" if args.procs else "thread",
+        process_workers=args.procs or None,
+        fsync_policy=args.fsync,
+        snapshot_interval_ops=args.snapshot_interval,
+    )
+    schedule = None
+    if args.chaos:
+        schedule = ChaosSchedule.generate(
+            seed=args.seed,
+            total_ops=args.ingest_ops,
+            replica_ids=[f"replica-{i + 1}" for i in range(args.replicas)],
+        )
+        print(
+            "chaos schedule: "
+            + ", ".join(
+                f"op {event.at_op}: {event.action}"
+                + (f" {event.target}" if event.target else "")
+                for event in schedule.events
+            ),
+            file=out,
+        )
+    report = run_replicated_loadtest(
+        stored,
+        args.durable,
+        config=base_config,
+        num_replicas=args.replicas,
+        ingest_ops=args.ingest_ops,
+        seed=args.seed,
+        chaos=schedule,
+    )
+    print(
+        f"replicated loadtest: {args.replicas} replica(s), "
+        f"{report['ingest_ops']} ingest ops (acked {report['acked_ops']}, "
+        f"failed {report['failed_ops']}), reads {report['reads_ok']} ok / "
+        f"{report['reads_failed']} failed",
+        file=out,
+    )
+    for event in report["chaos_events"]:
+        target = f" {event['target']}" if event["target"] else ""
+        print(
+            f"chaos: op {event['at_op']}: {event['action']}{target} "
+            f"-> {event['outcome']}",
+            file=out,
+        )
+    for promotion in report["promotions"]:
+        print(
+            f"promotion: {promotion['replica_id']} at lsn "
+            f"{promotion['replica_lsn']} -> promoted lsn "
+            f"{promotion['promoted_lsn']} (digests "
+            f"{'match' if promotion['digests_match'] else 'DIVERGED'}, "
+            f"{promotion['records_dropped']} records dropped beyond the "
+            f"gap-free prefix)",
+            file=out,
+        )
+    for replica_id, lag in report["lag"].items():
+        if lag.get("count"):
+            print(
+                f"lag {replica_id}: mean={lag['mean']:.1f} "
+                f"p95={lag['p95']:.1f} max={lag['max']:.0f} lsn "
+                f"({lag['count']:.0f} samples)",
+                file=out,
+            )
+    print(f"final lsn: {report['final_lsn']}", file=out)
+    print(f"state-digest: {report['primary_digest']}", file=out)
+    print(
+        f"replicas-match: {'yes' if report['replicas_match'] else 'NO'}",
+        file=out,
+    )
+    print(
+        f"oracle-match: {'yes' if report['oracle_match'] else 'NO'}",
+        file=out,
+    )
+    if args.serve_stats:
+        _print_serving_stats(report["metrics"], out)
+    return 0 if report["replicas_match"] and report["oracle_match"] else 1
+
+
 def _print_serving_stats(metrics, out) -> None:
     """Render a serving metrics snapshot as a compact fixed-width report."""
     if not metrics:
@@ -575,6 +716,12 @@ def _print_serving_stats(metrics, out) -> None:
             print(track_line(endpoint, track), file=out)
     else:
         print("    (no completed requests)", file=out)
+    tenants = metrics.get("tenants", {})
+    if tenants:
+        print("  per-tenant latency:", file=out)
+        for tenant, by_endpoint in tenants.items():
+            for endpoint, track in by_endpoint.items():
+                print(track_line(f"{tenant}:{endpoint}", track), file=out)
     print(track_line("queue-wait", metrics.get("queue_wait")), file=out)
     fanout = metrics.get("shard_fanout", {})
     print(track_line("shard-fanout", fanout), file=out)
@@ -610,8 +757,14 @@ def _command_recover(args: argparse.Namespace, out) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.to_lsn is not None and args.to_lsn < 0:
+        print(
+            f"recovery failed: --to-lsn must be non-negative, got {args.to_lsn}",
+            file=sys.stderr,
+        )
+        return 1
     try:
-        state = RecoveryManager(args.directory).recover()
+        state = RecoveryManager(args.directory, stop_lsn=args.to_lsn).recover()
     except RecoveryError as error:
         print(f"recovery failed: {error}", file=sys.stderr)
         return 1
@@ -620,6 +773,14 @@ def _command_recover(args: argparse.Namespace, out) -> int:
         f"(snapshot lsn {state.snapshot_lsn}), applied lsn {state.applied_lsn}",
         file=out,
     )
+    if args.to_lsn is not None:
+        print(
+            f"point-in-time cut: stopped at lsn {state.applied_lsn} "
+            f"(requested {args.to_lsn}); "
+            f"{state.wal_records_beyond_stop} durable records beyond the "
+            f"cut were not replayed",
+            file=out,
+        )
     print(
         f"WAL replay: {state.wal_index_ops} index ops, "
         f"{state.wal_feedback_ops} feedback batches, "
@@ -639,6 +800,22 @@ def _command_recover(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace, out) -> int:
+    from repro.durability import verify_directory
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(
+            f"verify failed: {args.directory!r} is not a directory",
+            file=sys.stderr,
+        )
+        return 1
+    report = verify_directory(directory)
+    for line in report.lines():
+        print(line, file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -652,6 +829,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "analyse-logs": _command_analyse_logs,
         "loadtest": _command_loadtest,
         "recover": _command_recover,
+        "verify": _command_verify,
     }
     try:
         return handlers[args.command](args, out)

@@ -14,6 +14,7 @@ from repro.durability.digest import engine_state_digest, state_digest
 from repro.durability.manager import DurabilityManager
 from repro.durability.recovery import RecoveredState, RecoveryError, RecoveryManager
 from repro.durability.snapshots import SnapshotError, SnapshotStore
+from repro.durability.verify import SegmentReport, VerifyReport, verify_directory
 from repro.durability.wal import FSYNC_POLICIES, WalError, WriteAheadLog
 
 __all__ = [
@@ -22,10 +23,13 @@ __all__ = [
     "RecoveredState",
     "RecoveryError",
     "RecoveryManager",
+    "SegmentReport",
     "SnapshotError",
     "SnapshotStore",
+    "VerifyReport",
     "WalError",
     "WriteAheadLog",
     "engine_state_digest",
     "state_digest",
+    "verify_directory",
 ]

@@ -216,13 +216,32 @@ class DurabilityManager:
 
     def statistics(self) -> Dict[str, float]:
         """Write-path counters for benchmarks and reports."""
-        return {
+        acks = self._wal.replica_acknowledgements()
+        stats = {
             "wal_records": float(self._wal.records_appended),
             "wal_bytes": float(self._wal.bytes_appended),
             "last_lsn": float(self._wal.last_lsn),
             "checkpoints": float(self._checkpoints_written),
             "ops_since_checkpoint": float(self._ops_since_checkpoint),
+            "replicas": float(len(acks)),
         }
+        if acks:
+            stats["replica_min_acknowledged_lsn"] = float(min(acks.values()))
+        return stats
+
+    # -- replication guard ---------------------------------------------------------
+
+    def register_replica(self, replica_id: str, acknowledged_lsn: int = 0) -> None:
+        """Pin compaction behind a replica tailing this directory's WAL."""
+        self._wal.register_replica(replica_id, acknowledged_lsn)
+
+    def acknowledge_replica(self, replica_id: str, lsn: int) -> int:
+        """Advance a registered replica's acknowledged LSN (monotonic)."""
+        return self._wal.acknowledge_replica(replica_id, lsn)
+
+    def unregister_replica(self, replica_id: str) -> None:
+        """Release a replica's compaction pin (idempotent)."""
+        self._wal.unregister_replica(replica_id)
 
     # -- write-path hooks (called under the engine's exclusive writer) -------------
 

@@ -94,9 +94,11 @@ class RecoveredState:
     wal_feedback_ops: int = 0
     wal_skipped_duplicates: int = 0
     wal_dropped_records: int = 0
+    wal_records_beyond_stop: int = 0
     tail_errors: Dict[str, str] = field(default_factory=dict)
     baseline_text_count: int = 0
     baseline_shot_count: int = 0
+    stop_lsn: Optional[int] = None
 
     @property
     def text_count(self) -> int:
@@ -124,12 +126,25 @@ class RecoveredState:
 
 
 class RecoveryManager:
-    """Restores a durability directory to its last durable index state."""
+    """Restores a durability directory to its last durable index state.
 
-    def __init__(self, directory: PathLike) -> None:
+    ``stop_lsn`` selects a **point-in-time** cut instead of the full
+    durable prefix: replay stops after applying the record at that LSN, so
+    the recovered state is exactly the state the service held when that
+    write completed.  The cut must lie at or past the snapshot tip's
+    watermark — records at or below it were compacted away by a checkpoint
+    and can no longer be replayed individually — and recovery raises
+    :class:`RecoveryError` for an infeasible cut rather than silently
+    recovering a different state.
+    """
+
+    def __init__(self, directory: PathLike, stop_lsn: Optional[int] = None) -> None:
+        if stop_lsn is not None and stop_lsn < 0:
+            raise RecoveryError(f"stop_lsn must be non-negative, got {stop_lsn}")
         self._directory = Path(directory)
         self._header = read_header(self._directory)
         self._num_shards = int(self._header["num_shards"])
+        self._stop_lsn = stop_lsn
 
     @property
     def directory(self) -> Path:
@@ -146,6 +161,11 @@ class RecoveryManager:
         """The directory header."""
         return dict(self._header)
 
+    @property
+    def stop_lsn(self) -> Optional[int]:
+        """The requested point-in-time cut (``None`` = full durable prefix)."""
+        return self._stop_lsn
+
     def recover(self) -> RecoveredState:
         """Snapshot chain + gap-free WAL prefix → :class:`RecoveredState`."""
         store = SnapshotStore(self._directory, self._num_shards)
@@ -153,6 +173,14 @@ class RecoveryManager:
             base = store.load_base()
         except SnapshotError as error:
             raise RecoveryError(str(error)) from None
+        if self._stop_lsn is not None and self._stop_lsn < base.wal_lsn:
+            raise RecoveryError(
+                f"cannot recover to lsn {self._stop_lsn}: the snapshot "
+                f"chain's tip already covers the log through lsn "
+                f"{base.wal_lsn}, so records at or below that watermark "
+                f"were compacted away and cannot be replayed to an earlier "
+                f"cut (feasible cuts are lsn >= {base.wal_lsn})"
+            )
         wal = WriteAheadLog(self._directory, self._num_shards)
         try:
             records, tail_errors = wal.scan_all()
@@ -169,6 +197,7 @@ class RecoveryManager:
             tail_errors=tail_errors,
             baseline_text_count=base.baseline_text_count,
             baseline_shot_count=base.baseline_shot_count,
+            stop_lsn=self._stop_lsn,
         )
         documents_seen = {document_id for document_id, _ in state.documents}
         shots_seen = {shot_id for shot_id, _, _ in state.shots}
@@ -183,6 +212,13 @@ class RecoveryManager:
         expected = base.wal_lsn + 1
         for record in tail:
             lsn = int(record["lsn"])
+            if self._stop_lsn is not None and lsn > self._stop_lsn:
+                # The point-in-time cut: everything past it is intact on
+                # disk but deliberately excluded from this recovery.
+                state.wal_records_beyond_stop = (
+                    len(tail) - state.wal_index_ops - state.wal_feedback_ops
+                )
+                break
             if lsn != expected:
                 # A hole: a record on some segment was lost (torn tail or
                 # corruption).  Everything from here on is beyond the

@@ -205,6 +205,10 @@ class WriteAheadLog:
         self._appends_since_sync = 0
         self._bytes_appended = 0
         self._records_appended = 0
+        # Replication guard: registered replicas pin compaction.  Maps
+        # replica id -> highest LSN that replica has acknowledged applying;
+        # truncate_through never drops records past the minimum of these.
+        self._replica_acks: Dict[str, int] = {}
         self._segments: Dict[str, WalSegment] = {}
         for shard in range(num_shards):
             self._segments[segment_filename(shard)] = WalSegment(
@@ -252,6 +256,51 @@ class WriteAheadLog:
     def segments(self) -> List[WalSegment]:
         """The live segment objects (shards first, meta last)."""
         return list(self._segments.values())
+
+    # -- replication guard ---------------------------------------------------------
+
+    def register_replica(self, replica_id: str, acknowledged_lsn: int = 0) -> None:
+        """Register a replica tailing this log.
+
+        While registered, :meth:`truncate_through` refuses to drop records
+        past the replica's acknowledged LSN, so a slow follower can always
+        finish the segment it is reading instead of finding its tail
+        compacted away mid-apply.
+        """
+        if not replica_id:
+            raise WalError("replica_id must be non-empty")
+        with self._lock:
+            self._replica_acks[replica_id] = max(
+                int(acknowledged_lsn), self._replica_acks.get(replica_id, 0)
+            )
+
+    def acknowledge_replica(self, replica_id: str, lsn: int) -> int:
+        """Record a replica's applied LSN (monotonic); returns the stored value."""
+        with self._lock:
+            if replica_id not in self._replica_acks:
+                raise WalError(
+                    f"replica {replica_id!r} is not registered with this WAL"
+                )
+            stored = max(self._replica_acks[replica_id], int(lsn))
+            self._replica_acks[replica_id] = stored
+            return stored
+
+    def unregister_replica(self, replica_id: str) -> None:
+        """Drop a replica's compaction pin (idempotent)."""
+        with self._lock:
+            self._replica_acks.pop(replica_id, None)
+
+    def min_acknowledged_lsn(self) -> Optional[int]:
+        """The slowest registered replica's LSN (``None`` with no replicas)."""
+        with self._lock:
+            if not self._replica_acks:
+                return None
+            return min(self._replica_acks.values())
+
+    def replica_acknowledgements(self) -> Dict[str, int]:
+        """Snapshot of every registered replica's acknowledged LSN."""
+        with self._lock:
+            return dict(self._replica_acks)
 
     # -- appending ---------------------------------------------------------------
 
@@ -325,8 +374,17 @@ class WriteAheadLog:
         whose snapshot covers the log up to ``lsn``; the rewrite is atomic
         per segment, and a crash between segments only leaves extra
         already-snapshotted records, which recovery skips idempotently.
+
+        When replicas are registered (:meth:`register_replica`), the
+        truncation point is clamped to the slowest replica's acknowledged
+        LSN: records a follower has not applied yet stay on disk even
+        though the snapshot already covers them.  Recovery skips the
+        leftovers idempotently, so holding them back is always safe — it
+        only defers reclaiming their bytes until the replica catches up.
         """
         with self._lock:
+            if self._replica_acks:
+                lsn = min(lsn, min(self._replica_acks.values()))
             dropped = 0
             for segment in self._segments.values():
                 records, tail_error = segment.scan()

@@ -1,0 +1,59 @@
+"""Replication tier: WAL-shipping read replicas, routing, and failover.
+
+The package splits along the import graph deliberately:
+
+- :mod:`repro.replication.config` and :mod:`repro.replication.errors`
+  are leaf modules (stdlib + validation helpers only) imported eagerly —
+  :class:`~repro.service.config.ServiceConfig` embeds
+  :class:`ReplicationConfig`, so these must not pull the service layer in.
+- The heavy machinery (:class:`ReplicaServer`, :class:`ReplicatedService`,
+  the chaos harness) *does* import :mod:`repro.service`, so it is exposed
+  lazily via module ``__getattr__`` to keep the package importable from
+  inside the service layer without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.replication.config import ReplicationConfig
+from repro.replication.errors import (
+    NoReplicaAvailableError,
+    PrimaryUnavailableError,
+    PromotionError,
+    ReplicaClosedError,
+    ReplicaLaggingError,
+    ReplicationError,
+)
+
+#: Lazily exposed symbols -> the submodule that defines them.
+_LAZY = {
+    "ReplicaServer": "repro.replication.replica",
+    "PromotionResult": "repro.replication.replica",
+    "ReplicatedService": "repro.replication.router",
+    "ReplicaInfo": "repro.replication.router",
+    "ChaosEvent": "repro.replication.chaos",
+    "ChaosSchedule": "repro.replication.chaos",
+    "run_replicated_loadtest": "repro.replication.chaos",
+}
+
+__all__ = [
+    "ReplicationConfig",
+    "ReplicationError",
+    "ReplicaLaggingError",
+    "ReplicaClosedError",
+    "PrimaryUnavailableError",
+    "PromotionError",
+    "NoReplicaAvailableError",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

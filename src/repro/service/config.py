@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.durability.wal import FSYNC_POLICIES
+from repro.replication.config import ReplicationConfig
 from repro.retrieval.engine import EngineConfig
 from repro.serving.config import ServingConfig
 from repro.utils.validation import ensure_positive
@@ -87,6 +88,13 @@ class ServiceConfig:
         quotas).  ``None`` (the default) means the service is only used as
         an in-process facade; :class:`~repro.serving.ServingFrontend`
         resolves its limits from this field.
+    replication:
+        Optional :class:`~repro.replication.config.ReplicationConfig`
+        carrying the replication tier's staleness bounds, polling cadence
+        and read-retry policy.  ``None`` (the default) leaves replicas and
+        routers on :class:`ReplicationConfig`'s own defaults; the field
+        only makes sense together with ``durability_dir`` (a replica tails
+        the WAL of a durable primary).
     """
 
     scorer: str = "bm25"
@@ -108,6 +116,7 @@ class ServiceConfig:
     fsync_policy: str = "interval"
     snapshot_interval_ops: int = 256
     serving: Optional[ServingConfig] = None
+    replication: Optional[ReplicationConfig] = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")

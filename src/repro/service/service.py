@@ -98,6 +98,74 @@ CorpusLike = Union[SyntheticCorpus, StoredCorpus]
 _RESOLVE_RETRIES = 8
 
 
+def build_engine(
+    collection: Collection,
+    config: ServiceConfig,
+    recovered: Optional[RecoveredState] = None,
+    tokenizer: Optional[Tokenizer] = None,
+) -> VideoRetrievalEngine:
+    """Build the engine a :class:`ServiceConfig` describes over a collection.
+
+    When ``recovered`` is given, the indexes are rebuilt from the recovered
+    insertion sequence instead of the collection (the collection then only
+    decorates results) — the exact construction a durable service performs
+    on restart.  Factored out of :class:`RetrievalService` so read replicas
+    (:mod:`repro.replication`) build bit-identical engines through the very
+    same path, without owning sessions or a durability manager.
+    """
+    tokenizer = tokenizer or Tokenizer()
+    if config.num_shards > 1:
+        # Sharded substrate: scatter-gather engine whose merged rankings
+        # are bit-identical to the single engine below.  Each shard's
+        # scorer is resolved through the same registry, built over a
+        # global-statistics view of that shard.
+        sharded_kwargs = {}
+        if recovered is not None:
+            from repro.sharding.router import ShardRouter
+
+            text_index, visual_index = build_sharded_indexes(
+                recovered,
+                ShardRouter(config.num_shards),
+                tokenizer=tokenizer,
+            )
+            sharded_kwargs = {
+                "text_index": text_index,
+                "visual_index": visual_index,
+            }
+        return ShardedEngine(
+            collection,
+            config=config.engine_config(),
+            tokenizer=tokenizer,
+            num_shards=config.num_shards,
+            shard_scorer_factory=lambda view: create_scorer(
+                config.scorer, view, config
+            ),
+            executor=config.executor,
+            process_workers=config.process_workers,
+            process_scorer=(config.scorer, config),
+            **sharded_kwargs,
+        )
+    if recovered is not None:
+        inverted_index, visual_index = build_monolithic_indexes(
+            recovered, tokenizer=tokenizer
+        )
+    else:
+        inverted_index = InvertedIndex.from_collection(collection, tokenizer=tokenizer)
+        visual_index = None
+    # Resolving through the registry (rather than EngineConfig's own
+    # string switch) is what lets register_scorer() extensions work and
+    # makes unknown names fail with the registered alternatives listed.
+    scorer = create_scorer(config.scorer, inverted_index, config)
+    return VideoRetrievalEngine(
+        collection,
+        inverted_index=inverted_index,
+        visual_index=visual_index,
+        config=config.engine_config(),
+        tokenizer=tokenizer,
+        text_scorer=scorer,
+    )
+
+
 class RetrievalService:
     """Multi-user adaptive retrieval over one collection.
 
@@ -137,60 +205,9 @@ class RetrievalService:
                     f"asks for num_shards={self._config.num_shards}"
                 )
 
-        if self._config.num_shards > 1:
-            # Sharded substrate: scatter-gather engine whose merged rankings
-            # are bit-identical to the single engine below.  Each shard's
-            # scorer is resolved through the same registry, built over a
-            # global-statistics view of that shard.
-            service_config = self._config
-            sharded_kwargs = {}
-            if recovered is not None:
-                from repro.sharding.router import ShardRouter
-
-                text_index, visual_index = build_sharded_indexes(
-                    recovered,
-                    ShardRouter(self._config.num_shards),
-                    tokenizer=tokenizer,
-                )
-                sharded_kwargs = {
-                    "text_index": text_index,
-                    "visual_index": visual_index,
-                }
-            self._engine: VideoRetrievalEngine = ShardedEngine(
-                collection,
-                config=self._config.engine_config(),
-                tokenizer=tokenizer,
-                num_shards=self._config.num_shards,
-                shard_scorer_factory=lambda view: create_scorer(
-                    service_config.scorer, view, service_config
-                ),
-                executor=self._config.executor,
-                process_workers=self._config.process_workers,
-                process_scorer=(service_config.scorer, service_config),
-                **sharded_kwargs,
-            )
-        else:
-            if recovered is not None:
-                inverted_index, visual_index = build_monolithic_indexes(
-                    recovered, tokenizer=tokenizer
-                )
-            else:
-                inverted_index = InvertedIndex.from_collection(
-                    collection, tokenizer=tokenizer
-                )
-                visual_index = None
-            # Resolving through the registry (rather than EngineConfig's own
-            # string switch) is what lets register_scorer() extensions work and
-            # makes unknown names fail with the registered alternatives listed.
-            scorer = create_scorer(self._config.scorer, inverted_index, self._config)
-            self._engine = VideoRetrievalEngine(
-                collection,
-                inverted_index=inverted_index,
-                visual_index=visual_index,
-                config=self._config.engine_config(),
-                tokenizer=tokenizer,
-                text_scorer=scorer,
-            )
+        self._engine: VideoRetrievalEngine = build_engine(
+            collection, self._config, recovered=recovered, tokenizer=tokenizer
+        )
 
         if durability_dir is not None:
             if recovered is not None:

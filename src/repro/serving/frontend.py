@@ -314,7 +314,7 @@ class ServingFrontend:
             raise
 
         self._metrics.increment("completed")
-        self._metrics.observe_latency(endpoint, self._clock() - started)
+        self._metrics.observe_latency(endpoint, self._clock() - started, tenant=tenant)
         return result
 
     # -- metrics ------------------------------------------------------------------

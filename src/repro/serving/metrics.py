@@ -197,8 +197,9 @@ class LatencyTrack:
 class MetricsRegistry:
     """All serving metrics behind one snapshot.
 
-    * ``observe_latency(endpoint, seconds)`` — per-endpoint latency
-      distributions (p50/p95/p99 via :class:`LatencyTrack`).
+    * ``observe_latency(endpoint, seconds, tenant=None)`` — per-endpoint
+      latency distributions (p50/p95/p99 via :class:`LatencyTrack`), with
+      an optional per-tenant breakdown of the same distributions.
     * ``increment(counter)`` — admission/rejection/outcome counters.
     * ``observe_queue_wait(seconds)`` / ``observe_fanout(seconds, shards)``
       — dedicated tracks for admission-queue wait and shard fan-out time.
@@ -212,19 +213,35 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._latency: Dict[str, LatencyTrack] = {}
+        self._tenant_latency: Dict[str, Dict[str, LatencyTrack]] = {}
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._queue_wait = LatencyTrack()
         self._fanout = LatencyTrack()
         self._fanout_shards = 0
 
-    def observe_latency(self, endpoint: str, seconds: float) -> None:
-        """Record one completed request's latency for an endpoint."""
+    def observe_latency(
+        self, endpoint: str, seconds: float, tenant: Optional[str] = None
+    ) -> None:
+        """Record one completed request's latency for an endpoint.
+
+        With ``tenant`` set the observation additionally lands in that
+        tenant's per-endpoint track, so :meth:`snapshot` can break the
+        same distributions down per tenant.
+        """
         with self._lock:
             track = self._latency.get(endpoint)
             if track is None:
                 track = self._latency[endpoint] = LatencyTrack()
+            tenant_track = None
+            if tenant is not None:
+                by_endpoint = self._tenant_latency.setdefault(tenant, {})
+                tenant_track = by_endpoint.get(endpoint)
+                if tenant_track is None:
+                    tenant_track = by_endpoint[endpoint] = LatencyTrack()
         track.observe(seconds)
+        if tenant_track is not None:
+            tenant_track.observe(seconds)
 
     def observe_queue_wait(self, seconds: float) -> None:
         """Record how long one admitted request waited for a slot."""
@@ -255,6 +272,10 @@ class MetricsRegistry:
         """One JSON-serialisable view of every metric."""
         with self._lock:
             latency_tracks = dict(self._latency)
+            tenant_tracks = {
+                tenant: dict(by_endpoint)
+                for tenant, by_endpoint in self._tenant_latency.items()
+            }
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             fanout_shards = self._fanout_shards
@@ -264,6 +285,13 @@ class MetricsRegistry:
         return {
             "endpoints": {
                 name: track.snapshot() for name, track in sorted(latency_tracks.items())
+            },
+            "tenants": {
+                tenant: {
+                    name: track.snapshot()
+                    for name, track in sorted(by_endpoint.items())
+                }
+                for tenant, by_endpoint in sorted(tenant_tracks.items())
             },
             "counters": {name: counters[name] for name in sorted(counters)},
             "gauges": {name: gauges[name] for name in sorted(gauges)},
