@@ -1,0 +1,321 @@
+"""E20 — Mutable corpus: delete/update throughput, compaction, continuous mix.
+
+Three questions, with the delete-vs-rebuild differential as the
+correctness oracle before anything is timed:
+
+* **Mutation path cost** — ops/s of tombstoning deletes and slot-moving
+  updates over a pre-ingested corpus, against plain ingest on the same
+  service.  Deletes scrub postings eagerly (bisect + column delete per
+  term), so they are expected to cost the same order as an ingest, not a
+  rebuild.
+
+* **Compaction** — slots/s at which ``compact_engine`` re-interns the
+  survivors of a heavily-tombstoned corpus, after asserting the state
+  digest (hole-insensitive) is unchanged and rankings match a
+  from-scratch rebuild over the survivors bit for bit.
+
+* **Continuous mix** — records/s of the interleaved
+  ingest/delete/update/search/feedback/compaction workload
+  (:func:`repro.workload.run_continuous_mix`), after asserting the
+  canonical op log is byte-identical across 1 and 4 search workers.
+
+``BENCH_e20.json`` next to this file records baselines plus the
+``smoke_baseline`` section guarded by ``check_bench_regression.py``
+(guarded metrics: ``delete_ops_per_s``, ``compact_slots_per_s``,
+``mix_records_per_s`` — host-stable higher-is-better rates; the
+update/ingest rows are recorded for trajectory, never guarded).  Run with
+``--write-baseline`` to refresh, ``--smoke`` for the CI sanity check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from _common import print_table
+except ImportError:  # script mode: python benchmarks/bench_e20_mutable_corpus.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from _common import print_table
+
+from repro.durability import engine_state_digest
+from repro.retrieval import Query
+from repro.service import RetrievalService, ServiceConfig
+from repro.workload import ContinuousMixSpec, run_continuous_mix
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_e20.json"
+
+INGEST_SEED = 2008
+
+def _queries(corpus, count=3):
+    """Queries drawn from the corpus's own transcripts (non-empty hits) plus
+    the synthetic ingest vocabulary (hits while ingested content is live)."""
+    queries = ["election protest flood summit"]
+    for shot in corpus.collection.iter_shots():
+        words = [w for w in shot.transcript.lower().split() if len(w) > 3]
+        if len(words) >= 2:
+            queries.append(" ".join(words[:3]))
+        if len(queries) == count + 1:
+            break
+    return queries
+
+
+def _service(corpus):
+    return RetrievalService(
+        corpus.collection, config=ServiceConfig(result_cache_size=0)
+    )
+
+
+def _ops(service, count):
+    return synthetic_ingest_ops(
+        count, seed=INGEST_SEED, feature_dim=service_feature_dim(service)
+    )
+
+
+def _assert_same_rankings(reference, candidate, queries):
+    compared = 0
+    for text in queries:
+        expected = reference.engine.search(Query(text=text), limit=None)
+        actual = candidate.engine.search(Query(text=text), limit=None)
+        assert expected.shot_ids() == actual.shot_ids(), text
+        assert [item.score for item in expected.items] == [
+            item.score for item in actual.items
+        ], text
+        compared += len(expected.items)
+    assert compared > 0, "differential compared no hits"
+
+
+def _mutation_rows(corpus, count):
+    """Ingest / delete / update throughput on the same op stream."""
+    queries = _queries(corpus)
+    service = _service(corpus)
+    ops = _ops(service, count)
+    start = time.perf_counter()
+    apply_ingest(service, ops)
+    ingest_elapsed = time.perf_counter() - start
+
+    doc_ids = [op[1] for op in ops if op[0] == "doc"]
+    start = time.perf_counter()
+    for document_id in doc_ids:
+        service.update_document(document_id, f"rewrite summit verdict {document_id}")
+    update_elapsed = time.perf_counter() - start
+
+    shot_ids = [op[1] for op in ops if op[0] == "shot"]
+    start = time.perf_counter()
+    for document_id in doc_ids:
+        service.delete_document(document_id)
+    for shot_id in shot_ids:
+        service.delete_shot(shot_id)
+    delete_elapsed = time.perf_counter() - start
+    deletes = len(doc_ids) + len(shot_ids)
+
+    # Correctness oracle: with every ingested item deleted again, the
+    # service must rank exactly like one that never saw the stream.
+    pristine = _service(corpus)
+    _assert_same_rankings(pristine, service, queries)
+    assert service.compact().reclaimed == deletes + len(doc_ids)
+    _assert_same_rankings(pristine, service, queries)
+    assert engine_state_digest(service.engine) == engine_state_digest(
+        pristine.engine
+    )
+    pristine.close()
+    service.close()
+    return [
+        {
+            "row": "ingest",
+            "ops": count,
+            "seconds": ingest_elapsed,
+            "ops_per_s": count / ingest_elapsed if ingest_elapsed else 0.0,
+        },
+        {
+            "row": "update",
+            "ops": len(doc_ids),
+            "seconds": update_elapsed,
+            "ops_per_s": len(doc_ids) / update_elapsed if update_elapsed else 0.0,
+        },
+        {
+            "row": "delete",
+            "ops": deletes,
+            "seconds": delete_elapsed,
+            "ops_per_s": deletes / delete_elapsed if delete_elapsed else 0.0,
+        },
+    ]
+
+
+def _compaction_row(corpus, count):
+    """Compaction throughput with half the ingested stream tombstoned."""
+    queries = _queries(corpus)
+    service = _service(corpus)
+    ops = _ops(service, count)
+    apply_ingest(service, ops)
+    victims = [op[1] for op in ops[::2]]
+    for op in ops[::2]:
+        if op[0] == "doc":
+            service.delete_document(op[1])
+        else:
+            service.delete_shot(op[1])
+    before = engine_state_digest(service.engine)
+
+    survivors = _service(corpus)
+    for op in ops:
+        if op[1] in victims:
+            continue
+        if op[0] == "doc":
+            survivors.index_documents({op[1]: op[2]})
+        else:
+            survivors.index_shot(op[1], op[2], op[3])
+
+    start = time.perf_counter()
+    stats = service.compact()
+    elapsed = time.perf_counter() - start
+    assert stats.reclaimed == len(victims)
+    assert engine_state_digest(service.engine) == before
+    _assert_same_rankings(survivors, service, queries)
+    assert engine_state_digest(service.engine) == engine_state_digest(
+        survivors.engine
+    )
+    live = (
+        service.engine.inverted_index.document_count
+        + service.engine.visual_index.shot_count
+    )
+    survivors.close()
+    service.close()
+    return {
+        "row": "compact",
+        "tombstones": len(victims),
+        "live_slots": live,
+        "seconds": elapsed,
+        "slots_per_s": (len(victims) + live) / elapsed if elapsed else 0.0,
+    }
+
+
+def _mix_row(corpus, epochs, mutations):
+    """Continuous-mix throughput; log pinned across worker counts first."""
+    logs = []
+    results = []
+    for workers in (1, 4):
+        service = _service(corpus)
+        spec = ContinuousMixSpec(
+            epochs=epochs,
+            mutations_per_epoch=mutations,
+            searches_per_epoch=6,
+            compact_every=2,
+            search_workers=workers,
+            seed=INGEST_SEED,
+        )
+        result = run_continuous_mix(service, spec)
+        service.close()
+        logs.append(result.canonical_log())
+        results.append(result)
+    assert logs[0] == logs[1], "mix log depends on search worker count"
+    result = results[-1]
+    records = len(result.records)
+    return {
+        "row": "mix",
+        "records": records,
+        "seconds": result.wall_seconds,
+        "records_per_s": (
+            records / result.wall_seconds if result.wall_seconds else 0.0
+        ),
+        "reclaimed": result.counts["reclaimed"],
+    }
+
+
+def _sanity_check(mutation_rows, compaction_row, mix_row):
+    for row in mutation_rows:
+        assert row["ops_per_s"] > 0, f"{row['row']}: no throughput measured"
+    assert compaction_row["slots_per_s"] > 0
+    assert mix_row["records_per_s"] > 0
+    assert mix_row["reclaimed"] > 0, "mix never reclaimed a tombstone"
+
+
+def run_experiment(bench_corpus, count=256, epochs=4, mutations=12):
+    mutation_rows = _mutation_rows(bench_corpus, count)
+    compaction_row = _compaction_row(bench_corpus, count)
+    mix_row = _mix_row(bench_corpus, epochs, mutations)
+    return mutation_rows, compaction_row, mix_row
+
+
+def test_e20_mutable_corpus(benchmark, bench_corpus):
+    mutation_rows, compaction_row, mix_row = benchmark.pedantic(
+        run_experiment, args=(bench_corpus,), rounds=1, iterations=1
+    )
+    print_table("E20a: mutation write path (differential-verified)", mutation_rows)
+    print_table("E20b: compaction reclaim", [compaction_row])
+    print_table("E20c: continuous-ingest mix", [mix_row])
+    _sanity_check(mutation_rows, compaction_row, mix_row)
+
+
+def _main(argv):
+    smoke = "--smoke" in argv
+    write_baseline = "--write-baseline" in argv
+    from repro.collection import CollectionConfig, generate_corpus
+
+    if smoke:
+        corpus = generate_corpus(
+            seed=7,
+            config=CollectionConfig(days=4, stories_per_day=5, topic_count=6),
+        )
+        count, epochs, mutations = 128, 3, 8
+    else:
+        corpus = generate_corpus(
+            seed=2008,
+            config=CollectionConfig(
+                days=24, stories_per_day=9, topic_count=16, min_stories_per_topic=3
+            ),
+        )
+        count, epochs, mutations = 512, 6, 16
+    mutation_rows, compaction_row, mix_row = run_experiment(
+        corpus, count=count, epochs=epochs, mutations=mutations
+    )
+    print_table("E20a: mutation write path (differential-verified)", mutation_rows)
+    print_table("E20b: compaction reclaim", [compaction_row])
+    print_table("E20c: continuous-ingest mix", [mix_row])
+    _sanity_check(mutation_rows, compaction_row, mix_row)
+    if write_baseline:
+        # The guarded smoke_baseline section is refreshed through
+        # check_bench_regression.py --update, not here.
+        smoke_baseline = None
+        if BASELINE_PATH.exists():
+            smoke_baseline = json.loads(BASELINE_PATH.read_text()).get(
+                "smoke_baseline"
+            )
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    **({"smoke_baseline": smoke_baseline} if smoke_baseline else {}),
+                    "corpus": "smoke" if smoke else "bench standard (seed 2008)",
+                    "ops": count,
+                    "note": (
+                        "Every row asserts the mutable-corpus differential "
+                        "before reporting numbers: rankings after "
+                        "delete/update/compact are bit-identical to a "
+                        "from-scratch rebuild over the survivors, and the "
+                        "canonical mix log is byte-identical across search "
+                        "worker counts."
+                    ),
+                    "mutation": mutation_rows,
+                    "compaction": compaction_row,
+                    "mix": mix_row,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+    print(
+        "e20 ok: delete/update/compact rankings differential-verified; "
+        "continuous mix deterministic across worker counts"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main(sys.argv[1:]))

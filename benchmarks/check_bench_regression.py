@@ -2,12 +2,14 @@
 
 Runs the E12 (scoring kernel), E13 (concurrent service), E15 (sharded
 scatter-gather), E16 (durability), E17 (multi-process scatter), E18
-(async serving edge) and E19 (replication tier) benchmarks in their smoke
+(async serving edge), E19 (replication tier) and E20 (mutable corpus)
+benchmarks in their smoke
 configurations and fails if any guarded
 throughput metric drops more than ``BENCH_REGRESSION_TOLERANCE`` (default
 30%) below the ``smoke_baseline`` section committed in ``BENCH_e12.json``
 / ``BENCH_e13.json`` / ``BENCH_e15.json`` / ``BENCH_e16.json`` /
-``BENCH_e17.json`` / ``BENCH_e18.json`` / ``BENCH_e19.json``.  Every
+``BENCH_e17.json`` / ``BENCH_e18.json`` / ``BENCH_e19.json`` /
+``BENCH_e20.json``.  Every
 equivalence assertion inside the benches still runs, so a ranking
 regression fails before a throughput one.
 
@@ -45,6 +47,7 @@ import bench_e16_durability as e16  # noqa: E402
 import bench_e17_multiproc as e17  # noqa: E402
 import bench_e18_serving as e18  # noqa: E402
 import bench_e19_replication as e19  # noqa: E402
+import bench_e20_mutable_corpus as e20  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
 
@@ -59,6 +62,9 @@ _SMOKE_ROUNDS_E18 = 2
 _SMOKE_REQUESTS_E18 = 24
 _SMOKE_OPS_E19 = 96
 _SMOKE_READS_E19 = 32
+_SMOKE_OPS_E20 = 128
+_SMOKE_EPOCHS_E20 = 3
+_SMOKE_MUTATIONS_E20 = 8
 
 
 def _smoke_corpus():
@@ -175,6 +181,30 @@ def measure_e19(corpus):
     }
 
 
+def measure_e20(corpus):
+    """E20 smoke metrics (mutable corpus, differential-verified).
+
+    Runs the full E20 experiment — delete/update/compact rankings
+    asserted bit-identical to a rebuild over the survivors, continuous
+    mix pinned byte-identical across worker counts — and guards the three
+    host-stable rates.  The ingest/update rows are recorded in
+    ``BENCH_e20.json`` for trajectory but never guarded.
+    """
+    mutation_rows, compaction_row, mix_row = e20.run_experiment(
+        corpus,
+        count=_SMOKE_OPS_E20,
+        epochs=_SMOKE_EPOCHS_E20,
+        mutations=_SMOKE_MUTATIONS_E20,
+    )
+    e20._sanity_check(mutation_rows, compaction_row, mix_row)
+    by_row = {row["row"]: row for row in mutation_rows}
+    return {
+        "delete_ops_per_s": by_row["delete"]["ops_per_s"],
+        "compact_slots_per_s": compaction_row["slots_per_s"],
+        "mix_records_per_s": mix_row["records_per_s"],
+    }
+
+
 def check_baseline(name, baseline_path, payload, measured, tolerance):
     """Compare measured metrics against a committed payload.
 
@@ -259,6 +289,7 @@ def main(argv):
         ("e17", BENCH_DIR / "BENCH_e17.json", measure_e17),
         ("e18", BENCH_DIR / "BENCH_e18.json", measure_e18),
         ("e19", BENCH_DIR / "BENCH_e19.json", measure_e19),
+        ("e20", BENCH_DIR / "BENCH_e20.json", measure_e20),
     )
     failures = []
     for name, path, measure in suites:

@@ -192,6 +192,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "a primary kill and a failover promotion, with "
                                "the kill-anywhere ingest oracle proving digest "
                                "equality (requires --replicas)")
+    loadtest.add_argument("--mix-epochs", type=int, default=0, metavar="N",
+                          help="run the continuous-ingest mix instead of the "
+                               "user workload: N epochs of interleaved "
+                               "ingest/delete/update/feedback mutations with "
+                               "concurrent searches and periodic compaction "
+                               "(digest-deterministic across --workers)")
+    loadtest.add_argument("--mix-mutations", type=int, default=10, metavar="N",
+                          help="mutation slots per mix epoch (default: 10)")
+    loadtest.add_argument("--mix-searches", type=int, default=8, metavar="N",
+                          help="concurrent searches per mix epoch (default: 8)")
+    loadtest.add_argument("--mix-delete-ratio", type=float, default=0.2,
+                          help="fraction of mutation slots that delete "
+                               "(default: 0.2)")
+    loadtest.add_argument("--mix-update-ratio", type=float, default=0.2,
+                          help="fraction of mutation slots that re-index an "
+                               "existing document (default: 0.2)")
+    loadtest.add_argument("--mix-feedback", type=int, default=1, metavar="N",
+                          help="feedback batches per mix epoch (default: 1)")
+    loadtest.add_argument("--mix-compact-every", type=int, default=3, metavar="N",
+                          help="compact tombstones after every Nth mix epoch "
+                               "(0 disables; default: 3)")
+    loadtest.add_argument("--mix-stop-lsn", type=int, default=None, metavar="N",
+                          help="stop applying durable mix ops once the WAL "
+                               "reaches lsn N (the clean-prefix arm of the "
+                               "SIGKILL oracle; requires --durable)")
+    loadtest.add_argument("--mix-log", default=None, metavar="PATH",
+                          help="write the mix's canonical op log to PATH")
 
     recover = subparsers.add_parser(
         "recover", help="recover a durability directory and print its digest"
@@ -453,6 +480,25 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
     if args.chaos and not args.replicas:
         print("--chaos requires --replicas (it faults the replica set)", file=sys.stderr)
         return 2
+    if args.mix_epochs < 0:
+        print(f"--mix-epochs must be non-negative, got {args.mix_epochs}", file=sys.stderr)
+        return 2
+    if args.mix_epochs:
+        if args.replicas or serve or args.verify or args.ingest_ops:
+            print(
+                "--mix-epochs runs the continuous-ingest mix and is "
+                "mutually exclusive with --replicas, --serve*, --verify "
+                "and --ingest-ops",
+                file=sys.stderr,
+            )
+            return 2
+        if args.mix_stop_lsn is not None and not args.durable:
+            print(
+                "--mix-stop-lsn requires --durable: the stop point is "
+                "measured against the service's WAL",
+                file=sys.stderr,
+            )
+            return 2
     if args.replicas:
         if not args.durable:
             print(
@@ -499,6 +545,9 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
 
     if args.replicas:
         return _run_replicated_loadtest(args, stored, out)
+
+    if args.mix_epochs:
+        return _run_continuous_mix_command(args, stored, service_config, out)
 
     def factory() -> RetrievalService:
         return RetrievalService.from_corpus(stored, config=service_config)
@@ -603,6 +652,79 @@ def _command_loadtest(args: argparse.Namespace, out) -> int:
             )
             return 1
         print("replay digest matches: workload is deterministic", file=out)
+    return 0
+
+
+def _run_continuous_mix_command(args: argparse.Namespace, stored, service_config, out) -> int:
+    from repro.durability import RecoveryError
+    from repro.workload import ContinuousMixSpec, run_continuous_mix
+
+    try:
+        spec = ContinuousMixSpec(
+            epochs=args.mix_epochs,
+            mutations_per_epoch=args.mix_mutations,
+            searches_per_epoch=args.mix_searches,
+            delete_ratio=args.mix_delete_ratio,
+            update_ratio=args.mix_update_ratio,
+            feedback_per_epoch=args.mix_feedback,
+            compact_every=args.mix_compact_every,
+            search_workers=args.workers,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"invalid mix spec: {error}", file=sys.stderr)
+        return 2
+    try:
+        service = RetrievalService.from_corpus(stored, config=service_config)
+    except RecoveryError as error:
+        print(
+            f"loadtest failed: durability directory {args.durable!r} is "
+            f"unusable: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        result = run_continuous_mix(
+            service, spec, stop_lsn=args.mix_stop_lsn, pause=args.ingest_pause
+        )
+        counts = result.counts
+        mutations = (
+            counts["ingest-doc"] + counts["ingest-shot"] + counts["del-doc"]
+            + counts["del-shot"] + counts["upd"]
+        )
+        print(
+            f"continuous mix: {spec.epochs} epochs x "
+            f"{spec.mutations_per_epoch} mutations "
+            f"(delete {spec.delete_ratio:.0%}, update {spec.update_ratio:.0%}, "
+            f"{args.workers} search workers, seed {spec.seed}): "
+            f"{mutations} mutations, {counts['search']} searches, "
+            f"{counts['feedback']} feedback batches in "
+            f"{result.wall_seconds:.3f}s",
+            file=out,
+        )
+        print(
+            f"mix ops: +{counts['ingest-doc']} docs +{counts['ingest-shot']} "
+            f"shots, -{counts['del-doc']} docs -{counts['del-shot']} shots, "
+            f"~{counts['upd']} updates; {counts['compact']} compactions "
+            f"reclaimed {counts['reclaimed']} tombstones",
+            file=out,
+        )
+        if result.stopped_early:
+            print(
+                f"stopped early at the durable-prefix budget "
+                f"(--mix-stop-lsn {args.mix_stop_lsn})",
+                file=out,
+            )
+        durability = service.engine.durability
+        if durability is not None:
+            print(f"wal-lsn: {durability.wal.last_lsn}", file=out)
+        print(f"mix-digest: {result.digest()}", file=out)
+        print(f"state-digest: {result.state_digest}", file=out)
+        if args.mix_log:
+            path = result.write_log(args.mix_log)
+            print(f"mix log written to {path}", file=out)
+    finally:
+        service.close()
     return 0
 
 
@@ -796,6 +918,8 @@ def _command_recover(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(f"ingested-ops: {state.ingested_ops}", file=out)
+    print(f"mutation-ops: {state.wal_mutation_ops}", file=out)
+    print(f"applied-lsn: {state.applied_lsn}", file=out)
     print(f"state-digest: {state.state_digest()}", file=out)
     return 0
 

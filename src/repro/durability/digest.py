@@ -7,12 +7,16 @@ a live engine and a :class:`~repro.durability.recovery.RecoveredState` —
 reduce to the same canonical JSON document and are hashed.
 
 The canonical form is insensitive to everything that genuinely does not
-affect retrieval (per-document term order, postings dict insertion order)
-and sensitive to everything that does: the **global dense interning
-order** of documents and shots (the adaptation kernel's scratch arrays and
-every ranking tie-break depend on it), term frequencies, feature vectors
-and concept scores.  Floats round-trip exactly through JSON (``repr``
-shortest-form), so a digest match is a bit-level statement about scores.
+affect retrieval (per-document term order, postings dict insertion order,
+and — since the mutable-corpus tier — **tombstoned dense slots**: live
+items are enumerated in slot order with holes skipped, so an engine that
+deleted and compacted digests identically to one that deleted and has not
+compacted yet, and to a rebuild over the survivors) and sensitive to
+everything that does: the **global live interning order** of documents and
+shots (the adaptation kernel's scratch arrays and every ranking tie-break
+depend on it), term frequencies, feature vectors and concept scores.
+Floats round-trip exactly through JSON (``repr`` shortest-form), so a
+digest match is a bit-level statement about scores.
 """
 
 from __future__ import annotations
@@ -67,7 +71,8 @@ def engine_text_items(engine) -> Iterable[TextItem]:
     """
     index = engine.inverted_index
     for document_id in index.dense_document_ids():
-        yield document_id, index.document_vector_view(document_id)
+        if document_id is not None:
+            yield document_id, index.document_vector_view(document_id)
 
 
 def engine_visual_items(engine) -> Iterable[VisualItem]:

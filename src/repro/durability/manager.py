@@ -79,6 +79,11 @@ class DurabilityManager:
         self._snapshot_interval_ops = snapshot_interval_ops
         self._ops_since_checkpoint = 0
         self._checkpoints_written = 0
+        # Deletes, updates and compactions perturb the live item sequence
+        # relative to the parent checkpoint (incremental snapshots assume a
+        # pure append suffix), so the next checkpoint after any of them is
+        # written as a full **rebase** checkpoint.
+        self._rebase_next_checkpoint = False
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -171,6 +176,10 @@ class DurabilityManager:
         # checkpoint; count them toward the next snapshot so an attach/crash
         # loop cannot defer compaction forever.
         manager._ops_since_checkpoint = recovered.wal_index_ops
+        # If the replayed tail mutated existing items (del/upd), the live
+        # sequence no longer extends the parent checkpoint — the next
+        # checkpoint must rebase.
+        manager._rebase_next_checkpoint = recovered.wal_mutation_ops > 0
         return manager
 
     def close(self) -> None:
@@ -273,6 +282,48 @@ class DurabilityManager:
         self._ops_since_checkpoint += 1
         return lsn
 
+    def log_delete_document(self, document_id: str) -> int:
+        """WAL one ``delete_document`` op on its owning shard's segment."""
+        lsn = self._wal.append(
+            self._router.shard_of(document_id),
+            {"op": "del", "kind": "doc", "id": document_id},
+        )
+        self._ops_since_checkpoint += 1
+        self._rebase_next_checkpoint = True
+        return lsn
+
+    def log_delete_shot(self, shot_id: str) -> int:
+        """WAL one ``delete_shot`` op on its owning shard's segment."""
+        lsn = self._wal.append(
+            self._router.shard_of(shot_id),
+            {"op": "del", "kind": "shot", "id": shot_id},
+        )
+        self._ops_since_checkpoint += 1
+        self._rebase_next_checkpoint = True
+        return lsn
+
+    def log_update_document(
+        self, document_id: str, frequencies: Dict[str, int]
+    ) -> int:
+        """WAL one ``update_document`` op (replayed as delete + re-add)."""
+        lsn = self._wal.append(
+            self._router.shard_of(document_id),
+            {"op": "upd", "id": document_id, "tf": dict(frequencies)},
+        )
+        self._ops_since_checkpoint += 1
+        self._rebase_next_checkpoint = True
+        return lsn
+
+    def note_compaction(self) -> None:
+        """Engine hook: a compaction adopted re-interned indexes.
+
+        Compaction does not change the live item sequence, but rebasing the
+        next checkpoint keeps the snapshot chain's per-shard generation
+        bookkeeping aligned with the adopted clocks at negligible cost
+        (compactions are rare).
+        """
+        self._rebase_next_checkpoint = True
+
     def log_feedback(
         self, user_id: str, session_id: str, events: Sequence
     ) -> int:
@@ -319,8 +370,10 @@ class DurabilityManager:
             wal_lsn=self._wal.last_lsn,
             text_generations=_index_generations(engine.inverted_index),
             visual_generations=_index_generations(engine.visual_index),
+            rebase=self._rebase_next_checkpoint,
         )
         self._wal.truncate_through(int(manifest["wal_lsn"]))
         self._ops_since_checkpoint = 0
         self._checkpoints_written += 1
+        self._rebase_next_checkpoint = False
         return manifest

@@ -91,6 +91,7 @@ class RecoveredState:
     checkpoint_id: int = -1
     snapshot_lsn: int = 0
     wal_index_ops: int = 0
+    wal_mutation_ops: int = 0
     wal_feedback_ops: int = 0
     wal_skipped_duplicates: int = 0
     wal_dropped_records: int = 0
@@ -112,9 +113,16 @@ class RecoveredState:
 
     @property
     def ingested_ops(self) -> int:
-        """Index mutations beyond the bootstrap (checkpoint-0) state."""
-        return (self.text_count - self.baseline_text_count) + (
-            self.shot_count - self.baseline_shot_count
+        """Net index growth beyond the bootstrap (checkpoint-0) state.
+
+        Deletes shrink the live counts, so this is clamped at zero — it is
+        a reporting figure, not an op count (``wal_index_ops`` counts
+        replayed operations exactly).
+        """
+        return max(
+            0,
+            (self.text_count - self.baseline_text_count)
+            + (self.shot_count - self.baseline_shot_count),
         )
 
     def state_digest(self) -> str:
@@ -123,6 +131,14 @@ class RecoveredState:
             iter(self.documents),
             ((shot_id, features, concepts) for shot_id, features, concepts in self.shots),
         )
+
+
+def _remove_by_id(entries: List[tuple], target: str) -> None:
+    """Remove the (unique) entry whose leading element is ``target``."""
+    for position, entry in enumerate(entries):
+        if entry[0] == target:
+            del entries[position]
+            return
 
 
 class RecoveryManager:
@@ -252,6 +268,43 @@ class RecoveryManager:
                             {str(c): float(s) for c, s in record["concepts"].items()},
                         )
                     )
+            elif op == "del":
+                state.wal_index_ops += 1
+                state.wal_mutation_ops += 1
+                target = str(record["id"])
+                if record.get("kind") == "shot":
+                    if target in shots_seen:
+                        shots_seen.discard(target)
+                        _remove_by_id(state.shots, target)
+                    else:
+                        # Idempotent replay: the delete already landed in a
+                        # checkpoint (crash between manifest rename and WAL
+                        # truncation), or the add it undoes never became
+                        # durable.
+                        state.wal_skipped_duplicates += 1
+                else:
+                    if target in documents_seen:
+                        documents_seen.discard(target)
+                        _remove_by_id(state.documents, target)
+                    else:
+                        state.wal_skipped_duplicates += 1
+            elif op == "upd":
+                state.wal_index_ops += 1
+                state.wal_mutation_ops += 1
+                document_id = str(record["id"])
+                if document_id in documents_seen:
+                    _remove_by_id(state.documents, document_id)
+                else:
+                    documents_seen.add(document_id)
+                # The live engine re-interns an updated document at the
+                # dense tail (delete + re-add), so replay appends it at the
+                # end of the insertion sequence too.
+                state.documents.append(
+                    (
+                        document_id,
+                        {str(t): int(f) for t, f in record["tf"].items()},
+                    )
+                )
             elif op == "feedback":
                 state.wal_feedback_ops += 1
             else:

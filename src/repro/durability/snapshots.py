@@ -8,12 +8,21 @@ the per-shard split uses the same :class:`~repro.sharding.router.
 ShardRouter` hash that placed the documents, so a shard's snapshot lineage
 is exactly its own mutation history.
 
-Because both indexes are append-only, a delta is simply the suffix of the
+Because index growth is append-only, a delta is simply the suffix of the
 global insertion sequence since the parent checkpoint.  Every entry carries
 its **global sequence number** (the dense interning index), so recovery can
 merge the per-shard delta files of the whole manifest chain back into the
 exact global insertion order — which is what makes the rebuilt dense id
 tables, and therefore scores, byte-identical.
+
+The mutable-corpus tier breaks pure append-only: deletes and updates punch
+holes in (or reorder the tail of) the live sequence.  A checkpoint taken
+after such a mutation is a **rebase**: it re-snapshots the *full live
+state* with sequence numbers renumbered from zero, marks its manifest
+``"rebase": true``, and thereby makes every older delta irrelevant —
+:meth:`SnapshotStore.load_base` merges deltas only from the most recent
+rebase manifest onward.  Checkpoints after a rebase go back to cheap
+suffix deltas against the rebased counts until the next mutation.
 
 Crash safety: delta files are written first, then the manifest, each
 through ``tmp + fsync + os.replace``.  A manifest therefore never names a
@@ -195,9 +204,17 @@ class SnapshotStore:
         chain = self.manifest_chain()
         if not chain:
             return SnapshotBase()
+        # A rebase manifest re-snapshots the full live state with sequence
+        # numbers renumbered from zero, so every delta before the *last*
+        # rebase describes state that no longer exists — merging it would
+        # resurrect deleted documents and collide sequence numbers.
+        merge_from = 0
+        for position, manifest in enumerate(chain):
+            if manifest.get("rebase"):
+                merge_from = position
         documents: List[Tuple[int, str, Dict[str, int]]] = []
         shots: List[Tuple[int, str, List[float], Dict[str, float]]] = []
-        for manifest in chain:
+        for manifest in chain[merge_from:]:
             for delta_name in manifest["deltas"]:
                 path = self._directory / str(delta_name)
                 try:
@@ -253,25 +270,34 @@ class SnapshotStore:
         wal_lsn: int,
         text_generations: Sequence[int],
         visual_generations: Sequence[int],
+        rebase: bool = False,
     ) -> Dict[str, object]:
         """Write an incremental checkpoint covering the log through ``wal_lsn``.
 
-        ``text_items`` / ``visual_items`` are the *full* current state in
-        global insertion order (cheap views — nothing is copied until the
-        suffix split); only the suffix past the parent checkpoint's counts
-        is written, and only for shards whose generation clock moved.
-        Returns the new manifest.
+        ``text_items`` / ``visual_items`` are the *full* current live state
+        in global insertion order (cheap views — nothing is copied until
+        the suffix split); only the suffix past the parent checkpoint's
+        counts is written, and only for shards whose generation clock
+        moved.  With ``rebase=True`` — required after any delete, update or
+        compaction, because those invalidate the append-only suffix
+        assumption — the checkpoint instead writes the full live state
+        renumbered from sequence zero and marks the manifest so
+        :meth:`load_base` ignores every older delta.  Returns the new
+        manifest.
         """
         parent = self._latest
-        parent_text = int(parent["text_count"]) if parent else 0
-        parent_shot = int(parent["shot_count"]) if parent else 0
+        parent_text = 0 if rebase else (int(parent["text_count"]) if parent else 0)
+        parent_shot = 0 if rebase else (int(parent["shot_count"]) if parent else 0)
         parent_text_gens = list(parent["text_generations"]) if parent else [0] * self.num_shards
         parent_visual_gens = list(parent["visual_generations"]) if parent else [0] * self.num_shards
         checkpoint_id = int(parent["checkpoint_id"]) + 1 if parent else 0
-        if len(text_items) < parent_text or len(visual_items) < parent_shot:
+        if not rebase and (
+            len(text_items) < parent_text or len(visual_items) < parent_shot
+        ):
             raise SnapshotError(
-                "index state shrank below the parent checkpoint — snapshots "
-                "assume append-only indexes"
+                "index state shrank below the parent checkpoint — incremental "
+                "snapshots assume an append-only suffix (mutations must "
+                "checkpoint with rebase=True)"
             )
 
         per_shard_docs: Dict[int, List[list]] = {}
@@ -292,10 +318,17 @@ class SnapshotStore:
         self._directory.mkdir(parents=True, exist_ok=True)
         delta_names: List[str] = []
         for shard in range(self.num_shards):
-            changed = (
-                text_generations[shard] != parent_text_gens[shard]
-                or visual_generations[shard] != parent_visual_gens[shard]
-            )
+            if rebase:
+                # Generation clocks cannot tell which shards a rebase must
+                # re-cover (an untouched shard still needs its items
+                # rewritten, since older deltas become unreadable): write a
+                # delta for every shard that holds at least one live item.
+                changed = shard in per_shard_docs or shard in per_shard_shots
+            else:
+                changed = (
+                    text_generations[shard] != parent_text_gens[shard]
+                    or visual_generations[shard] != parent_visual_gens[shard]
+                )
             if not changed:
                 continue
             name = delta_filename(checkpoint_id, shard)
@@ -321,6 +354,7 @@ class SnapshotStore:
             "text_generations": list(text_generations),
             "visual_generations": list(visual_generations),
             "deltas": delta_names,
+            "rebase": bool(rebase),
         }
         _write_json_atomic(
             self._directory / manifest_filename(checkpoint_id), manifest

@@ -1,0 +1,134 @@
+"""Near-duplicate detection at ingest time.
+
+A news-video corpus re-ingests the same broadcasts continuously: the same
+wire story airs on two channels, a re-run repeats yesterday's segment almost
+verbatim.  Indexing those again mostly adds noise — the paper's adaptive
+loop would propagate feedback onto near-copies of what the user already
+rejected — so the service can screen new documents against the live corpus
+before they reach the index (and, when durable, before they are WAL-logged,
+which keeps replicas and recovery consistent for free).
+
+The detector is deliberately deterministic and self-contained:
+
+* candidate generation walks a term -> document-ids map, so only documents
+  sharing at least one term with the incoming vector are scored;
+* scoring is exact cosine similarity over the raw term-frequency vectors
+  (integer dot products, one float division), so verdicts do not depend on
+  hash seeds, iteration order, or thread count;
+* the best match is selected under ``(-similarity, document_id)`` — the same
+  deterministic tie-break the scorers use.
+
+State is maintained incrementally (``add`` / ``discard``) so deletes free
+their terms, and can be seeded from a live index when detection is enabled
+over an existing (e.g. recovered) corpus.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+
+class NearDuplicateDetector:
+    """Screens incoming term-frequency vectors against the live corpus."""
+
+    def __init__(self, threshold: float) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"near-duplicate threshold must be in (0, 1], got {threshold!r}"
+            )
+        self._threshold = threshold
+        self._vectors: Dict[str, Dict[str, int]] = {}
+        self._norms: Dict[str, float] = {}
+        self._term_docs: Dict[str, Set[str]] = {}
+        self._skipped = 0
+
+    @property
+    def threshold(self) -> float:
+        """Cosine similarity at or above which a document is a duplicate."""
+        return self._threshold
+
+    @property
+    def skipped_count(self) -> int:
+        """Documents screened out since construction."""
+        return self._skipped
+
+    @property
+    def tracked_count(self) -> int:
+        """Live documents currently screened against."""
+        return len(self._vectors)
+
+    def seed_from_index(self, index) -> None:
+        """Track every live document already in an index facade."""
+        for document_id in index.document_ids():
+            self.add(document_id, index.document_vector_view(document_id))
+
+    def find_duplicate(self, frequencies: Mapping[str, int]) -> Optional[str]:
+        """Id of the closest tracked near-duplicate, or ``None``.
+
+        Returns the tracked document with the highest cosine similarity at
+        or above the threshold (ties broken by smallest id).
+        """
+        norm = _norm(frequencies)
+        if norm == 0.0:
+            return None
+        candidates: Set[str] = set()
+        term_docs = self._term_docs
+        for term in frequencies:
+            docs = term_docs.get(term)
+            if docs:
+                candidates.update(docs)
+        best: Optional[Tuple[float, str]] = None
+        vectors = self._vectors
+        norms = self._norms
+        for document_id in candidates:
+            other = vectors[document_id]
+            if len(other) < len(frequencies):
+                dot = sum(
+                    frequency * frequencies.get(term, 0)
+                    for term, frequency in other.items()
+                )
+            else:
+                dot = sum(
+                    frequency * other.get(term, 0)
+                    for term, frequency in frequencies.items()
+                )
+            similarity = dot / (norm * norms[document_id])
+            if similarity < self._threshold:
+                continue
+            key = (-similarity, document_id)
+            if best is None or key < best:
+                best = key
+        return best[1] if best is not None else None
+
+    def screen(self, frequencies: Mapping[str, int]) -> Optional[str]:
+        """Like :meth:`find_duplicate`, but counts a hit as skipped."""
+        duplicate = self.find_duplicate(frequencies)
+        if duplicate is not None:
+            self._skipped += 1
+        return duplicate
+
+    def add(self, document_id: str, frequencies: Mapping[str, int]) -> None:
+        """Track one (just-indexed) document."""
+        vector = dict(frequencies)
+        self._vectors[document_id] = vector
+        self._norms[document_id] = _norm(vector)
+        for term in vector:
+            self._term_docs.setdefault(term, set()).add(document_id)
+
+    def discard(self, document_id: str) -> None:
+        """Stop tracking one document (no-op if untracked)."""
+        vector = self._vectors.pop(document_id, None)
+        if vector is None:
+            return
+        del self._norms[document_id]
+        term_docs = self._term_docs
+        for term in vector:
+            docs = term_docs[term]
+            docs.discard(document_id)
+            if not docs:
+                del term_docs[term]
+
+
+def _norm(frequencies: Mapping[str, int]) -> float:
+    return math.sqrt(sum(f * f for f in frequencies.values()))

@@ -20,6 +20,18 @@ denominators, TF-IDF cosine norms) are computed lazily and cached; the
 :attr:`generation` counter ticks on every mutation so scorers can invalidate
 their own per-term caches (IDF, collection probabilities) cheaply.
 
+The corpus is **mutable**: :meth:`delete_document` tombstones a dense slot
+(``None`` id, zero length, empty vector) and eagerly scrubs the document out
+of every postings column while correcting the collection statistics
+incrementally, so scorers need no tombstone mask — every integer statistic
+(document frequency, collection frequency, total terms, live count) matches
+an index rebuilt from scratch over the surviving documents, which keeps
+rankings bit-identical to such a rebuild.  :meth:`update_document` is
+delete + re-add (the document moves to a fresh slot at the end of the dense
+space, exactly where a WAL replay would put it).  :meth:`adopt_compacted`
+swaps in a freshly re-interned state in place, so long-lived references to
+the index object (sharded scorer views, stats views) survive compaction.
+
 The original object API — ``postings()`` returning :class:`Posting` lists,
 ``document_vector()``, ``iter_postings()`` — is preserved as thin views over
 the dense layout, so existing callers and persisted snapshots keep working.
@@ -30,6 +42,7 @@ Scoring functions live in :mod:`repro.index.scoring` and
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -50,8 +63,10 @@ class InvertedIndex:
 
     def __init__(self, tokenizer: Optional[Tokenizer] = None) -> None:
         self._tokenizer = tokenizer or Tokenizer()
-        # Dense document interning: index -> id and id -> index.
-        self._doc_ids: List[str] = []
+        # Dense document interning: index -> id and id -> index.  Deleted
+        # documents leave a ``None`` tombstone in the id table (and are
+        # popped from ``_doc_index``), so live count == len(_doc_index).
+        self._doc_ids: List[Optional[str]] = []
         self._doc_index: Dict[str, int] = {}
         self._doc_lengths = array("i")
         # Per-document term-frequency vectors, indexed by document index.
@@ -114,9 +129,131 @@ class InvertedIndex:
         self._tfidf_norms_cache = None
 
     def add_documents(self, documents: Mapping[str, str]) -> None:
-        """Index a mapping of ``document_id -> text``."""
+        """Index a mapping of ``document_id -> text`` atomically.
+
+        Every id is validated against the index before any document is
+        applied, so a duplicate anywhere in the batch raises ``ValueError``
+        with the index (and its statistics) untouched — all-or-nothing.
+        """
+        for document_id in documents:
+            if document_id in self._doc_index:
+                raise ValueError(f"document {document_id!r} already indexed")
         for document_id, text in documents.items():
             self.add_document(document_id, text)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def delete_document(self, document_id: str) -> None:
+        """Remove one document; an unknown id raises ``KeyError``.
+
+        The dense slot is tombstoned (``None`` id, zero length, empty
+        vector) and the document is scrubbed out of every postings column
+        it appears in, with collection statistics corrected incrementally.
+        Postings doc columns are ascending in dense index (appends only ever
+        extend them, deletions preserve order), so each scrub is one bisect.
+        """
+        doc_index = self._doc_index.pop(document_id, None)
+        if doc_index is None:
+            raise KeyError(f"document {document_id!r} not indexed")
+        postings_columns = self._postings_columns
+        collection_frequencies = self._collection_frequencies
+        for term, frequency in self._doc_vectors[doc_index].items():
+            docs, freqs = postings_columns[term]
+            position = bisect_left(docs, doc_index)
+            del docs[position]
+            del freqs[position]
+            if not docs:
+                del postings_columns[term]
+            remaining = collection_frequencies[term] - frequency
+            if remaining:
+                collection_frequencies[term] = remaining
+            else:
+                del collection_frequencies[term]
+        self._total_terms -= self._doc_lengths[doc_index]
+        self._doc_ids[doc_index] = None
+        self._doc_lengths[doc_index] = 0
+        self._doc_vectors[doc_index] = {}
+        self._generation += 1
+        self._bm25_norms_cache.clear()
+        self._tfidf_norms_cache = None
+
+    def update_document(self, document_id: str, text: str) -> None:
+        """Replace one document's text; an unknown id raises ``KeyError``."""
+        self.update_document_frequencies(
+            document_id, self._tokenizer.term_frequencies(text)
+        )
+
+    def update_document_frequencies(
+        self, document_id: str, frequencies: Mapping[str, int]
+    ) -> None:
+        """Replace one document from a term-frequency map.
+
+        Implemented as delete + re-add: the document moves to a fresh dense
+        slot at the end of the interned space — the same slot a from-scratch
+        WAL replay of the update would produce.
+        """
+        if document_id not in self._doc_index:
+            raise KeyError(f"document {document_id!r} not indexed")
+        self.delete_document(document_id)
+        self.add_document_frequencies(document_id, frequencies)
+
+    # -- compaction --------------------------------------------------------------
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of tombstoned (deleted, not yet compacted) dense slots."""
+        return len(self._doc_ids) - len(self._doc_index)
+
+    def live_items(self) -> Iterable[Tuple[str, Mapping[str, int]]]:
+        """Yield ``(document_id, vector view)`` for live docs in slot order.
+
+        The vectors are the index's own dicts (read-only); slot order is the
+        canonical replay order — re-adding these pairs to a fresh index
+        reproduces this index's rankings bit-identically.
+        """
+        doc_vectors = self._doc_vectors
+        for doc_index, document_id in enumerate(self._doc_ids):
+            if document_id is not None:
+                yield document_id, doc_vectors[doc_index]
+
+    def compacted_copy(self) -> "InvertedIndex":
+        """A fresh index holding only the live documents, re-interned densely."""
+        fresh = InvertedIndex(tokenizer=self._tokenizer)
+        for document_id, vector in self.live_items():
+            fresh.add_document_frequencies(document_id, vector)
+        return fresh
+
+    def adopt_compacted(self, fresh: "InvertedIndex") -> int:
+        """Swap ``fresh``'s dense state into **this** object, in place.
+
+        Long-lived references to the index (sharded scorer stats views,
+        engine fields, shared-memory exporters) keep working because the
+        object identity is preserved; only the internals move.  The
+        generation strictly increases so every derived cache re-validates.
+        Returns the number of dense slots reclaimed.
+        """
+        reclaimed = len(self._doc_ids) - len(fresh._doc_ids)
+        self._doc_ids = fresh._doc_ids
+        self._doc_index = fresh._doc_index
+        self._doc_lengths = fresh._doc_lengths
+        self._doc_vectors = fresh._doc_vectors
+        self._postings_columns = fresh._postings_columns
+        self._collection_frequencies = fresh._collection_frequencies
+        self._total_terms = fresh._total_terms
+        self._generation += 1
+        self._bm25_norms_cache.clear()
+        self._tfidf_norms_cache = None
+        return reclaimed
+
+    def compact(self) -> int:
+        """Reclaim tombstoned slots by re-interning live docs in slot order.
+
+        A no-op (state and generation untouched) when there is nothing to
+        reclaim.  Returns the number of slots reclaimed.
+        """
+        if self.tombstone_count == 0:
+            return 0
+        return self.adopt_compacted(self.compacted_copy())
 
     @classmethod
     def from_collection(
@@ -132,8 +269,8 @@ class InvertedIndex:
 
     @property
     def document_count(self) -> int:
-        """Number of indexed documents."""
-        return len(self._doc_ids)
+        """Number of **live** indexed documents (tombstones excluded)."""
+        return len(self._doc_index)
 
     @property
     def vocabulary_size(self) -> int:
@@ -147,14 +284,14 @@ class InvertedIndex:
 
     @property
     def average_document_length(self) -> float:
-        """Mean document length in terms."""
-        if not self._doc_ids:
+        """Mean **live** document length in terms."""
+        if not self._doc_index:
             return 0.0
-        return self._total_terms / len(self._doc_ids)
+        return self._total_terms / len(self._doc_index)
 
     @property
     def generation(self) -> int:
-        """Mutation counter; changes whenever a document is added.
+        """Mutation counter; changes on every add, delete, update or compact.
 
         Scorers key their derived statistics caches (IDF tables, collection
         probabilities) on this value so stale entries are never served.
@@ -170,8 +307,8 @@ class InvertedIndex:
         return document_id in self._doc_index
 
     def document_ids(self) -> List[str]:
-        """All indexed document ids."""
-        return list(self._doc_ids)
+        """All **live** document ids, in dense-slot (insertion/replay) order."""
+        return [document_id for document_id in self._doc_ids if document_id is not None]
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing the term."""
@@ -246,8 +383,12 @@ class InvertedIndex:
         """
         return self._doc_index.get(document_id, default)
 
-    def dense_document_ids(self) -> List[str]:
-        """The id table in dense-index order — the index's own list, read-only."""
+    def dense_document_ids(self) -> List[Optional[str]]:
+        """The id table in dense-index order — the index's own list, read-only.
+
+        Tombstoned slots hold ``None``; kernels never observe them because
+        deleted documents are scrubbed out of every postings column.
+        """
         return self._doc_ids
 
     def postings_arrays(self, term: str) -> Tuple[array, array]:

@@ -4,6 +4,15 @@ Indexes are saved as JSON documents.  This is not a high-performance format,
 but it makes snapshots human-inspectable and keeps the library free of
 binary-format dependencies; the round-trip property (save → load → identical
 retrieval behaviour) is what the tests assert.
+
+Mutable-corpus semantics: a snapshot stores the **live** items as an
+ordered array in dense slot order with tombstoned holes skipped — an
+array rather than an object because the JSON writer sorts object keys,
+which would scramble the interning order.  Loading one re-interns the
+survivors exactly as a compaction (or a from-scratch rebuild over the
+survivors) would, so collection statistics, rankings and the canonical
+state digest are identical across save → load whether the source index
+had tombstones, was compacted, or never saw a delete.
 """
 
 from __future__ import annotations
@@ -18,21 +27,24 @@ from repro.utils.serialization import read_json, write_json
 
 PathLike = Union[str, Path]
 
-_INVERTED_FORMAT_VERSION = 2
-_VISUAL_FORMAT_VERSION = 1
+_INVERTED_FORMAT_VERSION = 3
+_VISUAL_FORMAT_VERSION = 2
 
-#: Versions this module can read.  v1 carried the same per-document
-#: term-frequency payload but was historically re-tokenised on load; v2 is
-#: loaded straight into the index's dense layout.
-_READABLE_INVERTED_VERSIONS = (1, 2)
+#: Versions this module can read.  v1 carried a per-document term-frequency
+#: object but was historically re-tokenised on load; v2 loaded the same
+#: object straight into the index's dense layout (in sorted-id order, since
+#: JSON objects are written with sorted keys); v3 stores an ordered array so
+#: the dense interning order survives the round trip.
+_READABLE_INVERTED_VERSIONS = (1, 2, 3)
+_READABLE_VISUAL_VERSIONS = (1, 2)
 
 
 def save_inverted_index(index: InvertedIndex, path: PathLike) -> None:
-    """Persist an inverted index to a JSON file."""
-    documents = {
-        document_id: index.document_vector(document_id)
+    """Persist an inverted index to a JSON file (live documents only)."""
+    documents = [
+        [document_id, index.document_vector(document_id)]
         for document_id in index.document_ids()
-    }
+    ]
     payload = {
         "format_version": _INVERTED_FORMAT_VERSION,
         "kind": "inverted_index",
@@ -56,8 +68,10 @@ def load_inverted_index(path: PathLike, tokenizer: Tokenizer = None) -> Inverted
         raise ValueError(
             f"unsupported inverted index format version {payload.get('format_version')}"
         )
+    stored = payload["documents"]
+    items = stored if isinstance(stored, list) else stored.items()
     index = InvertedIndex(tokenizer=tokenizer)
-    for document_id, term_frequencies in payload["documents"].items():
+    for document_id, term_frequencies in items:
         index.add_document_frequencies(
             document_id,
             {term: int(frequency) for term, frequency in term_frequencies.items()},
@@ -66,17 +80,18 @@ def load_inverted_index(path: PathLike, tokenizer: Tokenizer = None) -> Inverted
 
 
 def save_visual_index(index: VisualIndex, path: PathLike) -> None:
-    """Persist a visual index to a JSON file."""
+    """Persist a visual index to a JSON file (live shots only)."""
     payload = {
         "format_version": _VISUAL_FORMAT_VERSION,
         "kind": "visual_index",
-        "shots": {
-            shot_id: {
-                "features": list(index.features_of(shot_id)),
-                "concept_scores": index.concept_scores_of(shot_id),
-            }
+        "shots": [
+            [
+                shot_id,
+                list(index.features_of(shot_id)),
+                index.concept_scores_of(shot_id),
+            ]
             for shot_id in index.shot_ids()
-        },
+        ],
     }
     write_json(path, payload)
 
@@ -86,11 +101,16 @@ def load_visual_index(path: PathLike) -> VisualIndex:
     payload = read_json(path)
     if payload.get("kind") != "visual_index":
         raise ValueError(f"{path} does not contain a visual index snapshot")
-    if payload.get("format_version") != _VISUAL_FORMAT_VERSION:
+    if payload.get("format_version") not in _READABLE_VISUAL_VERSIONS:
         raise ValueError(
             f"unsupported visual index format version {payload.get('format_version')}"
         )
     index = VisualIndex()
-    for shot_id, record in payload["shots"].items():
-        index.add_shot(shot_id, record["features"], record.get("concept_scores", {}))
+    stored = payload["shots"]
+    if isinstance(stored, list):
+        for shot_id, features, concept_scores in stored:
+            index.add_shot(shot_id, features, concept_scores)
+    else:
+        for shot_id, record in stored.items():
+            index.add_shot(shot_id, record["features"], record.get("concept_scores", {}))
     return index

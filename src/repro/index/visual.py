@@ -15,6 +15,13 @@ dot products), concept scores are additionally inverted into per-concept
 postings (``concept -> [(shot_index, score)]``) so ``score_by_concepts``
 touches only shots that actually carry a queried concept, and top-k
 selection uses a bounded heap instead of sorting every candidate.
+
+Like :class:`repro.index.inverted_index.InvertedIndex`, the corpus is
+mutable: :meth:`delete_shot` tombstones the dense slot (``None`` id, empty
+vector, zero norm) and scrubs the shot out of every concept postings list,
+so scans and concept scoring skip dead slots without a mask and results stay
+bit-identical to an index rebuilt over the surviving shots;
+:meth:`adopt_compacted` reclaims tombstoned slots in place.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ class VisualIndex:
     """Stores one feature vector and one concept-score map per shot."""
 
     def __init__(self) -> None:
-        # Dense shot interning: index -> id and id -> index.
-        self._shot_ids: List[str] = []
+        # Dense shot interning: index -> id and id -> index.  Deleted shots
+        # leave a ``None`` tombstone in the id table, so live count is
+        # len(_shot_index).
+        self._shot_ids: List[Optional[str]] = []
         self._shot_index: Dict[str, int] = {}
         self._vectors: List[Tuple[float, ...]] = []
         self._norms = array("d")
@@ -69,6 +78,78 @@ class VisualIndex:
             self._concept_postings.setdefault(concept, []).append((shot_index, score))
         self._generation += 1
 
+    def delete_shot(self, shot_id: str) -> None:
+        """Remove one shot; an unknown id raises ``KeyError``.
+
+        The dense slot is tombstoned and the shot is scrubbed out of every
+        concept postings list it appears in, so searches never need a
+        tombstone mask.
+        """
+        shot_index = self._shot_index.pop(shot_id, None)
+        if shot_index is None:
+            raise KeyError(f"shot {shot_id!r} not in visual index")
+        concept_postings = self._concept_postings
+        for concept in self._concept_maps[shot_index]:
+            postings = [
+                entry for entry in concept_postings[concept] if entry[0] != shot_index
+            ]
+            if postings:
+                concept_postings[concept] = postings
+            else:
+                del concept_postings[concept]
+        self._shot_ids[shot_index] = None
+        self._vectors[shot_index] = ()
+        self._norms[shot_index] = 0.0
+        self._concept_maps[shot_index] = {}
+        self._generation += 1
+
+    # -- compaction ----------------------------------------------------------
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of tombstoned (deleted, not yet compacted) dense slots."""
+        return len(self._shot_ids) - len(self._shot_index)
+
+    def live_items(
+        self,
+    ) -> List[Tuple[str, Tuple[float, ...], Dict[str, float]]]:
+        """``(shot_id, features, concept_scores)`` for live shots in slot order."""
+        return [
+            (shot_id, self._vectors[shot_index], self._concept_maps[shot_index])
+            for shot_index, shot_id in enumerate(self._shot_ids)
+            if shot_id is not None
+        ]
+
+    def compacted_copy(self) -> "VisualIndex":
+        """A fresh index holding only the live shots, re-interned densely."""
+        fresh = VisualIndex()
+        for shot_id, features, concepts in self.live_items():
+            fresh.add_shot(shot_id, features, concepts)
+        return fresh
+
+    def adopt_compacted(self, fresh: "VisualIndex") -> int:
+        """Swap ``fresh``'s dense state into this object in place.
+
+        Mirrors :meth:`InvertedIndex.adopt_compacted`: object identity is
+        preserved for long-lived references, the generation strictly
+        increases, and the number of reclaimed slots is returned.
+        """
+        reclaimed = len(self._shot_ids) - len(fresh._shot_ids)
+        self._shot_ids = fresh._shot_ids
+        self._shot_index = fresh._shot_index
+        self._vectors = fresh._vectors
+        self._norms = fresh._norms
+        self._concept_maps = fresh._concept_maps
+        self._concept_postings = fresh._concept_postings
+        self._generation += 1
+        return reclaimed
+
+    def compact(self) -> int:
+        """Reclaim tombstoned slots in place; no-op when there are none."""
+        if self.tombstone_count == 0:
+            return 0
+        return self.adopt_compacted(self.compacted_copy())
+
     @classmethod
     def from_collection(
         cls,
@@ -92,12 +173,12 @@ class VisualIndex:
 
     @property
     def shot_count(self) -> int:
-        """Number of shots indexed."""
-        return len(self._shot_ids)
+        """Number of **live** indexed shots (tombstones excluded)."""
+        return len(self._shot_index)
 
     @property
     def generation(self) -> int:
-        """Mutation counter; changes whenever a shot is added."""
+        """Mutation counter; changes on every add, delete or compact."""
         return self._generation
 
     def has_shot(self, shot_id: str) -> bool:
@@ -105,8 +186,8 @@ class VisualIndex:
         return shot_id in self._shot_index
 
     def shot_ids(self) -> List[str]:
-        """All indexed shot ids."""
-        return list(self._shot_ids)
+        """All **live** shot ids, in dense-slot (insertion/replay) order."""
+        return [shot_id for shot_id in self._shot_ids if shot_id is not None]
 
     def features_of(self, shot_id: str) -> Tuple[float, ...]:
         """Feature vector of one shot."""
@@ -135,7 +216,7 @@ class VisualIndex:
         scored: List[Tuple[str, float]] = []
         for shot_index, features in enumerate(self._vectors):
             shot_id = shot_ids[shot_index]
-            if shot_id in excluded:
+            if shot_id is None or shot_id in excluded:
                 continue
             if len(features) != query_dimensions:
                 raise ValueError(

@@ -307,6 +307,29 @@ class ReplicaServer:
                     [float(value) for value in record["features"]],
                     {str(c): float(s) for c, s in record["concepts"].items()},
                 )
+        elif op == "del":
+            target = str(record["id"])
+            if record.get("kind") == "shot":
+                if target in self._shots_seen:
+                    self._shots_seen.discard(target)
+                    engine.visual_index.delete_shot(target)
+            elif target in self._documents_seen:
+                self._documents_seen.discard(target)
+                engine.inverted_index.delete_document(target)
+        elif op == "upd":
+            document_id = str(record["id"])
+            frequencies = {str(t): int(f) for t, f in record["tf"].items()}
+            if document_id in self._documents_seen:
+                # Same re-interning as the primary: delete + re-add at the
+                # dense tail, so live insertion order stays bit-identical.
+                engine.inverted_index.update_document_frequencies(
+                    document_id, frequencies
+                )
+            else:
+                self._documents_seen.add(document_id)
+                engine.inverted_index.add_document_frequencies(
+                    document_id, frequencies
+                )
         elif op == "feedback":
             # Not index state: counted so lag accounting covers the meta
             # segment, replayable into sessions by a future follower tier.

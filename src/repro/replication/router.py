@@ -101,6 +101,12 @@ class ReplicatedService:
         self._lock = threading.RLock()
         self._replicas: Dict[str, ReplicaServer] = {}
         self._failures: Dict[str, int] = {}
+        # Which durability manager holds each replica's compaction pin.
+        # Tracked explicitly so removal always releases the pin from the
+        # manager that holds it — releasing against "the current primary"
+        # leaks the pin whenever the primary is dead at removal time (the
+        # removed replica's acked LSN then clamps truncate_through forever).
+        self._pinned: Dict[str, object] = {}
         self._rotation = 0
         self._replica_seq = 0
         self._last_known_primary_lsn = primary.engine.durability.wal.last_lsn
@@ -199,22 +205,29 @@ class ReplicatedService:
                 durability = self._primary.engine.durability
                 if durability is not None:
                     durability.register_replica(replica_id, replica.applied_lsn)
+                    self._pinned[replica_id] = durability
             self._publish_lag_locked(replica_id, replica)
             return replica
 
     def remove_replica(self, replica_id: str) -> None:
-        """Detach and close a replica, releasing its compaction pin."""
+        """Detach and close a replica, releasing its compaction pin.
+
+        The pin is released from the manager that actually holds it (the
+        one the replica was registered with), regardless of whether a
+        primary is currently alive — otherwise a replica removed during a
+        failover window would keep clamping that manager's WAL truncation
+        at its last acknowledged LSN indefinitely.
+        """
         with self._lock:
             replica = self._replicas.pop(replica_id, None)
             self._failures.pop(replica_id, None)
+            pinned = self._pinned.pop(replica_id, None)
             if replica is None:
                 raise ReplicationError(
                     f"no replica registered as {replica_id!r}"
                 )
-            if self._primary_alive and self._primary is not None:
-                durability = self._primary.engine.durability
-                if durability is not None:
-                    durability.unregister_replica(replica_id)
+            if pinned is not None:
+                pinned.unregister_replica(replica_id)
         replica.close()
 
     def poll_replicas(self) -> Dict[str, int]:
@@ -241,13 +254,18 @@ class ReplicatedService:
                 applied[replica_id] = 0
                 continue
             with self._lock:
-                if self._primary_alive and self._primary is not None:
-                    durability = self._primary.engine.durability
-                    if durability is not None:
-                        durability.acknowledge_replica(
-                            replica_id, replica.applied_lsn
-                        )
-                self._publish_lag_locked(replica_id, replica)
+                # Re-check membership: a concurrent remove_replica already
+                # released the pin, and acknowledging an unregistered
+                # replica would raise out of the whole polling round.
+                pinned = (
+                    self._pinned.get(replica_id)
+                    if replica_id in self._replicas
+                    else None
+                )
+                if pinned is not None:
+                    pinned.acknowledge_replica(replica_id, replica.applied_lsn)
+                if replica_id in self._replicas:
+                    self._publish_lag_locked(replica_id, replica)
         return applied
 
     def _publish_lag_locked(self, replica_id: str, replica: ReplicaServer) -> None:
@@ -280,6 +298,18 @@ class ReplicatedService:
     def index_shot(self, shot_id, features, concepts) -> None:
         """Index one new shot on the primary (WAL-logged, shipped)."""
         self._require_primary().index_shot(shot_id, features, concepts)
+
+    def delete_document(self, document_id) -> None:
+        """Delete a document on the primary (WAL-logged, shipped)."""
+        self._require_primary().delete_document(document_id)
+
+    def update_document(self, document_id, text) -> None:
+        """Re-index a document on the primary (WAL-logged, shipped)."""
+        self._require_primary().update_document(document_id, text)
+
+    def delete_shot(self, shot_id) -> None:
+        """Delete a shot on the primary (WAL-logged, shipped)."""
+        self._require_primary().delete_shot(shot_id)
 
     def submit_feedback(self, batch):
         """Route session feedback to the primary."""
@@ -422,6 +452,7 @@ class ReplicatedService:
                 replica_id = freshest
             replica = self._replicas.pop(replica_id, None)
             self._failures.pop(replica_id, None)
+            self._pinned.pop(replica_id, None)
             if replica is None:
                 raise ReplicationError(
                     f"no replica registered as {replica_id!r}"
@@ -436,6 +467,9 @@ class ReplicatedService:
                     durability.register_replica(
                         survivor_id, survivor.applied_lsn
                     )
+                    # Survivor pins now live in the promoted primary's
+                    # manager; the old (dead) manager's pins are moot.
+                    self._pinned[survivor_id] = durability
             self._metrics.increment("promotions")
             self._metrics.set_gauge(
                 "promoted_lsn", float(result.promoted_lsn)
@@ -450,6 +484,7 @@ class ReplicatedService:
             replicas = list(self._replicas.values())
             self._replicas.clear()
             self._failures.clear()
+            self._pinned.clear()
             primary = self._primary if self._primary_alive else None
             self._primary = None
             self._primary_alive = False

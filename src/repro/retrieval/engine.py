@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.collection.documents import Collection
+from repro.index.compaction import CompactionStats, compact_engine
+from repro.index.dedup import NearDuplicateDetector
 from repro.index.fusion import normalisation_bounds, weighted_fusion
 from repro.index.inverted_index import InvertedIndex
 from repro.index.language_model import DirichletLanguageModelScorer
@@ -45,6 +47,11 @@ class EngineConfig:
     engine's persistent query-result LRU cache (0 disables it); cached
     entries are invalidated automatically when either index is mutated, so
     served rankings are always identical to a fresh evaluation.
+    ``near_duplicate_threshold`` (``None`` disables screening) rejects
+    incoming documents whose term-frequency cosine similarity to an
+    already-live document reaches the threshold — they are silently skipped
+    (and counted) before any WAL logging, so durable logs and replicas only
+    ever see documents that actually landed.
     """
 
     scorer: str = "bm25"
@@ -56,6 +63,7 @@ class EngineConfig:
     bm25_b: float = 0.75
     lm_mu: float = 300.0
     result_cache_size: int = 256
+    near_duplicate_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.scorer not in ("bm25", "tfidf", "lm"):
@@ -66,6 +74,13 @@ class EngineConfig:
         if self.result_cache_size < 0:
             raise ValueError(
                 f"result_cache_size must be non-negative, got {self.result_cache_size}"
+            )
+        if self.near_duplicate_threshold is not None and not (
+            0.0 < self.near_duplicate_threshold <= 1.0
+        ):
+            raise ValueError(
+                f"near_duplicate_threshold must be in (0, 1], got "
+                f"{self.near_duplicate_threshold!r}"
             )
 
 
@@ -112,6 +127,12 @@ class VideoRetrievalEngine:
         # on the manager's cadence — all inside the exclusive writer, so
         # WAL order is exactly the serialization order.
         self._durability = None
+        # Optional ingest-time near-duplicate screening, seeded from the
+        # (possibly pre-built or recovered) live corpus.
+        self._dedup: Optional[NearDuplicateDetector] = None
+        if config.near_duplicate_threshold is not None:
+            self._dedup = NearDuplicateDetector(config.near_duplicate_threshold)
+            self._dedup.seed_from_index(self._inverted_index)
 
     def _build_scorer(self, config: EngineConfig) -> TextScorer:
         if config.scorer == "bm25":
@@ -190,20 +211,31 @@ class VideoRetrievalEngine:
         """The attached durability manager, or ``None``."""
         return self._durability
 
-    def _apply_document_locked(self, document_id: str, text: str) -> None:
-        """Log-then-apply one document under the already-held writer lock."""
+    def _apply_document_locked(self, document_id: str, text: str) -> bool:
+        """Log-then-apply one document under the already-held writer lock.
+
+        Returns ``False`` when near-duplicate screening skipped the
+        document (nothing was logged or indexed), ``True`` otherwise.
+        """
         durability = self._durability
-        if durability is None:
+        dedup = self._dedup
+        if durability is None and dedup is None:
             self._inverted_index.add_document(document_id, text)
-            return
+            return True
         # Pre-check so a rejected duplicate never lands in the WAL (a WAL
         # record must always replay cleanly); tokenise through the index's
         # own tokenizer so the logged frequencies match what is applied.
         if self._inverted_index.has_document(document_id):
             raise ValueError(f"document {document_id!r} already indexed")
         frequencies = self._inverted_index.tokenizer.term_frequencies(text)
-        durability.log_document(document_id, frequencies)
+        if dedup is not None and dedup.screen(frequencies) is not None:
+            return False
+        if durability is not None:
+            durability.log_document(document_id, frequencies)
         self._inverted_index.add_document_frequencies(document_id, frequencies)
+        if dedup is not None:
+            dedup.add(document_id, frequencies)
+        return True
 
     def _maybe_checkpoint_locked(self) -> None:
         if self._durability is not None:
@@ -216,11 +248,95 @@ class VideoRetrievalEngine:
             self._maybe_checkpoint_locked()
 
     def index_documents(self, documents: Mapping[str, str]) -> None:
-        """Add several transcript documents in one exclusive writer scope."""
+        """Add several transcript documents in one exclusive writer scope.
+
+        The batch is atomic with respect to duplicate ids: every id is
+        validated before any document is applied (or WAL-logged), so a
+        duplicate anywhere in the mapping raises with the index, the log
+        and the statistics all untouched.
+        """
         with self.exclusive_writer():
+            for document_id in documents:
+                if self._inverted_index.has_document(document_id):
+                    raise ValueError(f"document {document_id!r} already indexed")
             for document_id, text in documents.items():
                 self._apply_document_locked(document_id, text)
             self._maybe_checkpoint_locked()
+
+    def delete_document(self, document_id: str) -> None:
+        """Delete one transcript document through the writer path.
+
+        An unknown id raises ``KeyError`` before anything is logged.  The
+        dense slot is tombstoned, postings are scrubbed and collection
+        statistics corrected (see :class:`~repro.index.inverted_index.
+        InvertedIndex`), and the generation bump invalidates every cached
+        result, so post-delete rankings match a rebuild over the survivors.
+        """
+        with self.exclusive_writer():
+            if not self._inverted_index.has_document(document_id):
+                raise KeyError(f"document {document_id!r} not indexed")
+            if self._durability is not None:
+                self._durability.log_delete_document(document_id)
+            self._inverted_index.delete_document(document_id)
+            if self._dedup is not None:
+                self._dedup.discard(document_id)
+            self._maybe_checkpoint_locked()
+
+    def update_document(self, document_id: str, text: str) -> None:
+        """Replace one document's transcript through the writer path.
+
+        Logged (and replayed) as delete + re-add: the document moves to a
+        fresh dense slot, exactly as a from-scratch replay would place it.
+        Updates bypass near-duplicate screening — the caller is explicitly
+        replacing known content — but refresh the screened vector.
+        """
+        with self.exclusive_writer():
+            if not self._inverted_index.has_document(document_id):
+                raise KeyError(f"document {document_id!r} not indexed")
+            frequencies = self._inverted_index.tokenizer.term_frequencies(text)
+            if self._durability is not None:
+                self._durability.log_update_document(document_id, frequencies)
+            self._inverted_index.update_document_frequencies(document_id, frequencies)
+            if self._dedup is not None:
+                self._dedup.discard(document_id)
+                self._dedup.add(document_id, frequencies)
+            self._maybe_checkpoint_locked()
+
+    def delete_shot(self, shot_id: str) -> None:
+        """Delete one shot's visual evidence through the writer path."""
+        with self.exclusive_writer():
+            if not self._visual_index.has_shot(shot_id):
+                raise KeyError(f"shot {shot_id!r} not in visual index")
+            if self._durability is not None:
+                self._durability.log_delete_shot(shot_id)
+            self._visual_index.delete_shot(shot_id)
+            self._maybe_checkpoint_locked()
+
+    def compact(self) -> CompactionStats:
+        """Reclaim tombstoned index slots, generation-safely.
+
+        Runs :func:`repro.index.compaction.compact_engine`: preparation
+        under the read lock, adoption under the exclusive writer with a
+        generation re-check, rankings bit-identical before and after.  Safe
+        to call concurrently with searches and writes.
+        """
+        return compact_engine(self)
+
+    def note_compaction_locked(self) -> None:
+        """Called by compaction adoption while the writer lock is held."""
+        if self._durability is not None:
+            self._durability.note_compaction()
+
+    def near_duplicate_stats(self) -> Optional[Dict[str, float]]:
+        """Screening counters, or ``None`` when screening is disabled."""
+        dedup = self._dedup
+        if dedup is None:
+            return None
+        return {
+            "threshold": dedup.threshold,
+            "skipped": float(dedup.skipped_count),
+            "tracked": float(dedup.tracked_count),
+        }
 
     def index_shot(
         self,

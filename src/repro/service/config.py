@@ -95,6 +95,12 @@ class ServiceConfig:
         routers on :class:`ReplicationConfig`'s own defaults; the field
         only makes sense together with ``durability_dir`` (a replica tails
         the WAL of a durable primary).
+    near_duplicate_threshold:
+        When set (cosine similarity in ``(0, 1]``), incoming documents are
+        screened against the live corpus at ingest and silently skipped
+        (with a counter) when a near-duplicate is already indexed; skipped
+        documents are never WAL-logged.  ``None`` (the default) disables
+        screening.
     """
 
     scorer: str = "bm25"
@@ -117,6 +123,7 @@ class ServiceConfig:
     snapshot_interval_ops: int = 256
     serving: Optional[ServingConfig] = None
     replication: Optional[ReplicationConfig] = None
+    near_duplicate_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.result_limit, "result_limit")
@@ -149,6 +156,13 @@ class ServiceConfig:
             raise ValueError(
                 f"result_cache_size must be non-negative, got {self.result_cache_size}"
             )
+        if self.near_duplicate_threshold is not None and not (
+            0.0 < self.near_duplicate_threshold <= 1.0
+        ):
+            raise ValueError(
+                f"near_duplicate_threshold must be in (0, 1], got "
+                f"{self.near_duplicate_threshold!r}"
+            )
 
     def with_overrides(self, **overrides: object) -> "ServiceConfig":
         """A copy of this config with some fields replaced."""
@@ -173,6 +187,7 @@ class ServiceConfig:
             bm25_b=self.bm25_b,
             lm_mu=self.lm_mu,
             result_cache_size=self.result_cache_size,
+            near_duplicate_threshold=self.near_duplicate_threshold,
         )
 
     @classmethod
@@ -190,5 +205,6 @@ class ServiceConfig:
             bm25_b=engine_config.bm25_b,
             lm_mu=engine_config.lm_mu,
             result_cache_size=engine_config.result_cache_size,
+            near_duplicate_threshold=engine_config.near_duplicate_threshold,
         )
         return config.with_overrides(**overrides) if overrides else config

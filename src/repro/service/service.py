@@ -79,6 +79,7 @@ from repro.service.sessions import (
     ManagedSession,
     SessionExpiredError,
     SessionManager,
+    SessionNotFoundError,
 )
 from repro.service.types import (
     FeedbackBatch,
@@ -698,6 +699,32 @@ class RetrievalService:
         same WAL-before-apply ordering) as :meth:`index_documents`.
         """
         self._engine.index_shot(shot_id, features, concept_scores)
+
+    def delete_document(self, document_id: str) -> None:
+        """Delete one transcript document from the live text index.
+
+        Same exclusive-writer discipline as :meth:`index_documents`; on a
+        durable service the delete is WAL-logged before it is applied, so
+        recovery and replicas replay it.  Unknown ids raise ``KeyError``.
+        """
+        self._engine.delete_document(document_id)
+
+    def update_document(self, document_id: str, text: str) -> None:
+        """Replace one transcript document's text (delete + re-add)."""
+        self._engine.update_document(document_id, text)
+
+    def delete_shot(self, shot_id: str) -> None:
+        """Delete one shot's visual evidence from the live visual index."""
+        self._engine.delete_shot(shot_id)
+
+    def compact(self):
+        """Reclaim tombstoned index slots (see :meth:`VideoRetrievalEngine.compact`).
+
+        Rankings are bit-identical before and after; safe to call while
+        other threads search and write.  Returns the
+        :class:`~repro.index.compaction.CompactionStats` of the pass.
+        """
+        return self._engine.compact()
 
     # -- recommendations ------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 from array import array
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.features import FeatureExtractor, cosine_similarity
@@ -51,6 +52,25 @@ from repro.utils.validation import ensure_positive
 _INLINE_GATHER = ScatterGather(1)
 
 
+@dataclass
+class _CompactedTextState:
+    """Prepared compaction for :class:`ShardedInvertedIndex` (see adopt)."""
+
+    shards: List[InvertedIndex]
+    doc_ids: List[str]
+    doc_index: Dict[str, int]
+    doc_lengths: array
+
+
+@dataclass
+class _CompactedVisualState:
+    """Prepared compaction for :class:`ShardedVisualIndex` (see adopt)."""
+
+    shards: List[VisualIndex]
+    shot_ids: List[str]
+    shot_index: Dict[str, int]
+
+
 class ShardedInvertedIndex:
     """One logical inverted index hash-partitioned over N shards."""
 
@@ -63,7 +83,8 @@ class ShardedInvertedIndex:
         self._stats = GlobalTextStats(self._shards)
         # Global dense interning, in insertion order — identical numbering
         # to a monolithic index fed the same documents in the same order.
-        self._doc_ids: List[str] = []
+        # Deleted documents leave a ``None`` tombstone, like the monolith.
+        self._doc_ids: List[Optional[str]] = []
         self._doc_index: Dict[str, int] = {}
         self._doc_lengths = array("i")
 
@@ -125,16 +146,96 @@ class ShardedInvertedIndex:
         self._doc_lengths.append(shard.document_length(document_id))
 
     def add_documents(self, documents: Mapping[str, str]) -> None:
-        """Index a mapping of ``document_id -> text``."""
+        """Index a mapping of ``document_id -> text`` atomically.
+
+        Mirrors the monolithic index: every id is validated globally before
+        any document lands on a shard, so a duplicate anywhere in the batch
+        leaves every shard (and the global tables) untouched.
+        """
+        for document_id in documents:
+            if document_id in self._doc_index:
+                raise ValueError(f"document {document_id!r} already indexed")
         for document_id, text in documents.items():
             self.add_document(document_id, text)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def delete_document(self, document_id: str) -> None:
+        """Remove one document from its owning shard; unknown ids raise.
+
+        The owning shard scrubs its postings; the facade tombstones its
+        global dense slot so global interning matches a monolithic index
+        that saw the same delete.
+        """
+        doc_index = self._doc_index.pop(document_id, None)
+        if doc_index is None:
+            raise KeyError(f"document {document_id!r} not indexed")
+        self.shard_for(document_id).delete_document(document_id)
+        self._doc_ids[doc_index] = None
+        self._doc_lengths[doc_index] = 0
+
+    def update_document(self, document_id: str, text: str) -> None:
+        """Replace one document's text; an unknown id raises ``KeyError``."""
+        self.update_document_frequencies(
+            document_id, self._tokenizer.term_frequencies(text)
+        )
+
+    def update_document_frequencies(
+        self, document_id: str, frequencies: Mapping[str, int]
+    ) -> None:
+        """Replace one document (delete + re-add on the owning shard)."""
+        if document_id not in self._doc_index:
+            raise KeyError(f"document {document_id!r} not indexed")
+        self.delete_document(document_id)
+        self.add_document_frequencies(document_id, frequencies)
+
+    # -- compaction --------------------------------------------------------------
+
+    @property
+    def tombstone_count(self) -> int:
+        """Tombstoned global dense slots not yet reclaimed by compaction."""
+        return len(self._doc_ids) - len(self._doc_index)
+
+    def compacted_copy(self) -> "_CompactedTextState":
+        """Freshly compacted per-shard copies plus rebuilt global tables.
+
+        Pure preparation — this object is untouched, so the (possibly
+        expensive) re-interning can run outside the engine's writer lock.
+        """
+        live_ids = [d for d in self._doc_ids if d is not None]
+        doc_index = {document_id: i for i, document_id in enumerate(live_ids)}
+        lengths = array(
+            "i", (self._doc_lengths[self._doc_index[d]] for d in live_ids)
+        )
+        return _CompactedTextState(
+            shards=[shard.compacted_copy() for shard in self._shards],
+            doc_ids=live_ids,
+            doc_index=doc_index,
+            doc_lengths=lengths,
+        )
+
+    def adopt_compacted(self, state: "_CompactedTextState") -> int:
+        """Swap a prepared compacted state in, preserving shard identities."""
+        reclaimed = len(self._doc_ids) - len(state.doc_ids)
+        for shard, fresh in zip(self._shards, state.shards):
+            shard.adopt_compacted(fresh)
+        self._doc_ids = state.doc_ids
+        self._doc_index = state.doc_index
+        self._doc_lengths = state.doc_lengths
+        return reclaimed
+
+    def compact(self) -> int:
+        """Reclaim tombstoned slots in place; no-op when there are none."""
+        if self.tombstone_count == 0:
+            return 0
+        return self.adopt_compacted(self.compacted_copy())
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def document_count(self) -> int:
-        """Total documents across all shards."""
-        return len(self._doc_ids)
+        """Total **live** documents across all shards."""
+        return len(self._doc_index)
 
     @property
     def vocabulary_size(self) -> int:
@@ -151,10 +252,10 @@ class ShardedInvertedIndex:
 
     @property
     def average_document_length(self) -> float:
-        """Global mean document length in terms."""
-        if not self._doc_ids:
+        """Global mean **live** document length in terms."""
+        if not self._doc_index:
             return 0.0
-        return self._stats.total_terms / len(self._doc_ids)
+        return self._stats.total_terms / len(self._doc_index)
 
     @property
     def generation(self) -> int:
@@ -170,8 +271,8 @@ class ShardedInvertedIndex:
         return document_id in self._doc_index
 
     def document_ids(self) -> List[str]:
-        """All indexed document ids, in global insertion order."""
-        return list(self._doc_ids)
+        """All **live** document ids, in global insertion order."""
+        return [document_id for document_id in self._doc_ids if document_id is not None]
 
     def document_frequency(self, term: str) -> int:
         """Global document frequency of a term."""
@@ -277,7 +378,7 @@ class ShardedVisualIndex:
         self._router = router
         self._gather = gather or _INLINE_GATHER
         self._shards = [VisualIndex() for _ in range(router.num_shards)]
-        self._shot_ids: List[str] = []
+        self._shot_ids: List[Optional[str]] = []
         self._shot_index: Dict[str, int] = {}
 
     # -- construction --------------------------------------------------------
@@ -334,12 +435,51 @@ class ShardedVisualIndex:
         self._shot_index[shot_id] = len(self._shot_ids)
         self._shot_ids.append(shot_id)
 
+    def delete_shot(self, shot_id: str) -> None:
+        """Remove one shot from its owning shard; unknown ids raise."""
+        shot_index = self._shot_index.pop(shot_id, None)
+        if shot_index is None:
+            raise KeyError(f"shot {shot_id!r} not in visual index")
+        self.shard_for(shot_id).delete_shot(shot_id)
+        self._shot_ids[shot_index] = None
+
+    # -- compaction ----------------------------------------------------------
+
+    @property
+    def tombstone_count(self) -> int:
+        """Tombstoned global dense slots not yet reclaimed by compaction."""
+        return len(self._shot_ids) - len(self._shot_index)
+
+    def compacted_copy(self) -> "_CompactedVisualState":
+        """Freshly compacted per-shard copies plus rebuilt global tables."""
+        live_ids = [s for s in self._shot_ids if s is not None]
+        return _CompactedVisualState(
+            shards=[shard.compacted_copy() for shard in self._shards],
+            shot_ids=live_ids,
+            shot_index={shot_id: i for i, shot_id in enumerate(live_ids)},
+        )
+
+    def adopt_compacted(self, state: "_CompactedVisualState") -> int:
+        """Swap a prepared compacted state in, preserving shard identities."""
+        reclaimed = len(self._shot_ids) - len(state.shot_ids)
+        for shard, fresh in zip(self._shards, state.shards):
+            shard.adopt_compacted(fresh)
+        self._shot_ids = state.shot_ids
+        self._shot_index = state.shot_index
+        return reclaimed
+
+    def compact(self) -> int:
+        """Reclaim tombstoned slots in place; no-op when there are none."""
+        if self.tombstone_count == 0:
+            return 0
+        return self.adopt_compacted(self.compacted_copy())
+
     # -- statistics ----------------------------------------------------------
 
     @property
     def shot_count(self) -> int:
-        """Total shots across all shards."""
-        return len(self._shot_ids)
+        """Total **live** shots across all shards."""
+        return len(self._shot_index)
 
     @property
     def generation(self) -> int:
@@ -351,8 +491,8 @@ class ShardedVisualIndex:
         return shot_id in self._shot_index
 
     def shot_ids(self) -> List[str]:
-        """All indexed shot ids, in global insertion order."""
-        return list(self._shot_ids)
+        """All **live** shot ids, in global insertion order."""
+        return [shot_id for shot_id in self._shot_ids if shot_id is not None]
 
     def features_of(self, shot_id: str) -> Tuple[float, ...]:
         """Feature vector of one shot."""

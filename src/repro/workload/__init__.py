@@ -9,6 +9,11 @@ canonical event log (plus its digest) proves the run was deterministic and
 nothing was lost or leaked across sessions.
 """
 
+from repro.workload.continuous import (
+    ContinuousMixResult,
+    ContinuousMixSpec,
+    run_continuous_mix,
+)
 from repro.workload.driver import LoadResult, ServiceLoadDriver
 from repro.workload.generator import (
     FEEDBACK,
@@ -22,10 +27,13 @@ from repro.workload.spec import WorkloadSpec
 __all__ = [
     "FEEDBACK",
     "SEARCH",
+    "ContinuousMixResult",
+    "ContinuousMixSpec",
     "LoadResult",
     "ServiceLoadDriver",
     "UserWorkload",
     "WorkloadStep",
     "WorkloadSpec",
     "generate_workload",
+    "run_continuous_mix",
 ]

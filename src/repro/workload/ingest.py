@@ -28,7 +28,9 @@ _VOCAB = (
 
 _CONCEPTS = ("crowd", "flag", "water", "fire", "vehicle", "podium", "field", "night")
 
-#: One ingest op: ``("doc", id, text)`` or ``("shot", id, features, concepts)``.
+#: One ingest op: ``("doc", id, text)``, ``("shot", id, features, concepts)``,
+#: or a mutable-corpus op — ``("del", id)``, ``("delshot", id)``,
+#: ``("upd", id, text)``.
 IngestOp = Tuple
 
 
@@ -95,10 +97,19 @@ def apply_ingest(service, ops: Sequence[IngestOp], pause: float = 0.0) -> int:
     """
     applied = 0
     for op in ops:
-        if op[0] == "doc":
+        kind = op[0]
+        if kind == "doc":
             service.index_documents({op[1]: op[2]})
-        else:
+        elif kind == "shot":
             service.index_shot(op[1], op[2], op[3])
+        elif kind == "del":
+            service.delete_document(op[1])
+        elif kind == "delshot":
+            service.delete_shot(op[1])
+        elif kind == "upd":
+            service.update_document(op[1], op[2])
+        else:
+            raise ValueError(f"unknown ingest op kind {kind!r}")
         applied += 1
         if pause > 0.0:
             time.sleep(pause)

@@ -248,3 +248,142 @@ class TestRecoveredServiceEquivalence:
             service.close()
             digests.add(RecoveryManager(directory).recover().state_digest())
         assert len(digests) == 1
+
+
+def _mutate_mix(service, ops):
+    """Canonical del/upd/delshot script over an applied ingest stream."""
+    doc_ids = [op[1] for op in ops if op[0] == "doc"]
+    shot_ids = [op[1] for op in ops if op[0] == "shot"]
+    service.delete_document(doc_ids[0])
+    service.update_document(doc_ids[1], "ceasefire summit rewrite")
+    service.delete_shot(shot_ids[0])
+    return 3  # mutation record count
+
+
+class TestMutableCorpusRecovery:
+    @pytest.mark.parametrize("num_shards", (1, 3))
+    def test_deletes_and_updates_replay_from_wal(
+        self, analysed_corpus, tmp_path, num_shards
+    ):
+        # WAL-only arm: interval far above the op count, so recovery
+        # replays every del/upd record over the bootstrap checkpoint.
+        service = _service(
+            analysed_corpus, _durable_config(tmp_path / "d", num_shards)
+        )
+        ops = synthetic_ingest_ops(
+            10, seed=3, feature_dim=service_feature_dim(service)
+        )
+        apply_ingest(service, ops)
+        mutations = _mutate_mix(service, ops)
+        live = engine_state_digest(service.engine)
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.wal_index_ops == 10 + mutations
+        assert state.wal_mutation_ops == mutations
+        # Replay is deterministic: a second cold recovery agrees.
+        assert RecoveryManager(tmp_path / "d").recover().state_digest() == live
+
+    @pytest.mark.parametrize("num_shards", (1, 3))
+    def test_mutations_replay_across_checkpoints(
+        self, analysed_corpus, tmp_path, num_shards
+    ):
+        # Tight checkpoint cadence: mutations land both inside truncated
+        # (checkpointed) prefixes and in the live WAL tail.  The first
+        # checkpoint after a mutation is a rebase — it rewrites the full
+        # live state so earlier deltas never resurrect a deleted slot.
+        service = _service(
+            analysed_corpus, _durable_config(tmp_path / "d", num_shards, interval=4)
+        )
+        ops = synthetic_ingest_ops(
+            12, seed=3, feature_dim=service_feature_dim(service)
+        )
+        doc_ids = [op[1] for op in ops if op[0] == "doc"]
+        shot_ids = [op[1] for op in ops if op[0] == "shot"]
+        for index, op in enumerate(ops):
+            apply_ingest(service, [op])
+            if index == 7:
+                service.delete_document(doc_ids[1])
+                service.update_document(doc_ids[2], "verdict launch rewrite")
+            if index == 9:
+                service.delete_shot(shot_ids[0])
+        live = engine_state_digest(service.engine)
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert not any(d == doc_ids[1] for d, _ in state.documents)
+        assert shot_ids[0] not in [entry[0] for entry in state.shots]
+
+    def test_compaction_then_checkpoint_recovers(self, analysed_corpus, tmp_path):
+        # Compaction renumbers dense slots; the rebase checkpoint that
+        # follows must capture the renumbered state so recovery does not
+        # stitch stale deltas across the renumbering.
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d", 2))
+        ops = synthetic_ingest_ops(
+            10, seed=5, feature_dim=service_feature_dim(service)
+        )
+        apply_ingest(service, ops)
+        _mutate_mix(service, ops)
+        stats = service.compact()
+        assert stats.reclaimed == 3
+        apply_ingest(
+            service,
+            synthetic_ingest_ops(
+                4, seed=99, feature_dim=service_feature_dim(service)
+            ),
+        )
+        live = engine_state_digest(service.engine)
+        service.close()  # close checkpoints: first one since the mutations
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        reopened = _service(analysed_corpus, _durable_config(tmp_path / "d", 2))
+        try:
+            assert engine_state_digest(reopened.engine) == live
+        finally:
+            reopened.close()
+
+    def test_reopen_after_crash_with_mutations_rebases(
+        self, analysed_corpus, tmp_path
+    ):
+        # Crash (no close-checkpoint) after mutations: the reopened
+        # service must flag its next checkpoint as a rebase, and a third
+        # generation recovers the continued stream exactly.
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        ops = synthetic_ingest_ops(
+            8, seed=7, feature_dim=service_feature_dim(service)
+        )
+        apply_ingest(service, ops)
+        _mutate_mix(service, ops)
+        live = engine_state_digest(service.engine)
+        del service  # abandoned: no checkpoint, WAL tail only
+
+        reopened = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        assert engine_state_digest(reopened.engine) == live
+        assert reopened.engine.durability._rebase_next_checkpoint
+        apply_ingest(
+            reopened,
+            synthetic_ingest_ops(
+                3, seed=8, feature_dim=service_feature_dim(reopened)
+            ),
+        )
+        live = engine_state_digest(reopened.engine)
+        reopened.close()  # writes the rebase checkpoint
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.ingested_ops >= 0
+
+    def test_delete_below_bootstrap_clamps_ingested_ops(
+        self, analysed_corpus, tmp_path
+    ):
+        # Deleting bootstrap documents shrinks the live count below the
+        # checkpoint-0 baseline; the net-growth figure clamps at zero
+        # rather than going negative.
+        service = _service(analysed_corpus, _durable_config(tmp_path / "d"))
+        bootstrap_doc = service.engine.inverted_index.document_ids()[0]
+        service.delete_document(bootstrap_doc)
+        live = engine_state_digest(service.engine)
+        service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == live
+        assert state.ingested_ops == 0
+        assert state.wal_mutation_ops == 1

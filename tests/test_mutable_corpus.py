@@ -1,0 +1,474 @@
+"""Mutable-corpus tier: deletes, updates, tombstones, and compaction.
+
+The contract under test everywhere in this module: after any sequence of
+deletes and updates (and optionally a compaction), collection statistics
+and rankings are **bit-identical** to a from-scratch rebuild over the
+surviving documents.  Covered layers: the dense-id indexes themselves,
+the engine writer path (atomic batches, result-cache invalidation,
+near-duplicate screening), the background compactor, and a differential
+matrix across scorers × shard counts × executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import engine_state_digest
+from repro.index import InvertedIndex, VisualIndex
+from repro.index.compaction import BackgroundCompactor, compact_engine
+from repro.index.dedup import NearDuplicateDetector
+from repro.retrieval import EngineConfig, Query, VideoRetrievalEngine
+from repro.service import RetrievalService, ServiceConfig
+from repro.workload.ingest import (
+    apply_ingest,
+    service_feature_dim,
+    synthetic_ingest_ops,
+)
+
+
+def _text_fingerprint(index: InvertedIndex) -> dict:
+    """Every statistic a text scorer can observe, as one comparable value."""
+    terms = sorted(index.terms())
+    return {
+        "document_count": index.document_count,
+        "vocabulary_size": index.vocabulary_size,
+        "total_terms": index.total_terms,
+        "average_document_length": index.average_document_length,
+        "document_ids": sorted(index.document_ids()),
+        "document_frequency": {t: index.document_frequency(t) for t in terms},
+        "collection_frequency": {t: index.collection_frequency(t) for t in terms},
+        "postings": {
+            t: [(p.document_id, p.term_frequency) for p in index.postings(t)]
+            for t in terms
+        },
+        "vectors": {
+            d: dict(index.document_vector(d)) for d in index.document_ids()
+        },
+    }
+
+
+def _fresh_text_index(documents: dict) -> InvertedIndex:
+    index = InvertedIndex()
+    for document_id, text in documents.items():
+        index.add_document(document_id, text)
+    return index
+
+
+_DOCS = {
+    "d0": "election protest flood election",
+    "d1": "summit economy ceasefire",
+    "d2": "wildfire transfer verdict launch",
+    "d3": "strike harvest border vaccine",
+    "d4": "tournament blackout election summit",
+    "d5": "flood flood protest verdict",
+}
+
+
+class TestInvertedIndexMutations:
+    def test_delete_matches_rebuild_over_survivors(self):
+        index = _fresh_text_index(_DOCS)
+        index.delete_document("d1")
+        index.delete_document("d4")
+        survivors = {k: v for k, v in _DOCS.items() if k not in ("d1", "d4")}
+        assert _text_fingerprint(index) == _text_fingerprint(
+            _fresh_text_index(survivors)
+        )
+        assert index.tombstone_count == 2
+        assert not index.has_document("d1")
+
+    def test_delete_unknown_document_raises(self):
+        index = _fresh_text_index(_DOCS)
+        with pytest.raises(KeyError):
+            index.delete_document("missing")
+        with pytest.raises(KeyError):
+            index.delete_document("d0")  # second delete of the same id
+            index.delete_document("d0")
+
+    def test_delete_scrubs_term_entirely_owned_by_victim(self):
+        index = _fresh_text_index(_DOCS)
+        assert "tournament" in index
+        index.delete_document("d4")
+        assert "tournament" not in index
+        assert index.collection_frequency("tournament") == 0
+        assert index.postings("tournament") == []
+
+    def test_update_matches_delete_plus_add(self):
+        updated = _fresh_text_index(_DOCS)
+        updated.update_document("d2", "ceasefire summit ceasefire")
+        rebuilt = _fresh_text_index(_DOCS)
+        rebuilt.delete_document("d2")
+        rebuilt.add_document("d2", "ceasefire summit ceasefire")
+        assert _text_fingerprint(updated) == _text_fingerprint(rebuilt)
+        # An update moves the document to a fresh dense slot and leaves a
+        # tombstone behind — exactly what WAL replay of del+add produces.
+        assert updated.tombstone_count == 1
+        assert updated.doc_index_of("d2") == len(_DOCS)
+
+    def test_update_unknown_document_raises(self):
+        index = _fresh_text_index(_DOCS)
+        with pytest.raises(KeyError):
+            index.update_document("missing", "flood")
+
+    def test_compact_reclaims_and_preserves_statistics(self):
+        index = _fresh_text_index(_DOCS)
+        index.delete_document("d0")
+        index.update_document("d3", "border border vaccine")
+        before = _text_fingerprint(index)
+        generation = index.generation
+        reclaimed = index.compact()
+        assert reclaimed == 2  # one delete hole + one update hole
+        assert index.tombstone_count == 0
+        assert index.generation > generation
+        assert _text_fingerprint(index) == before
+        assert None not in index.dense_document_ids()
+        # Compacting a hole-free index is a no-op.
+        assert index.compact() == 0
+
+    def test_add_documents_batch_is_atomic(self):
+        # Satellite regression: the batch validates every id up front, so a
+        # duplicate anywhere leaves the index completely untouched — even
+        # when valid documents precede the duplicate in iteration order.
+        index = _fresh_text_index(_DOCS)
+        before = _text_fingerprint(index)
+        with pytest.raises(ValueError):
+            index.add_documents({"fresh-a": "flood summit", "d3": "economy"})
+        assert not index.has_document("fresh-a")
+        assert _text_fingerprint(index) == before
+
+
+class TestVisualIndexMutations:
+    @staticmethod
+    def _index() -> VisualIndex:
+        index = VisualIndex()
+        index.add_shot("s0", [1.0, 0.0, 0.0], {"crowd": 0.9})
+        index.add_shot("s1", [0.0, 1.0, 0.0], {"flag": 0.8})
+        index.add_shot("s2", [0.0, 0.0, 1.0], {"water": 0.7})
+        return index
+
+    def test_delete_shot_matches_rebuild(self):
+        index = self._index()
+        index.delete_shot("s1")
+        assert index.shot_ids() == ["s0", "s2"]
+        assert index.shot_count == 2
+        assert index.tombstone_count == 1
+        assert not index.has_shot("s1")
+        ranked = index.similar_to_vector([0.0, 1.0, 0.0], limit=10)
+        assert "s1" not in [shot_id for shot_id, _ in ranked]
+        with pytest.raises(KeyError):
+            index.delete_shot("s1")
+
+    def test_compact_preserves_payloads(self):
+        index = self._index()
+        index.delete_shot("s0")
+        features = index.features_of("s2")
+        concepts = index.concept_scores_of("s2")
+        generation = index.generation
+        assert index.compact() == 1
+        assert index.tombstone_count == 0
+        assert index.generation > generation
+        assert index.shot_ids() == ["s1", "s2"]
+        assert index.features_of("s2") == features
+        assert index.concept_scores_of("s2") == concepts
+
+
+class TestEngineMutations:
+    def test_index_documents_batch_is_atomic(self, small_corpus):
+        engine = VideoRetrievalEngine(small_corpus.collection)
+        existing = engine.inverted_index.document_ids()[0]
+        count = engine.inverted_index.document_count
+        with pytest.raises(ValueError):
+            engine.index_documents({"eng-a": "flood summit", existing: "economy"})
+        assert not engine.inverted_index.has_document("eng-a")
+        assert engine.inverted_index.document_count == count
+
+    def test_sharded_service_batch_is_atomic(self, small_corpus):
+        # The sharded facade must validate across *all* shards before any
+        # shard applies: "svc-a" and "svc-b" likely route to different
+        # shards than the duplicate, and none of them may land.
+        service = RetrievalService(
+            small_corpus.collection,
+            config=ServiceConfig(num_shards=4, result_cache_size=0),
+        )
+        try:
+            index = service.engine.inverted_index
+            existing = index.document_ids()[0]
+            count = index.document_count
+            with pytest.raises(ValueError):
+                service.index_documents(
+                    {"svc-a": "flood", "svc-b": "summit", existing: "economy"}
+                )
+            assert not index.has_document("svc-a")
+            assert not index.has_document("svc-b")
+            assert index.document_count == count
+        finally:
+            service.close()
+
+    def test_delete_invalidates_result_cache(self, small_corpus):
+        config = EngineConfig(result_cache_size=8)
+        engine = VideoRetrievalEngine(small_corpus.collection, config=config)
+        engine.index_document("cache-doc", "ceasefire blackout ceasefire")
+        query = Query(text="ceasefire blackout")
+        first = engine.search(query, limit=None)
+        assert "cache-doc" in first.shot_ids()
+        engine.search(query, limit=None)
+        assert engine.result_cache_stats()["hits"] >= 1
+        engine.delete_document("cache-doc")
+        after = engine.search(query, limit=None)
+        assert "cache-doc" not in after.shot_ids()
+        # The served post-delete ranking must match a cache-less engine
+        # that never saw the document at all.
+        reference = VideoRetrievalEngine(
+            small_corpus.collection, config=EngineConfig(result_cache_size=0)
+        )
+        expected = reference.search(query, limit=None)
+        assert after.shot_ids() == expected.shot_ids()
+        assert [i.score for i in after.items] == [i.score for i in expected.items]
+
+
+class TestNearDuplicateScreening:
+    def test_detector_validation(self):
+        with pytest.raises(ValueError):
+            NearDuplicateDetector(0.0)
+        with pytest.raises(ValueError):
+            NearDuplicateDetector(1.5)
+
+    def test_screen_and_discard(self):
+        detector = NearDuplicateDetector(threshold=1.0)
+        # A 3-4-5 vector keeps the norm (and hence the cosine) float-exact.
+        detector.add("a", {"flood": 3, "summit": 4})
+        assert detector.tracked_count == 1
+        assert detector.screen({"flood": 3, "summit": 4}) == "a"
+        assert detector.screen({"flood": 6, "summit": 8}) == "a"  # same direction
+        assert detector.screen({"flood": 1, "economy": 1}) is None
+        assert detector.skipped_count == 2
+        detector.discard("a")
+        assert detector.screen({"flood": 3, "summit": 4}) is None
+        assert detector.tracked_count == 0
+        detector.discard("a")  # idempotent
+
+    def test_partial_overlap_below_one(self):
+        detector = NearDuplicateDetector(threshold=0.9)
+        detector.add("a", {"flood": 10, "summit": 10})
+        assert detector.find_duplicate({"flood": 10, "summit": 9}) == "a"
+        assert detector.find_duplicate({"flood": 10, "economy": 10}) is None
+
+    def test_engine_screens_duplicates_at_ingest(self, small_corpus):
+        config = EngineConfig(near_duplicate_threshold=1.0, result_cache_size=0)
+        engine = VideoRetrievalEngine(small_corpus.collection, config=config)
+        engine.index_document("dup-a", "ceasefire summit verdict")
+        engine.index_document("dup-b", "ceasefire summit verdict")
+        assert engine.inverted_index.has_document("dup-a")
+        assert not engine.inverted_index.has_document("dup-b")
+        stats = engine.near_duplicate_stats()
+        assert stats["skipped"] == 1.0
+        # Deleting the original frees the content for re-ingest.
+        engine.delete_document("dup-a")
+        engine.index_document("dup-b", "ceasefire summit verdict")
+        assert engine.inverted_index.has_document("dup-b")
+        # An update refreshes the screened vector: the old content is no
+        # longer a duplicate, the new content is.
+        engine.update_document("dup-b", "wildfire wildfire wildfire border border border border")
+        engine.index_document("dup-c", "ceasefire summit verdict")
+        assert engine.inverted_index.has_document("dup-c")
+        assert engine.near_duplicate_stats()["skipped"] == 1.0
+        engine.index_document("dup-d", "wildfire wildfire wildfire border border border border")
+        assert not engine.inverted_index.has_document("dup-d")
+        assert engine.near_duplicate_stats()["skipped"] == 2.0
+
+    def test_disabled_by_default(self, small_corpus):
+        engine = VideoRetrievalEngine(small_corpus.collection)
+        assert engine.near_duplicate_stats() is None
+        service = RetrievalService(small_corpus.collection)
+        try:
+            assert service.engine.near_duplicate_stats() is None
+        finally:
+            service.close()
+
+    def test_service_config_threads_threshold(self, small_corpus):
+        with pytest.raises(ValueError):
+            ServiceConfig(near_duplicate_threshold=-0.5)
+        config = ServiceConfig(near_duplicate_threshold=0.99, result_cache_size=0)
+        assert config.engine_config().near_duplicate_threshold == 0.99
+        service = RetrievalService(small_corpus.collection, config=config)
+        try:
+            service.index_documents({"svc-dup-a": "blackout harvest blackout"})
+            service.index_documents({"svc-dup-b": "blackout harvest blackout"})
+            assert not service.engine.inverted_index.has_document("svc-dup-b")
+            assert service.engine.near_duplicate_stats()["skipped"] == 1.0
+        finally:
+            service.close()
+
+
+class TestBackgroundCompactor:
+    def test_validation(self, small_corpus):
+        engine = VideoRetrievalEngine(small_corpus.collection)
+        with pytest.raises(ValueError):
+            BackgroundCompactor(engine, tombstone_ratio=0.0)
+
+    def test_ratio_gate_and_reclaim(self, small_corpus):
+        engine = VideoRetrievalEngine(
+            small_corpus.collection, config=EngineConfig(result_cache_size=0)
+        )
+        for i in range(8):
+            engine.index_document(f"bg-{i}", f"flood summit economy {i}")
+        compactor = BackgroundCompactor(engine, tombstone_ratio=0.01, interval=30.0)
+        try:
+            assert compactor.run_once() is None  # no tombstones yet
+            for i in range(4):
+                engine.delete_document(f"bg-{i}")
+            before = engine_state_digest(engine)
+            stats = compactor.run_once()
+            assert stats is not None and stats.reclaimed == 4
+            assert compactor.passes == 1
+            assert compactor.reclaimed == 4
+            assert engine.inverted_index.tombstone_count == 0
+            assert engine_state_digest(engine) == before
+        finally:
+            compactor.close(final_pass=False)
+        compactor.close()  # idempotent
+
+    def test_close_runs_final_pass(self, small_corpus):
+        engine = VideoRetrievalEngine(
+            small_corpus.collection, config=EngineConfig(result_cache_size=0)
+        )
+        engine.index_document("bg-final", "verdict launch")
+        compactor = BackgroundCompactor(engine, tombstone_ratio=0.001, interval=30.0)
+        engine.delete_document("bg-final")
+        compactor.close(final_pass=True)
+        assert compactor.reclaimed >= 1
+        assert engine.inverted_index.tombstone_count == 0
+
+
+def _mutate(service, ops):
+    """Apply the module's canonical delete/update script to a service."""
+    doc_ids = [op[1] for op in ops if op[0] == "doc"]
+    shot_ids = [op[1] for op in ops if op[0] == "shot"]
+    deleted_docs = doc_ids[::4]
+    updated_docs = doc_ids[1::4]
+    deleted_shots = shot_ids[::5]
+    for document_id in deleted_docs:
+        service.delete_document(document_id)
+    for document_id in updated_docs:
+        service.update_document(document_id, f"verdict ceasefire {document_id}")
+    for shot_id in deleted_shots:
+        service.delete_shot(shot_id)
+    return deleted_docs, updated_docs, deleted_shots
+
+
+def _rebuild_over_survivors(corpus, config, ops, deleted_docs, updated_docs,
+                            deleted_shots):
+    """A from-scratch service that only ever saw the surviving content."""
+    service = RetrievalService(corpus.collection, config=config)
+    for op in ops:
+        if op[0] == "doc":
+            if op[1] in deleted_docs or op[1] in updated_docs:
+                continue
+            service.index_documents({op[1]: op[2]})
+        else:
+            if op[1] in deleted_shots:
+                continue
+            service.index_shot(op[1], op[2], op[3])
+    # Updated documents land last: an update relocates the document to the
+    # dense tail, so the compacted mutant's slot order has them at the end.
+    for document_id in updated_docs:
+        service.index_documents({document_id: f"verdict ceasefire {document_id}"})
+    return service
+
+
+def _matrix_queries(service):
+    anchor = service.engine.visual_index.shot_ids()[0]  # collection shot
+    return [
+        Query(text="election flood summit"),
+        Query(text="verdict ceasefire"),
+        Query(text="wildfire border vaccine launch strike"),
+        Query(text="economy blackout", example_shot_ids=[anchor]),
+    ]
+
+
+def _assert_same_rankings(reference, candidate, queries):
+    for query in queries:
+        expected = reference.search(query, limit=None)
+        actual = candidate.search(query, limit=None)
+        assert expected.shot_ids() == actual.shot_ids(), query
+        assert [item.score for item in expected.items] == [
+            item.score for item in actual.items
+        ], query
+
+
+class TestDifferentialMatrix:
+    """Satellite: delete+compact ≡ rebuild, across scorers × shards × executors."""
+
+    def _run(self, corpus, scorer, num_shards, executor):
+        config = ServiceConfig(
+            scorer=scorer,
+            num_shards=num_shards,
+            executor=executor,
+            process_workers=2,
+            result_cache_size=0,
+        )
+        mutant = RetrievalService(corpus.collection, config=config)
+        reference = None
+        try:
+            ops = synthetic_ingest_ops(
+                26, seed=11, feature_dim=service_feature_dim(mutant)
+            )
+            apply_ingest(mutant, ops)
+            deleted_docs, updated_docs, deleted_shots = _mutate(mutant, ops)
+            reference = _rebuild_over_survivors(
+                corpus, config, ops, deleted_docs, updated_docs, deleted_shots
+            )
+            queries = _matrix_queries(mutant)
+            for query in queries:
+                hits = mutant.engine.search(query, limit=None).shot_ids()
+                for gone in deleted_docs + deleted_shots:
+                    assert gone not in hits
+            _assert_same_rankings(reference.engine, mutant.engine, queries)
+            # Compaction must not move a single ranking bit.
+            before = engine_state_digest(mutant.engine)
+            stats = mutant.compact()
+            assert stats.reclaimed == (
+                len(deleted_docs) + len(updated_docs) + len(deleted_shots)
+            )
+            assert engine_state_digest(mutant.engine) == before
+            _assert_same_rankings(reference.engine, mutant.engine, queries)
+            # And the compacted state digests identically to the rebuild.
+            assert engine_state_digest(mutant.engine) == engine_state_digest(
+                reference.engine
+            )
+        finally:
+            mutant.close()
+            if reference is not None:
+                reference.close()
+
+    @pytest.mark.parametrize("scorer", ["bm25", "tfidf", "lm"])
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_delete_compact_equals_rebuild(self, analysed_corpus, scorer,
+                                           num_shards):
+        self._run(analysed_corpus, scorer, num_shards, "thread")
+
+    @pytest.mark.multiproc
+    def test_delete_compact_equals_rebuild_process_executor(self, analysed_corpus):
+        self._run(analysed_corpus, "bm25", 3, "process")
+
+
+class TestEngineCompaction:
+    def test_compact_engine_noop_without_tombstones(self, small_corpus):
+        engine = VideoRetrievalEngine(small_corpus.collection)
+        stats = compact_engine(engine)
+        assert stats.reclaimed == 0
+        assert stats.retries == 0
+
+    def test_compact_preserves_object_identity(self, small_corpus):
+        # Stats views and sharded scorers hold direct references to the
+        # index objects; adoption must swap internals, never the objects.
+        engine = VideoRetrievalEngine(small_corpus.collection)
+        engine.index_document("ident-a", "flood summit")
+        engine.index_document("ident-b", "economy verdict")
+        engine.delete_document("ident-a")
+        text_index = engine.inverted_index
+        visual_index = engine.visual_index
+        stats = engine.compact()
+        assert stats.documents_reclaimed == 1
+        assert engine.inverted_index is text_index
+        assert engine.visual_index is visual_index
+        assert text_index.has_document("ident-b")

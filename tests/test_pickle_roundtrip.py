@@ -115,3 +115,38 @@ class TestPickleRoundTrip:
         assert shard_clone == shard_descriptor
         assert shard_clone.payload == shard_descriptor.payload
         assert list(shard_clone.term_offsets) == list(shard_descriptor.term_offsets)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestTombstonedIndexPickle:
+    def test_inverted_index_with_tombstones(self, protocol):
+        index = InvertedIndex()
+        index.add_document("doc-a", "alpha beta alpha")
+        index.add_document("doc-b", "beta gamma")
+        index.add_document("doc-c", "gamma delta")
+        index.delete_document("doc-b")
+        index.update_document("doc-c", "epsilon beta")
+        clone = _roundtrip(index, protocol)
+        assert clone.document_count == index.document_count
+        assert clone.tombstone_count == index.tombstone_count
+        assert clone.total_terms == index.total_terms
+        assert clone.dense_document_ids() == index.dense_document_ids()
+        assert sorted(clone.document_ids()) == ["doc-a", "doc-c"]
+        assert clone.document_vector("doc-c") == {"epsilon": 1, "beta": 1}
+        # The clone is fully mutable: compaction reclaims the same holes.
+        assert clone.compact() == 2
+        assert clone.tombstone_count == 0
+        assert clone.document_count == 2
+
+    def test_visual_index_with_tombstones(self, protocol):
+        from repro.index.visual import VisualIndex
+
+        index = VisualIndex()
+        index.add_shot("shot-a", [1.0, 0.0], {"crowd": 0.5})
+        index.add_shot("shot-b", [0.0, 1.0], {"flag": 0.5})
+        index.delete_shot("shot-a")
+        clone = _roundtrip(index, protocol)
+        assert clone.shot_ids() == ["shot-b"]
+        assert clone.tombstone_count == 1
+        assert clone.compact() == 1
+        assert clone.features_of("shot-b") == (0.0, 1.0)

@@ -774,3 +774,158 @@ class TestTenantMetrics:
         assert tenants["acme"]["search"]["max"] == pytest.approx(0.020)
         assert tenants["globex"]["search"]["count"] == 1.0
         assert "feedback" not in tenants.get("acme", {})
+
+
+class TestMutationReplication:
+    def test_deletes_and_updates_ship_to_replica(self, analysed_corpus, tmp_path):
+        # The mutable-corpus record kinds travel the same WAL the ingest
+        # records do: after del/upd/delshot the replica must be
+        # bit-identical to the primary at the same LSN.
+        config = _durable_config(tmp_path / "dur")
+        primary = RetrievalService.from_corpus(analysed_corpus, config=config)
+        replica = ReplicaServer(
+            tmp_path / "dur", corpus=analysed_corpus, config=config
+        )
+        try:
+            ops = _ops(primary, 10)
+            apply_ingest(primary, ops)
+            doc_ids = [op[1] for op in ops if op[0] == "doc"]
+            shot_ids = [op[1] for op in ops if op[0] == "shot"]
+            primary.delete_document(doc_ids[0])
+            primary.update_document(doc_ids[1], "ceasefire summit rewrite")
+            primary.delete_shot(shot_ids[0])
+            replica.catch_up()
+            assert replica.applied_lsn == primary.engine.durability.wal.last_lsn
+            assert replica.state_digest() == engine_state_digest(primary.engine)
+            assert not replica.engine.inverted_index.has_document(doc_ids[0])
+            assert not replica.engine.visual_index.has_shot(shot_ids[0])
+            assert _ranking(replica.search("ceasefire summit rewrite")) == _ranking(
+                primary.engine.search_text("ceasefire summit rewrite")
+            )
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_replayed_mutations_are_idempotent_on_replica(
+        self, analysed_corpus, tmp_path
+    ):
+        # A replica restarting from an older snapshot re-applies records it
+        # already consumed; deletes of already-absent ids must not wedge it.
+        config = _durable_config(tmp_path / "dur", interval=4)
+        primary = RetrievalService.from_corpus(analysed_corpus, config=config)
+        try:
+            ops = _ops(primary, 12)
+            apply_ingest(primary, ops)
+            doc_ids = [op[1] for op in ops if op[0] == "doc"]
+            primary.delete_document(doc_ids[2])
+            primary.update_document(doc_ids[3], "verdict launch rewrite")
+            replica = ReplicaServer(
+                tmp_path / "dur", corpus=analysed_corpus, config=config
+            )
+            try:
+                replica.catch_up()
+                assert replica.state_digest() == engine_state_digest(
+                    primary.engine
+                )
+            finally:
+                replica.close()
+        finally:
+            primary.close()
+
+    def test_promotion_after_mutations_preserves_digest(
+        self, analysed_corpus, tmp_path
+    ):
+        primary = RetrievalService.from_corpus(
+            analysed_corpus, config=_durable_config(tmp_path / "dur")
+        )
+        service = ReplicatedService(primary)
+        try:
+            ops = _ops(primary, 10)
+            apply_ingest(service, ops)
+            doc_ids = [op[1] for op in ops if op[0] == "doc"]
+            service.add_replica("r1")
+            service.delete_document(doc_ids[0])
+            service.update_document(doc_ids[1], "summit blackout rewrite")
+            service.poll_replicas()
+            expected = engine_state_digest(service.primary.engine)
+            service.kill_primary()
+            result = service.promote("r1")
+            assert result.digests_match
+            assert engine_state_digest(service.primary.engine) == expected
+        finally:
+            service.close()
+
+
+class TestCompactionPinRelease:
+    def test_remove_replica_unclamps_wal_truncation(
+        self, analysed_corpus, tmp_path
+    ):
+        # Satellite regression: a removed replica's last acknowledged LSN
+        # must stop clamping truncate_through — otherwise the WAL retains
+        # every segment past that LSN forever.
+        primary = RetrievalService.from_corpus(
+            analysed_corpus, config=_durable_config(tmp_path / "dur")
+        )
+        service = ReplicatedService(primary)
+        try:
+            service.add_replica("r1")  # registered at LSN 0, never polls
+            apply_ingest(service, _ops(primary, 8))
+            wal = primary.engine.durability.wal
+            wal.truncate_through(wal.last_lsn)
+            # The lagging replica pins everything it has not acknowledged.
+            assert len(wal.scan_all()[0]) == 8
+            service.remove_replica("r1")
+            assert "r1" not in wal.replica_acknowledgements()
+            wal.truncate_through(wal.last_lsn)
+            assert wal.scan_all()[0] == []
+        finally:
+            service.close()
+
+    def test_remove_replica_during_failover_window_releases_pin(
+        self, analysed_corpus, tmp_path
+    ):
+        # The pin lives in the durability manager of the primary the
+        # replica was registered with.  Removing the replica while no
+        # primary is alive must still release that pin — the manager's
+        # directory outlives the crashed process and a promoted successor
+        # (or recovery) keeps honouring its registrations.
+        primary = RetrievalService.from_corpus(
+            analysed_corpus, config=_durable_config(tmp_path / "dur")
+        )
+        service = ReplicatedService(primary)
+        try:
+            wal = primary.engine.durability.wal
+            service.add_replica("r1")
+            service.add_replica("r2")
+            apply_ingest(service, _ops(primary, 6))
+            service.poll_replicas()
+            service.kill_primary()
+            assert not service.primary_alive
+            service.remove_replica("r2")
+            assert "r2" not in wal.replica_acknowledgements()
+            assert "r1" in wal.replica_acknowledgements()
+        finally:
+            service.close()
+
+    def test_poll_after_remove_does_not_resurrect_ack(
+        self, analysed_corpus, tmp_path
+    ):
+        # poll_replicas must re-check membership before acknowledging:
+        # acking an unregistered replica raises WalError out of the whole
+        # polling round.
+        primary = RetrievalService.from_corpus(
+            analysed_corpus, config=_durable_config(tmp_path / "dur")
+        )
+        service = ReplicatedService(primary)
+        try:
+            service.add_replica("r1")
+            service.add_replica("r2")
+            apply_ingest(service, _ops(primary, 4))
+            service.remove_replica("r1")
+            applied = service.poll_replicas()
+            assert "r1" not in applied
+            assert applied["r2"] == 4
+            wal = primary.engine.durability.wal
+            assert "r1" not in wal.replica_acknowledgements()
+        finally:
+            service.close()

@@ -515,8 +515,9 @@ class TestFaultInjection:
             sharding_corpus.collection, config=config, num_shards=3
         )
         existing = next(iter(sharding_corpus.collection.iter_shots())).shot_id
-        # Ordered mapping: the duplicate sits mid-batch, so both engines
-        # index "w1", fail on the duplicate, and never reach "w2".
+        # Ordered mapping with the duplicate mid-batch: batch ingest is
+        # atomic, so both engines reject the whole batch and neither "w1"
+        # nor "w2" leaks in as partial state.
         batch = {
             "w1": "summit election",
             existing: "duplicate payload",
@@ -527,7 +528,7 @@ class TestFaultInjection:
         with pytest.raises(ValueError, match="already indexed"):
             sharded.index_documents(batch)
         for engine in (mono, sharded):
-            assert engine.inverted_index.has_document("w1")
+            assert not engine.inverted_index.has_document("w1")
             assert not engine.inverted_index.has_document("w2")
         assert_identical_rankings(
             mono, sharded, random_queries(sharding_corpus, seed=101, count=5)

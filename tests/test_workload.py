@@ -267,3 +267,165 @@ class TestShardedWorkloadEquivalence:
             assert code == 0
             logs[shards] = log.read_bytes()
         assert logs[1] == logs[num_shards]
+
+
+class TestContinuousMix:
+    @staticmethod
+    def _spec(**overrides):
+        from repro.workload import ContinuousMixSpec
+
+        base = dict(
+            epochs=4,
+            mutations_per_epoch=6,
+            searches_per_epoch=4,
+            feedback_per_epoch=1,
+            compact_every=2,
+            search_workers=2,
+            seed=7,
+        )
+        base.update(overrides)
+        return ContinuousMixSpec(**base)
+
+    def test_spec_validation(self):
+        from repro.workload import ContinuousMixSpec
+
+        with pytest.raises(ValueError):
+            ContinuousMixSpec(epochs=0)
+        with pytest.raises(ValueError):
+            ContinuousMixSpec(delete_ratio=1.2)
+        with pytest.raises(ValueError):
+            ContinuousMixSpec(delete_ratio=0.6, update_ratio=0.6)
+        with pytest.raises(ValueError):
+            ContinuousMixSpec(searches_per_epoch=-1)
+
+    def test_log_independent_of_search_workers(self, small_corpus, factory):
+        from repro.workload import run_continuous_mix
+
+        logs = []
+        for workers in (1, 4):
+            service = factory()
+            try:
+                result = run_continuous_mix(
+                    service, self._spec(search_workers=workers)
+                )
+                logs.append(result.canonical_log())
+            finally:
+                service.close()
+        assert logs[0] == logs[1]
+
+    def test_sharded_matches_monolithic(self, small_corpus):
+        from repro.service import ServiceConfig
+        from repro.workload import run_continuous_mix
+
+        results = []
+        for num_shards in (1, 3):
+            service = RetrievalService(
+                small_corpus.collection,
+                config=ServiceConfig(num_shards=num_shards, result_cache_size=0),
+            )
+            try:
+                results.append(run_continuous_mix(service, self._spec()))
+            finally:
+                service.close()
+        assert results[0].canonical_log() == results[1].canonical_log()
+        assert results[0].state_digest == results[1].state_digest
+
+    def test_counts_cover_every_op_family(self, factory):
+        from repro.workload import run_continuous_mix
+
+        service = factory()
+        try:
+            result = run_continuous_mix(
+                service, self._spec(epochs=6, mutations_per_epoch=10)
+            )
+        finally:
+            service.close()
+        counts = result.counts
+        assert counts["ingest-doc"] > 0 and counts["ingest-shot"] > 0
+        assert counts["del-doc"] + counts["del-shot"] > 0
+        assert counts["upd"] > 0
+        assert counts["search"] == 6 * self._spec().searches_per_epoch
+        assert counts["feedback"] > 0
+        assert counts["compact"] == 3
+        assert counts["reclaimed"] > 0
+        assert not result.stopped_early
+        # Every record family shows up in the canonical log, and the log
+        # digest is reproducible from the lines.
+        ops = {record["op"] for record in result.records}
+        assert {"ingest-doc", "search", "compact"} <= ops
+        assert result.canonical_lines()[-1] == (
+            '{"state_digest":"%s"}' % result.state_digest
+        )
+
+    def test_stop_lsn_requires_durable_service(self, factory):
+        from repro.workload import run_continuous_mix
+
+        service = factory()
+        try:
+            with pytest.raises(ValueError):
+                run_continuous_mix(service, self._spec(), stop_lsn=5)
+            with pytest.raises(ValueError):
+                run_continuous_mix(service, self._spec(), stop_lsn=-1)
+        finally:
+            service.close()
+
+    @pytest.mark.durability
+    def test_durable_mix_recovers_to_final_digest(self, small_corpus, tmp_path):
+        from repro.durability import RecoveryManager
+        from repro.service import ServiceConfig
+        from repro.workload import run_continuous_mix
+
+        config = ServiceConfig(
+            durability_dir=str(tmp_path / "d"),
+            snapshot_interval_ops=8,
+            fsync_policy="never",
+            result_cache_size=0,
+        )
+        service = RetrievalService(small_corpus.collection, config=config)
+        try:
+            result = run_continuous_mix(service, self._spec())
+        finally:
+            service.close()
+        state = RecoveryManager(tmp_path / "d").recover()
+        assert state.state_digest() == result.state_digest
+
+    @pytest.mark.durability
+    def test_stop_lsn_prefix_matches_point_in_time_recovery(
+        self, small_corpus, tmp_path
+    ):
+        # The SIGKILL oracle's clean-prefix arm: a run stopped at LSN L
+        # must land on the same digest PITR recovers at cut L from the
+        # full run's log.
+        from repro.durability import RecoveryManager
+        from repro.service import ServiceConfig
+        from repro.workload import run_continuous_mix
+
+        def _config(directory, interval):
+            return ServiceConfig(
+                durability_dir=str(directory),
+                snapshot_interval_ops=interval,
+                fsync_policy="never",
+                result_cache_size=0,
+            )
+
+        # Full run keeps its whole WAL (no post-bootstrap checkpoints) so
+        # every early cut stays feasible for point-in-time recovery.
+        full = RetrievalService(
+            small_corpus.collection, config=_config(tmp_path / "full", 10_000)
+        )
+        try:
+            run_continuous_mix(full, self._spec())
+            cut = full.engine.durability.wal.last_lsn // 2
+        finally:
+            full.close()
+        prefix = RetrievalService(
+            small_corpus.collection, config=_config(tmp_path / "prefix", 6)
+        )
+        try:
+            stopped = run_continuous_mix(prefix, self._spec(), stop_lsn=cut)
+            assert stopped.stopped_early
+            assert prefix.engine.durability.wal.last_lsn == cut
+        finally:
+            prefix.close()
+        state = RecoveryManager(tmp_path / "full", stop_lsn=cut).recover()
+        assert state.state_digest() == stopped.state_digest
